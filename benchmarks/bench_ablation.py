@@ -1,0 +1,47 @@
+"""Ablations over AdaFL's design choices (DESIGN.md ABL row).
+
+Sweeps the knobs the paper fixes: similarity metric, warm-up length,
+compression bounds, the bandwidth term, and the tau threshold — each
+variant trained on the same non-IID federation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import run_ablation
+from repro.experiments.reporting import format_bytes, format_table
+
+
+def test_ablation(benchmark, scale, bench_seed, claims, report_artifact):
+    points = benchmark.pedantic(
+        run_ablation,
+        kwargs=dict(scale=scale, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [p.variant, f"{p.accuracy:.3f}", str(p.updates), format_bytes(p.bytes_up)]
+        for p in points
+    ]
+    report_artifact(
+        "ablation",
+        format_table(
+            ["variant", "accuracy", "updates", "uplink"],
+            rows,
+            title="AdaFL design-choice ablation (non-IID MNIST-like)",
+        ),
+    )
+
+    if not claims:
+        return
+    by_name = {p.variant: p for p in points}
+    base = by_name["base(cosine)"]
+
+    # Every variant must at least train.
+    for p in points:
+        assert p.accuracy > 0.3, p.variant
+    # Fixed heavy compression (210x everywhere) sends fewer bytes than
+    # the adaptive policy; fixed light (4x) sends more.
+    assert by_name["fixed-heavy(210x)"].bytes_up < base.bytes_up
+    assert by_name["fixed-light(4x)"].bytes_up > base.bytes_up
+    # Removing the threshold cannot reduce the update count.
+    assert by_name["no-threshold(tau=0)"].updates >= base.updates

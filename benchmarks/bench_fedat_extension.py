@@ -1,0 +1,99 @@
+"""Extension: FedAT (tiered aggregation) vs the async suite.
+
+The paper's related work positions FedAT as the protocol-level
+alternative (latency-oriented, accuracy-agnostic).  This benchmark
+adds it to the asynchronous comparison on a heterogeneous fleet:
+expected shape — FedAT improves over plain FedAsync on accuracy
+stability, but AdaFL still transmits far fewer bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.adafl import AdaFLAsync
+from repro.embedded.cluster import compute_rates, make_heterogeneous_cluster
+from repro.experiments.comparison import default_adafl_config
+from repro.experiments.reporting import format_bytes, format_table
+from repro.experiments.runner import FederationSpec, run_async
+from repro.fl.baselines import FedAsync, FedBuff
+from repro.fl.fedat import FedAT, assign_tiers
+from repro.network.conditions import NetworkConditions
+
+
+def test_fedat_async_comparison(benchmark, scale, bench_seed, claims, report_artifact):
+    cluster = make_heterogeneous_cluster(
+        scale.num_clients,
+        ["pi4"],
+        rng=np.random.default_rng(bench_seed + 23),
+        slow_fraction=0.3,
+        slow_factor=3.0,
+    )
+    rates = compute_rates(cluster)
+    network = NetworkConditions.with_stragglers(
+        scale.num_clients,
+        0.2,
+        good_preset="wifi",
+        bad_preset="constrained",
+        rng=np.random.default_rng(bench_seed + 17),
+    )
+    tiers = assign_tiers(1.0 / rates, num_tiers=2)
+    max_updates = scale.num_rounds * max(1, scale.num_clients // 2)
+
+    def sweep():
+        spec = FederationSpec(
+            dataset="mnist",
+            model="mnist_cnn",
+            distribution="shard",
+            scale=scale,
+            seed=bench_seed,
+        )
+        methods = [
+            ("fedasync", FedAsync()),
+            ("fedbuff", FedBuff(buffer_size=3)),
+            ("fedat", FedAT(tiers=tiers)),
+            (
+                "adafl-async",
+                AdaFLAsync(default_adafl_config(scale, async_mode=True), network=network),
+            ),
+        ]
+        results = {}
+        for name, strategy in methods:
+            results[name] = run_async(
+                spec,
+                strategy,
+                network=network,
+                device_flops=rates,
+                max_updates=max_updates,
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            f"{run.final_accuracy:.3f}",
+            str(run.total_uploads),
+            format_bytes(run.total_bytes_up),
+            f"{run.total_sim_time:.2f}s",
+        ]
+        for name, run in results.items()
+    ]
+    report_artifact(
+        "fedat-extension",
+        format_table(
+            ["method", "accuracy", "updates", "uplink", "sim time"],
+            rows,
+            title="Async methods + FedAT on a 30%-slow fleet (non-IID)",
+        ),
+    )
+
+    if not claims:
+        return
+    # AdaFL's byte footprint stays the smallest of the suite.
+    adafl_bytes = results["adafl-async"].total_bytes_up
+    for name in ("fedasync", "fedbuff", "fedat"):
+        assert adafl_bytes < results[name].total_bytes_up, name
+    # Every method must genuinely train.
+    for name, run in results.items():
+        assert run.final_accuracy > 0.4, name

@@ -1,0 +1,49 @@
+"""Figure 1(i)-(l): asynchronous FL under staleness.
+
+Each benchmark regenerates one panel: FedAsync accuracy against
+simulated time with {0%, 10%, 20%, 50%} of the fleet slowed 3x (their
+updates arrive stale).  The paper's finding to reproduce: staleness
+drags convergence in *time* far more than the equivalent dropout
+fraction does in rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.empirical import run_fig1_async_panel
+from repro.experiments.reporting import format_series
+
+PANELS = [
+    ("mnist", "iid"),
+    ("mnist", "shard"),
+    ("cifar10", "iid"),
+    ("cifar10", "shard"),
+]
+
+
+@pytest.mark.parametrize("workload,distribution", PANELS)
+def test_fig1_async_panel(benchmark, scale, bench_seed, claims, report_artifact, workload, distribution):
+    panel = benchmark.pedantic(
+        run_fig1_async_panel,
+        kwargs=dict(
+            workload=workload,
+            distribution=distribution,
+            scale=scale,
+            seed=bench_seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [panel.title]
+    for label, (x, y) in panel.series.items():
+        lines.append(format_series(f"  {label} slow", x, y, x_name="t"))
+    # Staleness claim: at the time the clean fleet finishes, the
+    # 50%-slow fleet has been running the same update budget for longer.
+    clean_t = panel.runs["0%"].total_sim_time
+    stale_t = panel.runs["50%"].total_sim_time
+    lines.append(f"  wall-clock to equal update budget: clean={clean_t:.2f}s, 50%-slow={stale_t:.2f}s")
+    report_artifact(panel.panel_id, "\n".join(lines))
+
+    if claims:
+        assert stale_t > clean_t

@@ -1,0 +1,54 @@
+"""Figure 1(a)-(h): synchronous FL under dropout / data loss.
+
+Each benchmark regenerates one panel: FedAvg accuracy-vs-round curves
+for straggler fractions {0%, 10%, 20%, 50%} under one (workload, data
+distribution, failure mode) combination.  The paper's finding to
+reproduce: <=20% stragglers barely move the curves; 50% hurts, and
+data loss is noisier than clean dropout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.empirical import run_fig1_sync_panel
+from repro.experiments.reporting import format_series
+
+PANELS = [
+    ("mnist", "iid", "dropout"),
+    ("mnist", "iid", "dataloss"),
+    ("mnist", "shard", "dropout"),
+    ("mnist", "shard", "dataloss"),
+    ("cifar10", "iid", "dropout"),
+    ("cifar10", "iid", "dataloss"),
+    ("cifar10", "shard", "dropout"),
+    ("cifar10", "shard", "dataloss"),
+]
+
+
+@pytest.mark.parametrize("workload,distribution,mode", PANELS)
+def test_fig1_sync_panel(benchmark, scale, bench_seed, claims, report_artifact, workload, distribution, mode):
+    panel = benchmark.pedantic(
+        run_fig1_sync_panel,
+        kwargs=dict(
+            workload=workload,
+            distribution=distribution,
+            mode=mode,
+            scale=scale,
+            seed=bench_seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [panel.title]
+    for label, (x, y) in panel.series.items():
+        lines.append(format_series(f"  {label} stragglers", x, y))
+    finals = panel.final_accuracies()
+    lines.append(f"  final accuracies: { {k: round(v, 3) for k, v in finals.items()} }")
+    report_artifact(panel.panel_id, "\n".join(lines))
+
+    if claims:
+        # Paper shape: every run must actually learn...
+        assert finals["0%"] > 0.3
+        # ...and moderate (<=20%) faults stay within a few points of clean.
+        assert finals["20%"] >= finals["0%"] - 0.15

@@ -1,0 +1,48 @@
+"""Network-sensitivity sweep (extension of the paper's motivation).
+
+AdaFL vs FedAvg across six network regimes, from healthy ethernet to
+time-varying fading links.  Expected shape: AdaFL's byte savings hold
+everywhere, and its wall-clock advantage grows as links degrade
+(compressed updates clear constrained links far faster).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_bytes, format_table
+from repro.experiments.sensitivity import run_network_sensitivity
+
+
+def test_network_sensitivity(benchmark, scale, bench_seed, claims, report_artifact):
+    points = benchmark.pedantic(
+        run_network_sensitivity,
+        kwargs=dict(scale=scale, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            p.condition,
+            f"{p.adafl_accuracy:.3f}",
+            f"{p.fedavg_accuracy:.3f}",
+            f"{100 * p.byte_saving:.1f}%",
+            f"{p.speedup:.2f}x",
+            format_bytes(p.adafl_bytes_up),
+        ]
+        for p in points
+    ]
+    report_artifact(
+        "network-sensitivity",
+        format_table(
+            ["condition", "AdaFL acc", "FedAvg acc", "bytes saved", "wall speedup", "AdaFL uplink"],
+            rows,
+            title="Network-condition sensitivity (non-IID MNIST-like)",
+        ),
+    )
+
+    if not claims:
+        return
+    by_cond = {p.condition: p for p in points}
+    for p in points:
+        assert p.byte_saving > 0.5, p.condition
+    # On constrained links, AdaFL's smaller payloads finish rounds faster.
+    assert by_cond["constrained"].speedup > 1.5

@@ -1,0 +1,47 @@
+"""Table II: asynchronous FL evaluation results.
+
+Regenerates the paper's Table II — FedAsync and FedBuff at fixed
+r_p=0.5 against fully asynchronous AdaFL with utility-gated halting —
+with the same columns as Table I.
+
+Shape to reproduce: AdaFL posts the deepest cost reduction of the
+suite (paper: -78.5%, vs -70.88% synchronous) because halted clients
+skip uploads entirely, while accuracy stays at parity or better.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import render_table, run_table2
+
+DATASETS = ("mnist", "cifar100")
+DISTRIBUTIONS = ("iid", "shard")
+
+
+def test_table2(benchmark, scale, bench_seed, claims, report_artifact):
+    rows = benchmark.pedantic(
+        run_table2,
+        kwargs=dict(
+            scale=scale,
+            seed=bench_seed,
+            datasets=DATASETS,
+            distributions=DISTRIBUTIONS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_artifact(
+        "table2-async", render_table(rows, "Table II (asynchronous)", datasets=DATASETS)
+    )
+
+    if not claims:
+        return
+    by_name = {r.method: r for r in rows}
+    fedasync, adafl = by_name["fedasync"], by_name["adafl-async"]
+
+    # Baselines run to their fixed 50%-participation update budget.
+    assert 0.45 <= fedasync.cost_reduction <= 0.60
+    # AdaFL transmits far fewer bytes (paper: -78.5% cost).
+    assert adafl.byte_reduction > 0.60
+    # Accuracy parity with the fully async baseline.
+    for key, acc in adafl.accuracies.items():
+        assert acc >= fedasync.accuracies[key] - 0.10, key

@@ -1,0 +1,70 @@
+"""Benchmark-harness plumbing.
+
+Two things live here:
+
+* **Artifact reporting.**  Every benchmark regenerates one of the
+  paper's tables or figure panels; the rendered text is registered via
+  the ``report_artifact`` fixture and printed in the terminal summary
+  (so it survives pytest's output capture) as well as written to
+  ``results/<name>.txt`` next to this directory.
+* **Scale selection.**  ``REPRO_BENCH_SCALE`` (``fast`` / ``bench`` /
+  ``full``, default ``bench``) picks the experiment scale so the same
+  suite serves CI smoke runs and paper-shape reproduction.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.presets import get_scale
+
+_ARTIFACTS: list[tuple[str, str]] = []
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale benchmarks run at."""
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "bench"))
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def claims(scale) -> bool:
+    """Whether paper-shape assertions should run.
+
+    At ``fast`` scale runs are too short for the paper's qualitative
+    shapes to emerge, so benchmarks only verify plumbing; at ``bench``
+    and ``full`` scales the assertions are armed.
+    """
+    return scale.name != "fast"
+
+
+@pytest.fixture
+def report_artifact():
+    """Register a rendered table/figure for the terminal summary."""
+
+    def _report(name: str, text: str) -> None:
+        _ARTIFACTS.append((name, text))
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _ARTIFACTS:
+        return
+    terminalreporter.section("reproduced paper artifacts")
+    for name, text in _ARTIFACTS:
+        terminalreporter.write_line(f"--- {name} " + "-" * max(0, 60 - len(name)))
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+        terminalreporter.write_line("")

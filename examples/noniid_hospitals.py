@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Non-IID federated learning across simulated hospitals.
+
+The paper motivates FL with privacy-sensitive domains such as
+healthcare, where each site's data distribution is skewed (a cancer
+centre sees different cases than a pediatric clinic).  This example
+builds a Dirichlet-skewed federation ("hospitals"), shows how skewed
+each site is, and compares every synchronous method — including the
+strongest non-IID baseline, SCAFFOLD — against AdaFL.
+
+Run:  python examples/noniid_hospitals.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AdaFLConfig, AdaFLSync, AdaptiveCompressionPolicy
+from repro.data import partition_dataset, partition_stats
+from repro.data.synthetic import make_image_classification
+from repro.experiments import format_bytes
+from repro.fl import (
+    Client,
+    FederationConfig,
+    FedAdam,
+    FedAvg,
+    FedProx,
+    LocalTrainingConfig,
+    Scaffold,
+    Server,
+    SyncEngine,
+)
+from repro.network import NetworkConditions
+from repro.nn import build_mnist_cnn
+
+NUM_HOSPITALS = 8
+NUM_ROUNDS = 15
+NUM_CONDITIONS = 6  # diagnostic classes
+
+
+def main() -> None:
+    train, test = make_image_classification(
+        n_train=720,
+        n_test=240,
+        num_classes=NUM_CONDITIONS,
+        image_shape=(1, 12, 12),
+        noise_std=1.0,
+        seed=5,
+        name="scans",
+    )
+    rng = np.random.default_rng(5)
+    shards = partition_dataset(train, NUM_HOSPITALS, "dirichlet", rng, alpha=0.3)
+
+    stats = partition_stats(shards)
+    print("hospital data skew (rows = hospitals, cols = conditions):")
+    for i, row in enumerate(stats.class_counts):
+        print(f"  hospital {i}: {row.tolist()}  ({stats.sizes[i]} scans)")
+    print(f"mean label entropy: {stats.mean_entropy:.2f} nats "
+          f"(uniform would be {np.log(NUM_CONDITIONS):.2f})\n")
+
+    def model_fn():
+        return build_mnist_cnn((1, 12, 12), NUM_CONDITIONS, channels=(6, 12), hidden=32, seed=42)
+
+    network = NetworkConditions.with_stragglers(
+        NUM_HOSPITALS, 0.25, good_preset="ethernet", bad_preset="lte",
+        rng=np.random.default_rng(6),
+    )
+    config = FederationConfig(
+        num_rounds=NUM_ROUNDS,
+        participation_rate=0.5,
+        eval_every=3,
+        seed=9,
+        local=LocalTrainingConfig(local_epochs=1, batch_size=16, lr=0.02),
+    )
+
+    strategies = [
+        FedAvg(participation_rate=0.5),
+        FedProx(participation_rate=0.5, mu=0.01),
+        FedAdam(participation_rate=0.5),
+        Scaffold(participation_rate=0.5),
+        AdaFLSync(
+            AdaFLConfig(
+                k_max=4,
+                tau=0.6,  # relative: filter the lowest 60% of scores
+                tau_mode="relative",
+                score_smoothing=0.5,
+                rotation_bonus=0.15,
+                policy=AdaptiveCompressionPolicy(
+                    min_ratio=4.0, max_ratio=210.0, warmup_rounds=3, warmup_ratio=4.0
+                ),
+            )
+        ),
+    ]
+
+    print(f"{'method':<10} {'final acc':>9} {'updates':>8} {'uplink':>10}")
+    for strategy in strategies:
+        clients = [
+            Client(i, shards[i], model_fn, seed=100 + i) for i in range(NUM_HOSPITALS)
+        ]
+        server = Server(model_fn, test)
+        result = SyncEngine(server, clients, strategy, config, network=network).run()
+        print(
+            f"{strategy.name:<10} {result.final_accuracy:>9.3f} "
+            f"{result.total_uploads:>8} {format_bytes(result.total_bytes_up):>10}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Splice measured benchmark artifacts into EXPERIMENTS.md.
+
+Each ``<!-- MEASURED:NAME -->`` marker in EXPERIMENTS.md is replaced by
+a fenced block containing the matching artifact(s) from
+``benchmarks/results/``.  Run after ``pytest benchmarks/
+--benchmark-only`` so the document always reflects the latest measured
+numbers.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+DOC = ROOT / "EXPERIMENTS.md"
+
+# Marker name -> artifact filename(s) under benchmarks/results/.
+MARKERS: dict[str, list[str]] = {
+    "FIG1SYNC": [
+        "fig1-sync-mnist-iid-dropout.txt",
+        "fig1-sync-mnist-iid-dataloss.txt",
+        "fig1-sync-mnist-shard-dropout.txt",
+        "fig1-sync-mnist-shard-dataloss.txt",
+        "fig1-sync-cifar10-iid-dropout.txt",
+        "fig1-sync-cifar10-iid-dataloss.txt",
+        "fig1-sync-cifar10-shard-dropout.txt",
+        "fig1-sync-cifar10-shard-dataloss.txt",
+    ],
+    "FIG1ASYNC": [
+        "fig1-async-mnist-iid-staleness.txt",
+        "fig1-async-mnist-shard-staleness.txt",
+        "fig1-async-cifar10-iid-staleness.txt",
+        "fig1-async-cifar10-shard-staleness.txt",
+    ],
+    "FIG3": [
+        "fig3-sync-iid.txt",
+        "fig3-sync-shard.txt",
+        "fig3-async-iid.txt",
+        "fig3-async-shard.txt",
+    ],
+    "TABLE1": ["table1-sync.txt"],
+    "TABLE2": ["table2-async.txt"],
+    "OVERHEAD": ["overhead-q3.txt"],
+    "ENERGY": ["energy-q3-extension.txt"],
+    "SCALABILITY": ["scalability.txt"],
+    "ABLATION": ["ablation.txt"],
+    "SENSITIVITY": ["network-sensitivity.txt"],
+    "FEDAT": ["fedat-extension.txt"],
+    "COMPRESSION": ["compression-sizes.txt"],
+}
+
+_BLOCK = re.compile(
+    r"<!-- MEASURED:(\w+) -->(?:\n```text\n.*?\n```)?", re.DOTALL
+)
+
+
+def render_block(name: str) -> str:
+    files = MARKERS.get(name)
+    if files is None:
+        return f"<!-- MEASURED:{name} -->\n```text\n(unknown marker)\n```"
+    chunks = []
+    for filename in files:
+        path = RESULTS / filename
+        if path.exists():
+            chunks.append(path.read_text().rstrip())
+        else:
+            chunks.append(f"({filename}: not yet measured — run the benchmarks)")
+    body = "\n\n".join(chunks)
+    return f"<!-- MEASURED:{name} -->\n```text\n{body}\n```"
+
+
+def main() -> int:
+    text = DOC.read_text()
+    updated = _BLOCK.sub(lambda m: render_block(m.group(1)), text)
+    DOC.write_text(updated)
+    missing = [
+        name
+        for name, files in MARKERS.items()
+        if any(not (RESULTS / f).exists() for f in files)
+    ]
+    if missing:
+        print(f"filled with gaps; missing artifacts for: {', '.join(missing)}")
+        return 1
+    print("EXPERIMENTS.md updated from benchmarks/results/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""AdaFL reproduction: resilient federated learning under constrained networks.
+
+Reproduces "Resilient Federated Learning on Embedded Devices with
+Constrained Network Connectivity" (DAC 2025) as a self-contained Python
+library:
+
+* :mod:`repro.nn` — numpy neural-network substrate (stands in for PyTorch);
+* :mod:`repro.data` — synthetic datasets and IID/non-IID partitioners;
+* :mod:`repro.network` — link models, bandwidth traces, event queue;
+* :mod:`repro.compression` — DGC, top-k, QSGD, TernGrad;
+* :mod:`repro.fl` — clients, server, sync/async engines, six baselines;
+* :mod:`repro.core` — AdaFL itself (utility scores, Algorithm 1,
+  adaptive compression);
+* :mod:`repro.embedded` — device profiles and perf-style cycle accounting;
+* :mod:`repro.experiments` — one runner per paper table/figure.
+
+Quickstart::
+
+    from repro.experiments import FederationSpec, FAST, run_sync
+    from repro.experiments import default_adafl_config
+    from repro.core import AdaFLSync
+
+    spec = FederationSpec(dataset="mnist", model="mnist_cnn",
+                          distribution="shard", scale=FAST)
+    result = run_sync(spec, AdaFLSync(default_adafl_config(FAST)))
+    print(result.final_accuracy, result.total_uploads)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Runs any of the paper's experiments from a shell and prints the same
+tables/series the benchmark harness produces, optionally archiving raw
+run JSON next to them.
+
+Examples::
+
+    python -m repro table1 --scale fast
+    python -m repro fig3 --scale bench --seed 1
+    python -m repro overhead
+    python -m repro quickrun --dataset mnist --distribution shard \
+        --method adafl --rounds 20 --out run.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.adafl import AdaFLSync
+from repro.experiments.ablation import run_ablation
+from repro.experiments.comparison import default_adafl_config, run_fig3
+from repro.experiments.empirical import run_fig1
+from repro.experiments.overhead import run_overhead_study
+from repro.experiments.presets import get_scale
+from repro.experiments.reporting import format_bytes, format_series, format_table
+from repro.experiments.runner import FederationSpec, run_sync
+from repro.experiments.scalability import run_scalability
+from repro.experiments.tables import render_table, run_table1, run_table2
+from repro.fl.baselines import SYNC_BASELINES
+from repro.fl.persist import save_run_result
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AdaFL (DAC 2025) reproduction experiments",
+    )
+    parser.add_argument("--scale", default="fast", choices=("fast", "bench", "full"))
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="Figure 1: empirical resiliency study")
+    sub.add_parser("fig3", help="Figure 3: AdaFL vs SOTA curves")
+    sub.add_parser("table1", help="Table I: synchronous results")
+    sub.add_parser("table2", help="Table II: asynchronous results")
+    sub.add_parser("overhead", help="Q3: Pi-cluster cycle overhead")
+    sub.add_parser("scalability", help="20-100 client sweep")
+    sub.add_parser("ablation", help="AdaFL design-choice ablation")
+
+    report = sub.add_parser("report", help="build an HTML report from saved runs")
+    report.add_argument("--runs", nargs="+", required=True, help="run JSON files")
+    report.add_argument("--out", default="report.html")
+    report.add_argument("--artifacts", default=None, help="benchmarks/results dir to embed")
+
+    quick = sub.add_parser("quickrun", help="one synchronous federated run")
+    quick.add_argument("--dataset", default="mnist", choices=("mnist", "cifar10", "cifar100"))
+    quick.add_argument("--model", default="mnist_cnn")
+    quick.add_argument("--distribution", default="iid", choices=("iid", "shard", "dirichlet", "label_skew", "quantity_skew"))
+    quick.add_argument("--method", default="adafl", choices=("adafl", *sorted(SYNC_BASELINES)))
+    quick.add_argument("--rounds", type=int, default=None)
+    quick.add_argument("--out", default=None, help="write run JSON here")
+    return parser
+
+
+def _cmd_fig1(scale, seed) -> str:
+    panels = run_fig1(scale=scale, seed=seed)
+    out = []
+    for panel in panels:
+        out.append(panel.title)
+        for label, (x, y) in panel.series.items():
+            out.append(format_series(f"  {label}", x, y, x_name=panel.x_name))
+    return "\n".join(out)
+
+
+def _cmd_fig3(scale, seed) -> str:
+    panels = run_fig3(scale=scale, seed=seed)
+    out = []
+    for panel in panels:
+        out.append(panel.title)
+        for label, (x, y) in panel.series.items():
+            out.append(format_series(f"  {label}", x, y, x_name=panel.x_name))
+    return "\n".join(out)
+
+
+def _cmd_overhead(scale, seed) -> str:
+    result = run_overhead_study(scale=scale, seed=seed)
+    return "\n".join(
+        [
+            f"baseline training cycles : {result.baseline_cycles:,.0f}",
+            f"utility scoring overhead : +{result.utility_overhead_pct:.4f}%",
+            f"compression overhead     : +{result.compression_overhead_pct:.4f}%",
+            f"selection compute saving : -{result.compute_saving_pct:.1f}%",
+            f"final accuracy           : {result.accuracy:.3f}",
+        ]
+    )
+
+
+def _cmd_scalability(scale, seed) -> str:
+    points = run_scalability(scale=scale, seed=seed)
+    rows = [
+        [str(p.num_clients), f"{p.adafl_accuracy:.3f}", f"{p.fedavg_accuracy:.3f}",
+         str(p.adafl_updates), f"{100 * p.byte_saving:.1f}%"]
+        for p in points
+    ]
+    return format_table(["N", "AdaFL acc", "FedAvg acc", "AdaFL updates", "bytes saved"], rows)
+
+
+def _cmd_ablation(scale, seed) -> str:
+    points = run_ablation(scale=scale, seed=seed)
+    rows = [
+        [p.variant, f"{p.accuracy:.3f}", str(p.updates), format_bytes(p.bytes_up)]
+        for p in points
+    ]
+    return format_table(["variant", "accuracy", "updates", "uplink"], rows)
+
+
+def _cmd_quickrun(args, scale) -> str:
+    from dataclasses import replace
+
+    if args.rounds is not None:
+        scale = replace(scale, num_rounds=args.rounds)
+    spec = FederationSpec(
+        dataset=args.dataset,
+        model=args.model,
+        distribution=args.distribution,
+        scale=scale,
+        seed=args.seed,
+    )
+    if args.method == "adafl":
+        strategy = AdaFLSync(default_adafl_config(scale))
+    else:
+        strategy = SYNC_BASELINES[args.method]()
+    result = run_sync(spec, strategy)
+    if args.out:
+        save_run_result(result, args.out)
+    rounds, accs = result.accuracy_curve()
+    return "\n".join(
+        [
+            format_series(args.method, rounds, accs),
+            f"final accuracy: {result.final_accuracy:.3f}",
+            f"client updates: {result.total_uploads}",
+            f"uplink volume : {format_bytes(result.total_bytes_up)}",
+        ]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = get_scale(args.scale)
+    if args.command == "fig1":
+        print(_cmd_fig1(scale, args.seed))
+    elif args.command == "fig3":
+        print(_cmd_fig3(scale, args.seed))
+    elif args.command == "table1":
+        rows = run_table1(scale=scale, seed=args.seed)
+        print(render_table(rows, "Table I (synchronous)"))
+    elif args.command == "table2":
+        rows = run_table2(scale=scale, seed=args.seed)
+        print(render_table(rows, "Table II (asynchronous)"))
+    elif args.command == "overhead":
+        print(_cmd_overhead(scale, args.seed))
+    elif args.command == "scalability":
+        print(_cmd_scalability(scale, args.seed))
+    elif args.command == "ablation":
+        print(_cmd_ablation(scale, args.seed))
+    elif args.command == "report":
+        from pathlib import Path
+
+        from repro.experiments.report_html import write_report
+        from repro.fl.persist import load_run_result
+
+        runs = {Path(p).stem: load_run_result(p) for p in args.runs}
+        path = write_report(runs, args.out, artifacts_dir=args.artifacts)
+        print(f"wrote {path}")
+    elif args.command == "quickrun":
+        print(_cmd_quickrun(args, scale))
+    else:  # pragma: no cover - argparse enforces choices
+        raise AssertionError(args.command)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""Deep Gradient Compression (Lin et al., ICLR 2018).
+
+DGC is the compression engine AdaFL builds on (paper §IV, "Adaptive
+Gradient Compression").  Its four ingredients, all implemented here:
+
+1. **Top-k sparsification** — only the largest-magnitude accumulated
+   gradient coordinates are transmitted.
+2. **Residual (error) accumulation** — untransmitted coordinates stay
+   in a local buffer and keep growing until they matter.
+3. **Momentum correction** — the residual accumulates *momentum-
+   corrected* gradients (a local momentum buffer) rather than raw
+   gradients, so sparse updates approximate what dense momentum SGD
+   would have applied.
+4. **Local gradient clipping** — the incoming gradient's norm is
+   clipped *before* accumulation (scaled by ``1/sqrt(num_workers)``
+   per the DGC paper) to keep high compression from destabilising
+   training.
+
+Unlike the static DGC paper, AdaFL changes the compression ratio every
+round, so :meth:`DGCCompressor.compress` takes an optional per-call
+``ratio`` override — the hook the adaptive policy in
+:mod:`repro.core.compression_policy` drives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedGradient, Compressor, sparse_payload_bytes
+from repro.compression.topk import topk_indices
+
+__all__ = ["DGCCompressor"]
+
+
+class DGCCompressor(Compressor):
+    """Stateful DGC compressor for one client."""
+
+    name = "dgc"
+
+    def __init__(
+        self,
+        dim: int,
+        ratio: float = 100.0,
+        momentum: float = 0.9,
+        clip_norm: float | None = 5.0,
+        num_workers: int = 1,
+        use_momentum_correction: bool = True,
+    ):
+        super().__init__(dim)
+        if ratio < 1.0:
+            raise ValueError("compression ratio must be >= 1")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if clip_norm is not None and clip_norm <= 0:
+            raise ValueError("clip_norm must be positive or None")
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.ratio = ratio
+        self.momentum = momentum
+        self.clip_norm = clip_norm
+        self.num_workers = num_workers
+        self.use_momentum_correction = use_momentum_correction
+        self._velocity = np.zeros(dim, dtype=np.float64)  # u_t in the DGC paper
+        self._residual = np.zeros(dim, dtype=np.float64)  # v_t in the DGC paper
+
+    # ------------------------------------------------------------------
+    def _clip(self, grad: np.ndarray) -> np.ndarray:
+        """Local gradient clipping scaled for ``num_workers`` (DGC §3.3)."""
+        if self.clip_norm is None:
+            return grad
+        threshold = self.clip_norm / np.sqrt(self.num_workers)
+        norm = float(np.linalg.norm(grad))
+        if norm > threshold:
+            return grad * (threshold / norm)
+        return grad
+
+    def compress(
+        self, grad: np.ndarray, ratio: float | None = None
+    ) -> CompressedGradient:
+        """Accumulate ``grad`` and emit the top coordinates.
+
+        ``ratio`` overrides the instance ratio for this call — the
+        entry point for AdaFL's adaptive schedule.
+        """
+        grad = self._check_grad(grad)
+        effective_ratio = self.ratio if ratio is None else float(ratio)
+        if effective_ratio < 1.0:
+            raise ValueError("compression ratio must be >= 1")
+
+        grad = self._clip(grad)
+        if self.use_momentum_correction:
+            self._velocity = self.momentum * self._velocity + grad
+            self._residual += self._velocity
+        else:
+            self._residual += grad
+
+        k = max(1, int(round(self.dim / effective_ratio)))
+        idx = topk_indices(self._residual, k)
+        values = self._residual[idx].copy()
+
+        # Transmitted coordinates leave both buffers (DGC Algorithm 1).
+        self._residual[idx] = 0.0
+        if self.use_momentum_correction:
+            self._velocity[idx] = 0.0
+
+        return CompressedGradient(
+            method=self.name,
+            dim=self.dim,
+            num_bytes=sparse_payload_bytes(self.dim, idx.size),
+            data={
+                "indices": idx.astype(np.uint32),
+                "values": values.astype(np.float32),
+                "ratio": effective_ratio,
+            },
+        )
+
+    def decompress(self, payload: CompressedGradient) -> np.ndarray:
+        if payload.method != self.name:
+            raise ValueError(f"payload method {payload.method!r} is not {self.name!r}")
+        dense = np.zeros(payload.dim, dtype=np.float64)
+        dense[payload.data["indices"].astype(np.int64)] = payload.data["values"]
+        return dense
+
+    def restore(self, payload: CompressedGradient) -> None:
+        """Return a lost payload's values to the residual buffer.
+
+        ``compress`` clears transmitted coordinates optimistically; a
+        deployment only discards them once the server ACKs.  When the
+        engine learns a transfer was lost it calls this, so the
+        accumulated gradient information survives the loss instead of
+        vanishing with the packet.
+        """
+        if payload.method != self.name:
+            raise ValueError(f"payload method {payload.method!r} is not {self.name!r}")
+        if payload.dim != self.dim:
+            raise ValueError("payload dimensionality mismatch")
+        idx = payload.data["indices"].astype(np.int64)
+        self._residual[idx] += payload.data["values"].astype(np.float64)
+
+    def reset(self) -> None:
+        """Drop residual and momentum state (e.g. after a model resync)."""
+        self._velocity.fill(0.0)
+        self._residual.fill(0.0)
+
+    @property
+    def residual_norm(self) -> float:
+        """L2 norm of untransmitted accumulated gradient (diagnostics)."""
+        return float(np.linalg.norm(self._residual))

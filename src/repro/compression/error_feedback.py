@@ -1,0 +1,47 @@
+"""Generic error-feedback (EF) wrapper for any compressor.
+
+DGC builds residual accumulation into its algorithm; EF-SGD (Karimireddy
+et al., 2019) showed the same trick — keep the quantisation error and
+add it to the next gradient — repairs the convergence of *any* biased
+compressor.  :class:`ErrorFeedback` wraps a stateless compressor
+(top-k, QSGD, TernGrad, ...) with that memory, which the ablation
+benches use to separate "compression" from "compression + memory".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedGradient, Compressor
+
+__all__ = ["ErrorFeedback"]
+
+
+class ErrorFeedback(Compressor):
+    """Wraps ``inner`` with residual error accumulation."""
+
+    def __init__(self, inner: Compressor):
+        super().__init__(inner.dim)
+        self.inner = inner
+        self.name = f"ef({inner.name})"
+        self._residual = np.zeros(inner.dim, dtype=np.float64)
+
+    def compress(self, grad: np.ndarray) -> CompressedGradient:
+        grad = self._check_grad(grad)
+        corrected = grad + self._residual
+        payload = self.inner.compress(corrected)
+        transmitted = self.inner.decompress(payload)
+        self._residual = corrected - transmitted
+        return payload
+
+    def decompress(self, payload: CompressedGradient) -> np.ndarray:
+        return self.inner.decompress(payload)
+
+    def reset(self) -> None:
+        self._residual.fill(0.0)
+        self.inner.reset()
+
+    @property
+    def residual_norm(self) -> float:
+        """L2 norm of the accumulated compression error."""
+        return float(np.linalg.norm(self._residual))

@@ -1,0 +1,29 @@
+"""No-op compressor: dense float32 on the wire (the baselines' setting)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedGradient, Compressor, dense_bytes
+
+__all__ = ["NoCompression"]
+
+
+class NoCompression(Compressor):
+    """Sends the full gradient; exists so byte accounting is uniform."""
+
+    name = "none"
+
+    def compress(self, grad: np.ndarray) -> CompressedGradient:
+        grad = self._check_grad(grad)
+        return CompressedGradient(
+            method=self.name,
+            dim=self.dim,
+            num_bytes=dense_bytes(self.dim),
+            data={"values": grad.astype(np.float32)},
+        )
+
+    def decompress(self, payload: CompressedGradient) -> np.ndarray:
+        if payload.method != self.name:
+            raise ValueError(f"payload method {payload.method!r} is not {self.name!r}")
+        return payload.data["values"].astype(np.float64)

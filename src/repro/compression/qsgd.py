@@ -1,0 +1,64 @@
+"""QSGD stochastic quantisation (Alistarh et al., NeurIPS 2017).
+
+Quantises each coordinate to one of ``s`` uniform levels of its
+vector's L2 norm, with stochastic rounding that keeps the estimator
+unbiased.  Serves as the model-level quantisation baseline the paper
+cites ([11]).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.compression.base import CompressedGradient, Compressor, quantized_bytes
+
+__all__ = ["QSGDCompressor"]
+
+
+class QSGDCompressor(Compressor):
+    """Unbiased stochastic uniform quantiser."""
+
+    name = "qsgd"
+
+    def __init__(self, dim: int, num_levels: int = 16, rng: np.random.Generator | None = None):
+        super().__init__(dim)
+        if num_levels < 1:
+            raise ValueError("num_levels must be >= 1")
+        self.num_levels = num_levels
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    @property
+    def bits_per_element(self) -> float:
+        """Sign bit plus level bits (no entropy coding)."""
+        return 1.0 + math.ceil(math.log2(self.num_levels + 1))
+
+    def compress(self, grad: np.ndarray) -> CompressedGradient:
+        grad = self._check_grad(grad)
+        norm = float(np.linalg.norm(grad))
+        if norm == 0.0:
+            levels = np.zeros(self.dim, dtype=np.int32)
+            signs = np.ones(self.dim, dtype=np.int8)
+        else:
+            scaled = np.abs(grad) / norm * self.num_levels
+            floor = np.floor(scaled)
+            prob = scaled - floor
+            levels = (floor + (self._rng.random(self.dim) < prob)).astype(np.int32)
+            signs = np.where(grad < 0, -1, 1).astype(np.int8)
+        return CompressedGradient(
+            method=self.name,
+            dim=self.dim,
+            num_bytes=quantized_bytes(self.dim, self.bits_per_element),
+            data={"norm": norm, "levels": levels, "signs": signs},
+        )
+
+    def decompress(self, payload: CompressedGradient) -> np.ndarray:
+        if payload.method != self.name:
+            raise ValueError(f"payload method {payload.method!r} is not {self.name!r}")
+        norm = payload.data["norm"]
+        if norm == 0.0:
+            return np.zeros(payload.dim, dtype=np.float64)
+        levels = payload.data["levels"].astype(np.float64)
+        signs = payload.data["signs"].astype(np.float64)
+        return signs * levels * (norm / self.num_levels)

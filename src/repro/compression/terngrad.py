@@ -1,0 +1,45 @@
+"""TernGrad ternary quantisation (Wen et al., NeurIPS 2017).
+
+Each coordinate is quantised to {-1, 0, +1} times the vector's max
+magnitude, with stochastic rounding keeping the estimator unbiased.
+Cited by the paper as the other quantisation baseline ([13]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedGradient, Compressor, quantized_bytes
+
+__all__ = ["TernGradCompressor"]
+
+
+class TernGradCompressor(Compressor):
+    """Unbiased ternary quantiser: 2 bits per element plus one scale."""
+
+    name = "terngrad"
+
+    def __init__(self, dim: int, rng: np.random.Generator | None = None):
+        super().__init__(dim)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def compress(self, grad: np.ndarray) -> CompressedGradient:
+        grad = self._check_grad(grad)
+        scale = float(np.max(np.abs(grad))) if grad.size else 0.0
+        if scale == 0.0:
+            ternary = np.zeros(self.dim, dtype=np.int8)
+        else:
+            prob = np.abs(grad) / scale
+            keep = self._rng.random(self.dim) < prob
+            ternary = (np.sign(grad) * keep).astype(np.int8)
+        return CompressedGradient(
+            method=self.name,
+            dim=self.dim,
+            num_bytes=quantized_bytes(self.dim, 2.0),
+            data={"scale": scale, "ternary": ternary},
+        )
+
+    def decompress(self, payload: CompressedGradient) -> np.ndarray:
+        if payload.method != self.name:
+            raise ValueError(f"payload method {payload.method!r} is not {self.name!r}")
+        return payload.data["ternary"].astype(np.float64) * payload.data["scale"]

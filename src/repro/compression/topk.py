@@ -1,0 +1,70 @@
+"""Plain top-k magnitude sparsification (no error feedback).
+
+This is the memoryless ancestor of DGC: keep the ``k`` largest-
+magnitude coordinates, drop the rest.  Used as an ablation baseline to
+show why DGC's residual accumulation matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedGradient, Compressor, sparse_payload_bytes
+
+__all__ = ["topk_indices", "TopKCompressor"]
+
+
+def topk_indices(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest-magnitude entries (deterministic).
+
+    Ties are broken by index order via a stable sort over (-|v|, i), so
+    repeated calls on equal inputs select identical support sets.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k >= values.size:
+        return np.arange(values.size)
+    # argpartition gets the top-k set in O(d); the final stable sort of
+    # just k elements makes tie-breaking deterministic.
+    part = np.argpartition(-np.abs(values), k - 1)[:k]
+    magnitudes = np.abs(values[part])
+    order = np.lexsort((part, -magnitudes))
+    return np.sort(part[order])
+
+
+class TopKCompressor(Compressor):
+    """Keep a fixed fraction of coordinates by magnitude."""
+
+    name = "topk"
+
+    def __init__(self, dim: int, ratio: float):
+        """``ratio`` is the compression ratio: keep ``d / ratio`` entries."""
+        super().__init__(dim)
+        if ratio < 1.0:
+            raise ValueError("compression ratio must be >= 1")
+        self.ratio = ratio
+
+    @property
+    def k(self) -> int:
+        """Number of retained coordinates (always at least 1)."""
+        return max(1, int(round(self.dim / self.ratio)))
+
+    def compress(self, grad: np.ndarray) -> CompressedGradient:
+        grad = self._check_grad(grad)
+        idx = topk_indices(grad, self.k)
+        return CompressedGradient(
+            method=self.name,
+            dim=self.dim,
+            num_bytes=sparse_payload_bytes(self.dim, idx.size),
+            data={
+                "indices": idx.astype(np.uint32),
+                "values": grad[idx].astype(np.float32),
+            },
+        )
+
+    def decompress(self, payload: CompressedGradient) -> np.ndarray:
+        if payload.method != self.name:
+            raise ValueError(f"payload method {payload.method!r} is not {self.name!r}")
+        dense = np.zeros(payload.dim, dtype=np.float64)
+        dense[payload.data["indices"].astype(np.int64)] = payload.data["values"]
+        return dense

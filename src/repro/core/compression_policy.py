@@ -1,0 +1,70 @@
+"""Adaptive compression-ratio policy (paper §IV, second component).
+
+Maps a client's utility score onto a DGC compression ratio: high
+utility → light compression (more information preserved), low utility
+→ aggressive compression.  The interpolation is geometric — ratio
+moves between ``min_ratio`` and ``max_ratio`` on a log scale — because
+compression ratios in the paper span two orders of magnitude (4x to
+210x in Table I).
+
+During the warm-up rounds all clients get ``warmup_ratio`` (low),
+"to ensure robust model initialization"; afterwards the ratio follows
+the utility score continuously.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["AdaptiveCompressionPolicy"]
+
+
+@dataclass(frozen=True)
+class AdaptiveCompressionPolicy:
+    """Utility-score-driven compression schedule.
+
+    Table I/II report AdaFL's sync range as 4x–210x and async range as
+    4x–105x; those are the default bounds for the matching modes.
+    """
+
+    min_ratio: float = 4.0
+    max_ratio: float = 210.0
+    warmup_rounds: int = 5
+    warmup_ratio: float = 4.0
+    utility_floor: float = 0.0  # utility mapped to max_ratio
+    utility_ceil: float = 1.0  # utility mapped to min_ratio
+
+    def __post_init__(self) -> None:
+        if self.min_ratio < 1.0:
+            raise ValueError("min_ratio must be >= 1")
+        if self.max_ratio < self.min_ratio:
+            raise ValueError("max_ratio must be >= min_ratio")
+        if self.warmup_rounds < 0:
+            raise ValueError("warmup_rounds must be non-negative")
+        if self.warmup_ratio < 1.0:
+            raise ValueError("warmup_ratio must be >= 1")
+        if not 0.0 <= self.utility_floor < self.utility_ceil <= 1.0:
+            raise ValueError("need 0 <= utility_floor < utility_ceil <= 1")
+
+    def in_warmup(self, round_index: int) -> bool:
+        """Is this round inside the warm-up window?"""
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        return round_index < self.warmup_rounds
+
+    def ratio_for(self, utility: float, round_index: int) -> float:
+        """Compression ratio for a client with utility ``utility``.
+
+        Monotone non-increasing in ``utility``: better-aligned clients
+        are compressed less.
+        """
+        if not 0.0 <= utility <= 1.0:
+            raise ValueError("utility must be in [0, 1]")
+        if self.in_warmup(round_index):
+            return self.warmup_ratio
+        span = self.utility_ceil - self.utility_floor
+        t = (utility - self.utility_floor) / span
+        t = min(1.0, max(0.0, t))
+        log_ratio = (1.0 - t) * math.log(self.max_ratio) + t * math.log(self.min_ratio)
+        return math.exp(log_ratio)

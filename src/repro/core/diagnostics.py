@@ -1,0 +1,92 @@
+"""Gradient-geometry diagnostics.
+
+The paper's design rests on gradient similarity being informative:
+aligned clients help convergence, misaligned ones inject noise.  These
+helpers make that geometry observable — pairwise client similarity
+matrices, per-client alignment with the aggregate, and a dispersion
+summary that quantifies how non-IID a federation *looks* from its
+gradients (useful to sanity-check a partitioner, or to explain a
+selection policy's behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.utility import cosine_similarity
+
+__all__ = [
+    "pairwise_similarity",
+    "alignment_with_mean",
+    "GradientDispersion",
+    "gradient_dispersion",
+]
+
+
+def _stack(deltas: list[np.ndarray]) -> np.ndarray:
+    if not deltas:
+        raise ValueError("need at least one delta")
+    dims = {d.shape for d in deltas}
+    if len(dims) != 1:
+        raise ValueError(f"deltas have mismatched shapes: {dims}")
+    return np.stack([np.asarray(d, dtype=np.float64).ravel() for d in deltas])
+
+
+def pairwise_similarity(deltas: list[np.ndarray]) -> np.ndarray:
+    """Symmetric matrix of cosine similarities between client deltas."""
+    stacked = _stack(deltas)
+    n = stacked.shape[0]
+    matrix = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            matrix[i, j] = matrix[j, i] = cosine_similarity(stacked[i], stacked[j])
+    return matrix
+
+
+def alignment_with_mean(deltas: list[np.ndarray]) -> np.ndarray:
+    """Cosine of each delta against the fleet mean direction.
+
+    This is exactly the similarity AdaFL's utility score sees one round
+    later (the aggregate becomes the next global gradient).
+    """
+    stacked = _stack(deltas)
+    mean = stacked.mean(axis=0)
+    return np.array([cosine_similarity(row, mean) for row in stacked])
+
+
+@dataclass(frozen=True)
+class GradientDispersion:
+    """Summary of how spread-out a federation's gradients are."""
+
+    mean_pairwise_cosine: float
+    min_pairwise_cosine: float
+    mean_alignment: float  # with the fleet mean
+    fraction_conflicting: float  # pairs with negative cosine
+
+    @property
+    def looks_iid(self) -> bool:
+        """Heuristic: IID shards produce strongly clustered gradients."""
+        return self.mean_pairwise_cosine > 0.5 and self.fraction_conflicting == 0.0
+
+
+def gradient_dispersion(deltas: list[np.ndarray]) -> GradientDispersion:
+    """Compute dispersion statistics for one round of client deltas."""
+    matrix = pairwise_similarity(deltas)
+    n = matrix.shape[0]
+    if n < 2:
+        return GradientDispersion(
+            mean_pairwise_cosine=1.0,
+            min_pairwise_cosine=1.0,
+            mean_alignment=1.0,
+            fraction_conflicting=0.0,
+        )
+    iu = np.triu_indices(n, k=1)
+    off_diag = matrix[iu]
+    return GradientDispersion(
+        mean_pairwise_cosine=float(off_diag.mean()),
+        min_pairwise_cosine=float(off_diag.min()),
+        mean_alignment=float(alignment_with_mean(deltas).mean()),
+        fraction_conflicting=float(np.mean(off_diag < 0.0)),
+    )

@@ -1,0 +1,65 @@
+"""Participation-fairness metrics for selection policies.
+
+Utility-guided selection risks starving clients whose data diverges
+from the mainstream (exactly the clients non-IID FL needs).  These
+metrics quantify that: per-client participation counts from a run, the
+Jain fairness index over them, and coverage (fraction of clients that
+participated at all).  The ablation benches use them to show what the
+rotation bonus buys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fl.metrics import RunResult
+
+__all__ = ["participation_counts", "jain_index", "coverage", "fairness_report"]
+
+
+def participation_counts(result: RunResult) -> np.ndarray:
+    """Uploads delivered per client over a run, shape (num_clients,)."""
+    counts = np.zeros(result.num_clients, dtype=np.int64)
+    for record in result.records:
+        for cid in record.participants:
+            if not 0 <= cid < result.num_clients:
+                raise ValueError(f"participant id {cid} out of range")
+            counts[cid] += 1
+    return counts
+
+
+def jain_index(values: np.ndarray) -> float:
+    """Jain's fairness index: 1 = perfectly even, 1/n = maximally unfair.
+
+    Defined as ``(sum x)^2 / (n * sum x^2)`` over non-negative values;
+    an all-zero vector (no participation at all) returns 0.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    if np.any(values < 0):
+        raise ValueError("values must be non-negative")
+    total_sq = float(np.sum(values)) ** 2
+    denom = values.size * float(np.sum(values**2))
+    if denom == 0.0:
+        return 0.0
+    return total_sq / denom
+
+
+def coverage(result: RunResult) -> float:
+    """Fraction of clients that delivered at least one update."""
+    counts = participation_counts(result)
+    return float(np.mean(counts > 0))
+
+
+def fairness_report(result: RunResult) -> dict[str, float]:
+    """Summary dict: jain index, coverage, min/max participation share."""
+    counts = participation_counts(result)
+    total = counts.sum()
+    shares = counts / total if total > 0 else counts.astype(np.float64)
+    return {
+        "jain_index": jain_index(counts),
+        "coverage": coverage(result),
+        "min_share": float(shares.min()),
+        "max_share": float(shares.max()),
+    }

@@ -1,0 +1,54 @@
+"""Adaptive node selection — Algorithm 1 of the paper.
+
+Given per-client utility scores, filter out clients below the
+threshold ``tau``, rank the rest by score descending, and keep at most
+``K``.  The returned set satisfies the algorithm's stated constraints:
+
+* ``|selected| <= K``;
+* every selected client has ``S_i >= tau``;
+* no unselected client outscores a selected one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SelectionResult", "select_clients"]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of one selection pass."""
+
+    selected: tuple[int, ...]
+    filtered_out: tuple[int, ...]  # failed the tau threshold
+    truncated: tuple[int, ...]  # passed tau but lost the top-K ranking
+
+    @property
+    def num_selected(self) -> int:
+        return len(self.selected)
+
+
+def select_clients(
+    scores: dict[int, float],
+    k: int,
+    tau: float,
+) -> SelectionResult:
+    """Run Algorithm 1 over a ``{client_id: S_i}`` score map.
+
+    Ties are broken by client id (ascending) so selection is
+    deterministic; the selected tuple is ordered by descending score.
+    """
+    if k < 1:
+        raise ValueError("K must be at least 1")
+    if not 0.0 <= tau <= 1.0:
+        raise ValueError("tau must be in [0, 1]")
+
+    filtered = [(cid, s) for cid, s in scores.items() if s >= tau]
+    rejected = tuple(sorted(cid for cid, s in scores.items() if s < tau))
+    # Sort by (-score, id): descending score, deterministic tie-break.
+    filtered.sort(key=lambda item: (-item[1], item[0]))
+    k_prime = min(k, len(filtered))
+    selected = tuple(cid for cid, _ in filtered[:k_prime])
+    truncated = tuple(sorted(cid for cid, _ in filtered[k_prime:]))
+    return SelectionResult(selected=selected, filtered_out=rejected, truncated=truncated)

@@ -1,0 +1,53 @@
+"""Data substrate: datasets, synthetic generators, and partitioners."""
+
+from repro.data.augment import (
+    Augmenter,
+    add_gaussian_noise,
+    random_crop,
+    random_horizontal_flip,
+)
+from repro.data.dataset import Dataset
+from repro.data.drift import DriftingSource
+from repro.data.partition import (
+    PartitionStats,
+    dirichlet_partition,
+    iid_partition,
+    label_skew_partition,
+    partition_dataset,
+    partition_stats,
+    quantity_skew_partition,
+    shard_partition,
+)
+from repro.data.synthetic import (
+    DATASET_BUILDERS,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_dataset,
+    make_image_classification,
+    make_mnist_like,
+    make_prototypes,
+)
+
+__all__ = [
+    "Dataset",
+    "DriftingSource",
+    "Augmenter",
+    "random_horizontal_flip",
+    "random_crop",
+    "add_gaussian_noise",
+    "iid_partition",
+    "shard_partition",
+    "dirichlet_partition",
+    "label_skew_partition",
+    "quantity_skew_partition",
+    "partition_dataset",
+    "PartitionStats",
+    "partition_stats",
+    "make_prototypes",
+    "make_image_classification",
+    "make_mnist_like",
+    "make_cifar10_like",
+    "make_cifar100_like",
+    "make_dataset",
+    "DATASET_BUILDERS",
+]

@@ -1,0 +1,87 @@
+"""Lightweight image augmentations.
+
+Standard augmentations for the CIFAR-like synthetic sets: horizontal
+flips, random crops with zero padding, and additive Gaussian noise.
+All functions are pure (they take an RNG and return a new array) so
+clients can augment deterministically from their own seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_horizontal_flip", "random_crop", "add_gaussian_noise", "Augmenter"]
+
+
+def random_horizontal_flip(
+    batch: np.ndarray, rng: np.random.Generator, prob: float = 0.5
+) -> np.ndarray:
+    """Flip each image left-right with probability ``prob``."""
+    if batch.ndim != 4:
+        raise ValueError("batch must be (N, C, H, W)")
+    if not 0.0 <= prob <= 1.0:
+        raise ValueError("prob must be in [0, 1]")
+    out = batch.copy()
+    flips = rng.random(batch.shape[0]) < prob
+    out[flips] = out[flips, :, :, ::-1]
+    return out
+
+
+def random_crop(
+    batch: np.ndarray, rng: np.random.Generator, padding: int = 1
+) -> np.ndarray:
+    """Zero-pad by ``padding`` then crop back at a random offset."""
+    if batch.ndim != 4:
+        raise ValueError("batch must be (N, C, H, W)")
+    if padding < 0:
+        raise ValueError("padding must be non-negative")
+    if padding == 0:
+        return batch.copy()
+    n, c, h, w = batch.shape
+    padded = np.pad(
+        batch, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    out = np.empty_like(batch)
+    offsets_y = rng.integers(0, 2 * padding + 1, size=n)
+    offsets_x = rng.integers(0, 2 * padding + 1, size=n)
+    for i in range(n):
+        oy, ox = offsets_y[i], offsets_x[i]
+        out[i] = padded[i, :, oy : oy + h, ox : ox + w]
+    return out
+
+
+def add_gaussian_noise(
+    batch: np.ndarray, rng: np.random.Generator, std: float = 0.05
+) -> np.ndarray:
+    """Add i.i.d. Gaussian pixel noise."""
+    if std < 0:
+        raise ValueError("std must be non-negative")
+    if std == 0:
+        return batch.copy()
+    return batch + rng.normal(scale=std, size=batch.shape)
+
+
+class Augmenter:
+    """A composed, seeded augmentation pipeline."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        flip_prob: float = 0.5,
+        crop_padding: int = 1,
+        noise_std: float = 0.0,
+    ):
+        if not 0.0 <= flip_prob <= 1.0:
+            raise ValueError("flip_prob must be in [0, 1]")
+        if crop_padding < 0 or noise_std < 0:
+            raise ValueError("crop_padding and noise_std must be non-negative")
+        self.flip_prob = flip_prob
+        self.crop_padding = crop_padding
+        self.noise_std = noise_std
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        out = random_horizontal_flip(batch, self._rng, self.flip_prob)
+        out = random_crop(out, self._rng, self.crop_padding)
+        out = add_gaussian_noise(out, self._rng, self.noise_std)
+        return out

@@ -1,0 +1,264 @@
+"""Client data partitioners: IID and several non-IID schemes.
+
+The paper follows the non-IID setting of McMahan et al. (FedAvg): sort
+the data by label, slice it into shards, and deal each client a small
+number of shards so most clients only observe a few classes.  A
+Dirichlet partitioner (the other standard in the FL literature) and a
+label-skew partitioner are provided for the ablation studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = [
+    "iid_partition",
+    "shard_partition",
+    "dirichlet_partition",
+    "label_skew_partition",
+    "quantity_skew_partition",
+    "partition_dataset",
+    "PartitionStats",
+    "partition_stats",
+]
+
+
+def _check_args(n_samples: int, num_clients: int) -> None:
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+    if n_samples < num_clients:
+        raise ValueError(
+            f"cannot split {n_samples} samples across {num_clients} clients"
+        )
+
+
+def iid_partition(
+    n_samples: int,
+    num_clients: int,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """Shuffle and deal samples evenly across clients."""
+    _check_args(n_samples, num_clients)
+    order = rng.permutation(n_samples)
+    return [np.sort(chunk) for chunk in np.array_split(order, num_clients)]
+
+
+def shard_partition(
+    labels: np.ndarray,
+    num_clients: int,
+    shards_per_client: int = 2,
+    rng: np.random.Generator | None = None,
+) -> list[np.ndarray]:
+    """McMahan-style non-IID partition via label-sorted shards.
+
+    The label-sorted index list is cut into ``num_clients *
+    shards_per_client`` shards and each client receives
+    ``shards_per_client`` random shards, so clients mostly see
+    ``shards_per_client`` classes.
+    """
+    labels = np.asarray(labels)
+    _check_args(labels.shape[0], num_clients)
+    if shards_per_client <= 0:
+        raise ValueError("shards_per_client must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    num_shards = num_clients * shards_per_client
+    if labels.shape[0] < num_shards:
+        raise ValueError(
+            f"{labels.shape[0]} samples cannot form {num_shards} shards"
+        )
+    sorted_idx = np.argsort(labels, kind="stable")
+    shards = np.array_split(sorted_idx, num_shards)
+    shard_order = rng.permutation(num_shards)
+    parts = []
+    for client in range(num_clients):
+        picks = shard_order[
+            client * shards_per_client : (client + 1) * shards_per_client
+        ]
+        parts.append(np.sort(np.concatenate([shards[s] for s in picks])))
+    return parts
+
+
+def dirichlet_partition(
+    labels: np.ndarray,
+    num_clients: int,
+    alpha: float = 0.5,
+    rng: np.random.Generator | None = None,
+    min_samples: int = 1,
+) -> list[np.ndarray]:
+    """Dirichlet(alpha) label-proportion partition.
+
+    Lower ``alpha`` means more skew.  Resamples until every client has
+    at least ``min_samples`` samples (bounded retries).
+    """
+    labels = np.asarray(labels)
+    _check_args(labels.shape[0], num_clients)
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    num_classes = int(labels.max()) + 1
+
+    for _ in range(100):
+        buckets: list[list[np.ndarray]] = [[] for _ in range(num_clients)]
+        for cls in range(num_classes):
+            cls_idx = np.flatnonzero(labels == cls)
+            rng.shuffle(cls_idx)
+            props = rng.dirichlet(alpha * np.ones(num_clients))
+            cuts = (np.cumsum(props) * len(cls_idx)).astype(int)[:-1]
+            for client, chunk in enumerate(np.split(cls_idx, cuts)):
+                buckets[client].append(chunk)
+        parts = [
+            np.sort(np.concatenate(b)) if b else np.empty(0, dtype=np.int64)
+            for b in buckets
+        ]
+        if min(len(p) for p in parts) >= min_samples:
+            return parts
+    raise RuntimeError(
+        "dirichlet_partition failed to satisfy min_samples after 100 tries; "
+        "increase alpha or dataset size"
+    )
+
+
+def label_skew_partition(
+    labels: np.ndarray,
+    num_clients: int,
+    classes_per_client: int = 2,
+    rng: np.random.Generator | None = None,
+) -> list[np.ndarray]:
+    """Each client sees exactly ``classes_per_client`` classes.
+
+    Classes are assigned round-robin so every class is covered, then
+    each class's samples are split evenly among the clients holding it.
+    """
+    labels = np.asarray(labels)
+    _check_args(labels.shape[0], num_clients)
+    num_classes = int(labels.max()) + 1
+    if classes_per_client <= 0 or classes_per_client > num_classes:
+        raise ValueError("classes_per_client out of range")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    class_order = rng.permutation(num_classes)
+    assignment: list[list[int]] = [[] for _ in range(num_clients)]
+    slot = 0
+    for _ in range(classes_per_client):
+        for client in range(num_clients):
+            assignment[client].append(int(class_order[slot % num_classes]))
+            slot += 1
+
+    holders: dict[int, list[int]] = {}
+    for client, classes in enumerate(assignment):
+        for cls in classes:
+            holders.setdefault(cls, []).append(client)
+
+    buckets: list[list[np.ndarray]] = [[] for _ in range(num_clients)]
+    for cls, clients in holders.items():
+        cls_idx = np.flatnonzero(labels == cls)
+        rng.shuffle(cls_idx)
+        for client, chunk in zip(clients, np.array_split(cls_idx, len(clients))):
+            buckets[client].append(chunk)
+    return [
+        np.sort(np.concatenate(b)) if b else np.empty(0, dtype=np.int64)
+        for b in buckets
+    ]
+
+
+def quantity_skew_partition(
+    n_samples: int,
+    num_clients: int,
+    rng: np.random.Generator,
+    concentration: float = 1.0,
+    min_samples: int = 1,
+) -> list[np.ndarray]:
+    """IID labels but power-law-skewed dataset *sizes*.
+
+    Client shares are drawn from Dirichlet(concentration); lower
+    concentration means a few data-rich clients and a long tail of
+    data-poor ones — the quantity-heterogeneity axis of real FL fleets
+    (the label distribution stays IID).
+    """
+    _check_args(n_samples, num_clients)
+    if concentration <= 0:
+        raise ValueError("concentration must be positive")
+    if min_samples < 1 or min_samples * num_clients > n_samples:
+        raise ValueError("min_samples infeasible for this dataset size")
+    for _ in range(100):
+        shares = rng.dirichlet(concentration * np.ones(num_clients))
+        sizes = np.maximum((shares * n_samples).astype(int), 0)
+        # Fix rounding so sizes sum exactly to n_samples.
+        sizes[-1] = n_samples - sizes[:-1].sum()
+        if sizes.min() >= min_samples:
+            order = rng.permutation(n_samples)
+            cuts = np.cumsum(sizes)[:-1]
+            return [np.sort(chunk) for chunk in np.split(order, cuts)]
+    raise RuntimeError(
+        "quantity_skew_partition failed to satisfy min_samples after 100 tries"
+    )
+
+
+def partition_dataset(
+    dataset: Dataset,
+    num_clients: int,
+    scheme: str = "iid",
+    rng: np.random.Generator | None = None,
+    **kwargs,
+) -> list[Dataset]:
+    """Split a dataset into per-client datasets by scheme name.
+
+    Schemes: ``iid``, ``shard`` (the paper's non-IID), ``dirichlet``,
+    ``label_skew``, ``quantity_skew``.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if scheme == "iid":
+        parts = iid_partition(len(dataset), num_clients, rng)
+    elif scheme == "shard":
+        parts = shard_partition(dataset.y, num_clients, rng=rng, **kwargs)
+    elif scheme == "dirichlet":
+        parts = dirichlet_partition(dataset.y, num_clients, rng=rng, **kwargs)
+    elif scheme == "label_skew":
+        parts = label_skew_partition(dataset.y, num_clients, rng=rng, **kwargs)
+    elif scheme == "quantity_skew":
+        parts = quantity_skew_partition(len(dataset), num_clients, rng=rng, **kwargs)
+    else:
+        raise ValueError(
+            f"unknown partition scheme {scheme!r}; "
+            "expected iid, shard, dirichlet, label_skew, or quantity_skew"
+        )
+    return [dataset.subset(idx) for idx in parts]
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Summary statistics of a client partition."""
+
+    sizes: np.ndarray
+    class_counts: np.ndarray  # (num_clients, num_classes)
+    mean_entropy: float  # mean per-client label entropy, in nats
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.sizes)
+
+
+def partition_stats(parts: list[Dataset]) -> PartitionStats:
+    """Compute size and label-distribution statistics for a partition."""
+    if not parts:
+        raise ValueError("empty partition")
+    num_classes = parts[0].num_classes
+    sizes = np.array([len(p) for p in parts])
+    counts = np.stack([p.class_counts() for p in parts])
+    entropies = []
+    for row in counts:
+        total = row.sum()
+        if total == 0:
+            entropies.append(0.0)
+            continue
+        probs = row[row > 0] / total
+        entropies.append(float(-(probs * np.log(probs)).sum()))
+    return PartitionStats(
+        sizes=sizes,
+        class_counts=counts,
+        mean_entropy=float(np.mean(entropies)),
+    )

@@ -1,0 +1,34 @@
+"""Embedded-device substrate: profiles, clusters, cycle accounting."""
+
+from repro.embedded.cluster import (
+    compute_rates,
+    make_heterogeneous_cluster,
+    make_pi_cluster,
+)
+from repro.embedded.device import DEVICE_PRESETS, DeviceProfile, device_preset
+from repro.embedded.energy import RADIO_PRESETS, EnergyBreakdown, EnergyModel, RadioProfile
+from repro.embedded.profiler import (
+    CycleCounter,
+    OverheadReport,
+    dgc_compress_flops,
+    training_flops,
+    utility_score_flops,
+)
+
+__all__ = [
+    "DeviceProfile",
+    "RadioProfile",
+    "RADIO_PRESETS",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "DEVICE_PRESETS",
+    "device_preset",
+    "make_pi_cluster",
+    "make_heterogeneous_cluster",
+    "compute_rates",
+    "CycleCounter",
+    "OverheadReport",
+    "training_flops",
+    "utility_score_flops",
+    "dgc_compress_flops",
+]

@@ -1,0 +1,70 @@
+"""Heterogeneous embedded clusters.
+
+Builders for the device populations used in the experiments: the
+paper's homogeneous ten-Pi cluster for the overhead study, and mixed
+populations for the staleness experiments (slow devices are what make
+asynchronous updates stale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedded.device import DEVICE_PRESETS, DeviceProfile
+
+__all__ = ["make_pi_cluster", "make_heterogeneous_cluster", "compute_rates"]
+
+
+def make_pi_cluster(num_devices: int = 10, model: str = "pi4") -> list[DeviceProfile]:
+    """A homogeneous Raspberry Pi cluster (the paper's overhead rig)."""
+    if num_devices <= 0:
+        raise ValueError("num_devices must be positive")
+    profile = DEVICE_PRESETS[model]
+    return [profile] * num_devices
+
+
+def make_heterogeneous_cluster(
+    num_devices: int,
+    presets: list[str] | None = None,
+    rng: np.random.Generator | None = None,
+    slow_fraction: float = 0.0,
+    slow_factor: float = 3.0,
+) -> list[DeviceProfile]:
+    """A mixed cluster, optionally with a slowed-down fraction.
+
+    ``slow_fraction`` of devices get their effective throughput divided
+    by ``slow_factor`` — the paper's asynchronous stragglers "update at
+    a rate 3x slower than other clients" (§III-B).
+    """
+    if num_devices <= 0:
+        raise ValueError("num_devices must be positive")
+    if not 0.0 <= slow_fraction <= 1.0:
+        raise ValueError("slow_fraction must be in [0, 1]")
+    if slow_factor < 1.0:
+        raise ValueError("slow_factor must be >= 1")
+    presets = presets or ["pi4"]
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    devices = [DEVICE_PRESETS[presets[i % len(presets)]] for i in range(num_devices)]
+    num_slow = int(round(num_devices * slow_fraction))
+    slow_ids = set(rng.choice(num_devices, size=num_slow, replace=False).tolist())
+    result = []
+    for i, dev in enumerate(devices):
+        if i in slow_ids:
+            result.append(
+                DeviceProfile(
+                    name=f"{dev.name}-slow",
+                    clock_hz=dev.clock_hz,
+                    cycles_per_flop=dev.cycles_per_flop * slow_factor,
+                )
+            )
+        else:
+            result.append(dev)
+    return result
+
+
+def compute_rates(devices: list[DeviceProfile]) -> np.ndarray:
+    """Per-device FLOP/s array, as consumed by the FL engines."""
+    if not devices:
+        raise ValueError("devices must be non-empty")
+    return np.array([d.flops_per_second for d in devices])

@@ -1,0 +1,74 @@
+"""Embedded device profiles and the cycle cost model.
+
+The paper's overhead study (§V, Q3) runs on a ten-node Raspberry Pi
+cluster and compares Linux ``perf`` CPU-cycle counts with and without
+AdaFL's components.  Hardware being unavailable here, a calibrated
+cost model maps arithmetic operation counts to CPU cycles:
+
+``cycles = flops * cycles_per_flop``
+
+with ``cycles_per_flop`` reflecting how efficiently a device's
+pipeline retires floating-point work (superscalar desktop cores retire
+several FLOPs per cycle; in-order embedded cores spend several cycles
+per FLOP once load/store overhead is included).  Only cycle *ratios*
+matter for the reproduced claim (utility scoring adds ~0.05%), and
+ratios are preserved under any positive calibration constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceProfile", "DEVICE_PRESETS", "device_preset"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """A compute device participating in federation."""
+
+    name: str
+    clock_hz: float
+    cycles_per_flop: float
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if self.cycles_per_flop <= 0:
+            raise ValueError("cycles_per_flop must be positive")
+
+    @property
+    def flops_per_second(self) -> float:
+        """Sustained arithmetic throughput."""
+        return self.clock_hz / self.cycles_per_flop
+
+    def cycles(self, flops: float) -> float:
+        """CPU cycles needed for ``flops`` arithmetic operations."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops * self.cycles_per_flop
+
+    def seconds(self, flops: float) -> float:
+        """Wall time needed for ``flops`` arithmetic operations."""
+        return self.cycles(flops) / self.clock_hz
+
+
+DEVICE_PRESETS: dict[str, DeviceProfile] = {
+    # Raspberry Pi 4B: 1.5 GHz Cortex-A72, modest NEON throughput once
+    # numpy/BLAS overhead is included.
+    "pi4": DeviceProfile(name="pi4", clock_hz=1.5e9, cycles_per_flop=2.0),
+    # Raspberry Pi 3B+: 1.4 GHz Cortex-A53, in-order pipeline.
+    "pi3": DeviceProfile(name="pi3", clock_hz=1.4e9, cycles_per_flop=4.0),
+    # Pi Zero 2-class device for extreme heterogeneity experiments.
+    "pi_zero2": DeviceProfile(name="pi_zero2", clock_hz=1.0e9, cycles_per_flop=5.0),
+    # The paper's evaluation workstation (i9-7980XE class, per-core).
+    "workstation": DeviceProfile(name="workstation", clock_hz=4.0e9, cycles_per_flop=0.25),
+}
+
+
+def device_preset(name: str) -> DeviceProfile:
+    """Look up a device preset, failing loudly on typos."""
+    try:
+        return DEVICE_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_PRESETS))
+        raise KeyError(f"unknown device preset {name!r}; known presets: {known}") from None

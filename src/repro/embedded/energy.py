@@ -1,0 +1,101 @@
+"""Energy cost model for embedded FL clients.
+
+Extends the cycle model with the two dominant energy consumers on a
+battery-powered FL device: CPU compute (J per cycle at a given
+operating point) and the radio (J per transmitted/received byte, which
+varies by two orders of magnitude between Wi-Fi and cellular).  Used
+to extend the paper's Q3 overhead argument from cycles to joules: the
+communication AdaFL removes is worth far more energy than the
+compression cycles it adds.
+
+Coefficients are order-of-magnitude values from the embedded-systems
+literature (Pi-class SoC ≈ 0.5–1 nJ/cycle at load; Wi-Fi ≈ 5 nJ/B,
+LTE ≈ 50–100 nJ/B uplink); as with cycles, only ratios matter here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.embedded.device import DeviceProfile
+
+__all__ = ["RadioProfile", "RADIO_PRESETS", "EnergyModel", "EnergyBreakdown"]
+
+
+@dataclass(frozen=True)
+class RadioProfile:
+    """Per-byte radio energy costs."""
+
+    name: str
+    tx_nj_per_byte: float
+    rx_nj_per_byte: float
+
+    def __post_init__(self) -> None:
+        if self.tx_nj_per_byte <= 0 or self.rx_nj_per_byte <= 0:
+            raise ValueError("radio energy coefficients must be positive")
+
+
+RADIO_PRESETS: dict[str, RadioProfile] = {
+    "wifi": RadioProfile(name="wifi", tx_nj_per_byte=5.0, rx_nj_per_byte=4.0),
+    "lte": RadioProfile(name="lte", tx_nj_per_byte=80.0, rx_nj_per_byte=30.0),
+    "ethernet": RadioProfile(name="ethernet", tx_nj_per_byte=1.0, rx_nj_per_byte=1.0),
+}
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules spent by one client, by component."""
+
+    compute_j: float
+    tx_j: float
+    rx_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.compute_j + self.tx_j + self.rx_j
+
+    @property
+    def communication_j(self) -> float:
+        return self.tx_j + self.rx_j
+
+
+class EnergyModel:
+    """Joules from cycles and bytes for one device + radio pairing."""
+
+    def __init__(
+        self,
+        device: DeviceProfile,
+        radio: RadioProfile,
+        nj_per_cycle: float = 0.7,
+    ):
+        if nj_per_cycle <= 0:
+            raise ValueError("nj_per_cycle must be positive")
+        self.device = device
+        self.radio = radio
+        self.nj_per_cycle = nj_per_cycle
+
+    def compute_energy(self, flops: float) -> float:
+        """Joules for ``flops`` of arithmetic on this device."""
+        return self.device.cycles(flops) * self.nj_per_cycle * 1e-9
+
+    def tx_energy(self, num_bytes: float) -> float:
+        """Joules to transmit ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes * self.radio.tx_nj_per_byte * 1e-9
+
+    def rx_energy(self, num_bytes: float) -> float:
+        """Joules to receive ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes * self.radio.rx_nj_per_byte * 1e-9
+
+    def round_energy(
+        self, train_flops: float, bytes_up: float, bytes_down: float
+    ) -> EnergyBreakdown:
+        """Full per-round energy accounting for one client."""
+        return EnergyBreakdown(
+            compute_j=self.compute_energy(train_flops),
+            tx_j=self.tx_energy(bytes_up),
+            rx_j=self.rx_energy(bytes_down),
+        )

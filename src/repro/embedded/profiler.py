@@ -1,0 +1,107 @@
+"""A perf-style cycle counter for the overhead study.
+
+:class:`CycleCounter` accumulates CPU cycles per named component
+(training, utility scoring, compression, ...) the way the paper uses
+Linux ``perf`` counters, driven by the analytic FLOP costs below
+instead of hardware events.
+
+FLOP cost models
+----------------
+* ``training_flops`` — forward + backward over the local dataset
+  (factor 3 rule of thumb), straight from
+  :meth:`repro.nn.sequential.Sequential.flops_per_sample`.
+* ``utility_score_flops`` — one cosine similarity over a ``d``-vector:
+  a dot product plus two norms, ~``6d`` FLOPs (2 FLOPs per element per
+  reduction).  This is the paper's headline "0.05%" component.
+* ``dgc_compress_flops`` — momentum update + residual update + clip
+  norm (~``6d``) plus top-k selection charged at ``2d`` comparisons.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.embedded.device import DeviceProfile
+from repro.nn.sequential import Sequential
+
+__all__ = [
+    "training_flops",
+    "utility_score_flops",
+    "dgc_compress_flops",
+    "CycleCounter",
+    "OverheadReport",
+]
+
+
+def training_flops(model: Sequential, num_samples: int, local_epochs: int = 1) -> int:
+    """Forward+backward arithmetic for one local training round."""
+    if num_samples < 0 or local_epochs <= 0:
+        raise ValueError("invalid training size parameters")
+    return 3 * model.flops_per_sample() * num_samples * local_epochs
+
+
+def utility_score_flops(dim: int) -> int:
+    """Cosine similarity of two d-vectors: dot + two norms + scalars."""
+    if dim <= 0:
+        raise ValueError("dim must be positive")
+    return 6 * dim + 16
+
+
+def dgc_compress_flops(dim: int) -> int:
+    """Momentum correction, residual accumulation, clipping, top-k."""
+    if dim <= 0:
+        raise ValueError("dim must be positive")
+    return 6 * dim + 2 * dim
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Cycle accounting relative to a baseline component."""
+
+    baseline_cycles: float
+    component_cycles: dict[str, float]
+
+    def overhead_pct(self, component: str) -> float:
+        """Extra cycles of ``component`` as a percentage of baseline."""
+        if self.baseline_cycles <= 0:
+            raise ValueError("baseline cycles must be positive")
+        return 100.0 * self.component_cycles.get(component, 0.0) / self.baseline_cycles
+
+    @property
+    def total_with_overheads(self) -> float:
+        return self.baseline_cycles + sum(self.component_cycles.values())
+
+
+class CycleCounter:
+    """Accumulates per-component CPU cycles on one device."""
+
+    def __init__(self, device: DeviceProfile):
+        self.device = device
+        self._cycles: defaultdict[str, float] = defaultdict(float)
+
+    def charge_flops(self, component: str, flops: float) -> float:
+        """Add the cycle cost of ``flops`` to a component; returns cycles."""
+        cycles = self.device.cycles(flops)
+        self._cycles[component] += cycles
+        return cycles
+
+    def cycles(self, component: str) -> float:
+        """Cycles accumulated by one component so far."""
+        return self._cycles.get(component, 0.0)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(self._cycles.values())
+
+    def components(self) -> dict[str, float]:
+        return dict(self._cycles)
+
+    def report(self, baseline_component: str = "training") -> OverheadReport:
+        """Build an :class:`OverheadReport` against one component."""
+        baseline = self._cycles.get(baseline_component, 0.0)
+        others = {k: v for k, v in self._cycles.items() if k != baseline_component}
+        return OverheadReport(baseline_cycles=baseline, component_cycles=others)
+
+    def reset(self) -> None:
+        self._cycles.clear()

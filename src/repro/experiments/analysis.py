@@ -1,0 +1,130 @@
+"""Statistical analysis over federated runs.
+
+The paper repeats every measurement ten times "to reduce randomness";
+this module provides the aggregation machinery: multi-seed run
+bundles, mean/std accuracy curves on a common grid, time-to-accuracy
+tables, and normalised area-under-curve summaries for convergence-rate
+comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fl.metrics import RunResult
+
+__all__ = [
+    "curve_auc",
+    "interpolate_curve",
+    "AggregateCurve",
+    "aggregate_accuracy_curves",
+    "time_to_accuracy_table",
+]
+
+
+def interpolate_curve(
+    x: np.ndarray, y: np.ndarray, grid: np.ndarray
+) -> np.ndarray:
+    """Piecewise-linear resample of a curve onto ``grid``.
+
+    Values before the first point clamp to the first value; values
+    after the last clamp to the last (training curves are step-like at
+    the edges).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size == 0 or x.shape != y.shape:
+        raise ValueError("x and y must be equal-length and non-empty")
+    return np.interp(grid, x, y)
+
+
+def curve_auc(result: RunResult, by_time: bool = False) -> float:
+    """Normalised area under the accuracy curve, in [0, 1].
+
+    A convergence-rate summary: a method that reaches high accuracy
+    early scores close to its final accuracy; a slow starter scores
+    lower even with the same endpoint.
+    """
+    x, y = result.time_accuracy_curve() if by_time else result.accuracy_curve()
+    if x.size == 0:
+        return float("nan")
+    if x.size == 1:
+        return float(y[0])
+    span = x[-1] - x[0]
+    if span <= 0:
+        return float(y[-1])
+    return float(np.trapezoid(y, x) / span)
+
+
+@dataclass(frozen=True)
+class AggregateCurve:
+    """Mean and standard deviation of several runs' accuracy curves."""
+
+    grid: np.ndarray
+    mean: np.ndarray
+    std: np.ndarray
+    num_runs: int
+
+    def final_mean(self) -> float:
+        return float(self.mean[-1]) if self.mean.size else float("nan")
+
+    def final_std(self) -> float:
+        return float(self.std[-1]) if self.std.size else float("nan")
+
+
+def aggregate_accuracy_curves(
+    results: list[RunResult],
+    num_points: int = 20,
+    by_time: bool = False,
+) -> AggregateCurve:
+    """Resample each run's curve onto a common grid and average.
+
+    The grid spans the *intersection* of the runs' x-ranges so every
+    run contributes real (not extrapolated) data at every grid point.
+    """
+    if not results:
+        raise ValueError("need at least one run")
+    curves = []
+    for result in results:
+        x, y = result.time_accuracy_curve() if by_time else result.accuracy_curve()
+        if x.size == 0:
+            raise ValueError(f"run {result.method!r} has no evaluated points")
+        curves.append((x, y))
+    lo = max(float(x[0]) for x, _ in curves)
+    hi = min(float(x[-1]) for x, _ in curves)
+    if hi < lo:
+        raise ValueError("runs have disjoint x-ranges; cannot aggregate")
+    grid = np.linspace(lo, hi, num_points)
+    stacked = np.stack([interpolate_curve(x, y, grid) for x, y in curves])
+    return AggregateCurve(
+        grid=grid,
+        mean=stacked.mean(axis=0),
+        std=stacked.std(axis=0),
+        num_runs=len(results),
+    )
+
+
+def time_to_accuracy_table(
+    results_by_method: dict[str, RunResult],
+    targets: tuple[float, ...] = (0.5, 0.7, 0.9),
+    by_time: bool = True,
+) -> list[list[str]]:
+    """Rows of [method, t@target1, t@target2, ...] for reporting.
+
+    Unreached targets render as ``"-"``.  ``by_time=False`` reports
+    rounds instead of simulated seconds.
+    """
+    rows = []
+    for method, result in results_by_method.items():
+        row = [method]
+        for target in targets:
+            if by_time:
+                value = result.time_to_accuracy(target)
+                row.append("-" if value is None else f"{value:.1f}s")
+            else:
+                value = result.rounds_to_accuracy(target)
+                row.append("-" if value is None else str(value))
+        rows.append(row)
+    return rows

@@ -1,0 +1,132 @@
+"""Static HTML report generation.
+
+Turns archived :class:`~repro.fl.metrics.RunResult` objects and the
+text artifacts under ``benchmarks/results/`` into a single
+self-contained HTML page: accuracy curves as inline SVG, the
+communication summary as a table, and the raw artifacts in
+collapsible sections.  No external assets, no JavaScript — the file
+opens anywhere, which is what you want when the "testbed" is a
+headless Raspberry Pi.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+import numpy as np
+
+from repro.fl.metrics import RunResult
+
+__all__ = ["svg_curve", "runs_to_html", "write_report"]
+
+_SVG_W, _SVG_H = 360, 180
+_MARGIN = 30
+_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b")
+
+
+def svg_curve(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    title: str = "",
+    x_label: str = "round",
+) -> str:
+    """Render labelled (x, y) accuracy curves as an inline SVG string."""
+    drawable = {k: (np.asarray(x, float), np.asarray(y, float))
+                for k, (x, y) in series.items() if np.asarray(x).size > 0}
+    if not drawable:
+        return "<svg/>"
+    x_max = max(float(x[-1]) for x, _ in drawable.values())
+    x_min = min(float(x[0]) for x, _ in drawable.values())
+    span = (x_max - x_min) or 1.0
+
+    def sx(v: float) -> float:
+        return _MARGIN + (v - x_min) / span * (_SVG_W - 2 * _MARGIN)
+
+    def sy(v: float) -> float:
+        return _SVG_H - _MARGIN - v * (_SVG_H - 2 * _MARGIN)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_SVG_W}" height="{_SVG_H}" '
+        f'viewBox="0 0 {_SVG_W} {_SVG_H}" role="img">',
+        f'<text x="{_SVG_W / 2}" y="14" text-anchor="middle" font-size="11">'
+        f"{html.escape(title)}</text>",
+        # Axes.
+        f'<line x1="{_MARGIN}" y1="{sy(0)}" x2="{_SVG_W - _MARGIN}" y2="{sy(0)}" '
+        'stroke="#999"/>',
+        f'<line x1="{_MARGIN}" y1="{sy(0)}" x2="{_MARGIN}" y2="{sy(1)}" stroke="#999"/>',
+        f'<text x="{_MARGIN - 4}" y="{sy(1) + 4}" text-anchor="end" font-size="9">1.0</text>',
+        f'<text x="{_MARGIN - 4}" y="{sy(0) + 4}" text-anchor="end" font-size="9">0.0</text>',
+        f'<text x="{_SVG_W / 2}" y="{_SVG_H - 6}" text-anchor="middle" font-size="9">'
+        f"{html.escape(x_label)}</text>",
+    ]
+    for i, (label, (x, y)) in enumerate(drawable.items()):
+        color = _COLORS[i % len(_COLORS)]
+        points = " ".join(f"{sx(float(a)):.1f},{sy(float(b)):.1f}" for a, b in zip(x, y))
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" stroke-width="1.5"/>'
+        )
+        parts.append(
+            f'<text x="{_SVG_W - _MARGIN + 2}" y="{20 + 12 * i}" font-size="9" '
+            f'fill="{color}">{html.escape(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def runs_to_html(
+    runs: dict[str, RunResult],
+    title: str = "Federated run report",
+    artifacts_dir: str | Path | None = None,
+) -> str:
+    """Build the full report page for a set of labelled runs."""
+    if not runs:
+        raise ValueError("need at least one run")
+    series = {label: run.accuracy_curve() for label, run in runs.items()}
+    rows = "".join(
+        "<tr>"
+        f"<td>{html.escape(label)}</td>"
+        f"<td>{run.final_accuracy:.3f}</td>"
+        f"<td>{run.total_uploads}</td>"
+        f"<td>{run.total_bytes_up:,}</td>"
+        f"<td>{run.total_bytes_down:,}</td>"
+        f"<td>{run.total_sim_time:.2f}</td>"
+        "</tr>"
+        for label, run in runs.items()
+    )
+    artifact_sections = []
+    if artifacts_dir is not None:
+        for path in sorted(Path(artifacts_dir).glob("*.txt")):
+            artifact_sections.append(
+                f"<details><summary>{html.escape(path.stem)}</summary>"
+                f"<pre>{html.escape(path.read_text())}</pre></details>"
+            )
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8"><title>{html.escape(title)}</title>
+<style>
+body {{ font-family: system-ui, sans-serif; max-width: 60rem; margin: 2rem auto; }}
+table {{ border-collapse: collapse; }}
+td, th {{ border: 1px solid #ccc; padding: 0.3rem 0.6rem; font-size: 0.85rem; }}
+pre {{ background: #f6f6f6; padding: 0.6rem; overflow-x: auto; font-size: 0.75rem; }}
+</style></head><body>
+<h1>{html.escape(title)}</h1>
+{svg_curve(series, title="accuracy vs round")}
+<h2>Communication summary</h2>
+<table><tr><th>method</th><th>final acc</th><th>updates</th>
+<th>bytes up</th><th>bytes down</th><th>sim time (s)</th></tr>{rows}</table>
+<h2>Measured artifacts</h2>
+{"".join(artifact_sections) or "<p>(none)</p>"}
+</body></html>
+"""
+
+
+def write_report(
+    runs: dict[str, RunResult],
+    path: str | Path,
+    title: str = "Federated run report",
+    artifacts_dir: str | Path | None = None,
+) -> Path:
+    """Write the report page to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(runs_to_html(runs, title=title, artifacts_dir=artifacts_dir))
+    return path

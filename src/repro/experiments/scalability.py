@@ -1,0 +1,100 @@
+"""§V scalability claim — AdaFL with 20 to 100 clients.
+
+The paper states AdaFL was additionally evaluated "with 20 to 100
+clients to assess its scalability".  This runner sweeps the federation
+size, holding per-client data volume constant, and reports accuracy,
+update frequency, and communication volume per size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.adafl import AdaFLSync
+from repro.experiments.comparison import default_adafl_config
+from repro.experiments.presets import BENCH, ExperimentScale
+from repro.experiments.runner import FederationSpec, run_sync
+from repro.fl.baselines import FedAvg
+from repro.fl.metrics import RunResult
+from repro.network.conditions import NetworkConditions
+
+__all__ = ["ScalePoint", "run_scalability"]
+
+DEFAULT_CLIENT_COUNTS = (20, 50, 100)
+_SAMPLES_PER_CLIENT = 40
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """Results at one federation size."""
+
+    num_clients: int
+    adafl_accuracy: float
+    fedavg_accuracy: float
+    adafl_updates: int
+    fedavg_updates: int
+    adafl_bytes_up: int
+    fedavg_bytes_up: int
+    adafl_run: RunResult
+    fedavg_run: RunResult
+
+    @property
+    def update_saving(self) -> float:
+        """Fraction of FedAvg's updates that AdaFL avoided."""
+        if self.fedavg_updates == 0:
+            return 0.0
+        return 1.0 - self.adafl_updates / self.fedavg_updates
+
+    @property
+    def byte_saving(self) -> float:
+        if self.fedavg_bytes_up == 0:
+            return 0.0
+        return 1.0 - self.adafl_bytes_up / self.fedavg_bytes_up
+
+
+def run_scalability(
+    client_counts: tuple[int, ...] = DEFAULT_CLIENT_COUNTS,
+    scale: ExperimentScale = BENCH,
+    seed: int = 0,
+    distribution: str = "shard",
+) -> list[ScalePoint]:
+    """Sweep the number of clients; compare AdaFL against FedAvg."""
+    points = []
+    for n in client_counts:
+        sized = replace(
+            scale,
+            num_clients=n,
+            train_samples=max(scale.train_samples, n * _SAMPLES_PER_CLIENT),
+        )
+        spec = FederationSpec(
+            dataset="mnist",
+            model="mnist_cnn",
+            distribution=distribution,
+            scale=sized,
+            seed=seed,
+        )
+        network = NetworkConditions.with_stragglers(
+            n,
+            straggler_fraction=0.2,
+            good_preset="wifi",
+            bad_preset="constrained",
+            rng=np.random.default_rng(seed + n),
+        )
+        adafl = run_sync(spec, AdaFLSync(default_adafl_config(sized)), network=network)
+        fedavg = run_sync(spec, FedAvg(participation_rate=0.5), network=network)
+        points.append(
+            ScalePoint(
+                num_clients=n,
+                adafl_accuracy=adafl.final_accuracy,
+                fedavg_accuracy=fedavg.final_accuracy,
+                adafl_updates=adafl.total_uploads,
+                fedavg_updates=fedavg.total_uploads,
+                adafl_bytes_up=adafl.total_bytes_up,
+                fedavg_bytes_up=fedavg.total_bytes_up,
+                adafl_run=adafl,
+                fedavg_run=fedavg,
+            )
+        )
+    return points

@@ -1,0 +1,60 @@
+"""Federated-learning framework: clients, server, strategies, engines."""
+
+from repro.fl.async_engine import AsyncEngine
+from repro.fl.baselines import (
+    ASYNC_BASELINES,
+    SYNC_BASELINES,
+    FedAdam,
+    FedAsync,
+    FedAvg,
+    FedAvgM,
+    FedBuff,
+    FedProx,
+    Scaffold,
+)
+from repro.fl.client import Client, ClientUpdate
+from repro.fl.config import FederationConfig, LocalTrainingConfig
+from repro.fl.faults import FaultInjector
+from repro.fl.fedat import FedAT, assign_tiers
+from repro.fl.metrics import RoundRecord, RunResult
+from repro.fl.persist import (
+    load_checkpoint,
+    load_run_result,
+    save_checkpoint,
+    save_run_result,
+)
+from repro.fl.server import Server
+from repro.fl.strategy import AsyncStrategy, RoundContext, SyncStrategy, weighted_average
+from repro.fl.sync_engine import SyncEngine
+
+__all__ = [
+    "Client",
+    "ClientUpdate",
+    "Server",
+    "LocalTrainingConfig",
+    "FederationConfig",
+    "RoundRecord",
+    "save_run_result",
+    "load_run_result",
+    "save_checkpoint",
+    "load_checkpoint",
+    "RunResult",
+    "FaultInjector",
+    "FedAT",
+    "assign_tiers",
+    "SyncStrategy",
+    "AsyncStrategy",
+    "RoundContext",
+    "weighted_average",
+    "FedAvg",
+    "FedAvgM",
+    "FedProx",
+    "FedAdam",
+    "Scaffold",
+    "FedAsync",
+    "FedBuff",
+    "SYNC_BASELINES",
+    "ASYNC_BASELINES",
+    "SyncEngine",
+    "AsyncEngine",
+]

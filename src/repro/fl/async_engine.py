@@ -1,0 +1,226 @@
+"""Asynchronous FL engine (discrete-event).
+
+Implements the asynchronous protocol of §III-A: every client loops
+``download -> local train -> upload`` independently; the server reacts
+to each arriving update (FedAsync applies it immediately with a
+staleness-discounted weight, FedBuff buffers ``K`` of them).  Client
+heterogeneity — the 3x-slower stragglers of the empirical study — is
+expressed through per-client compute rates, and all transfer times
+come from the per-client :class:`~repro.network.conditions.ClientNetwork`.
+
+Staleness is measured in server model versions: an update trained from
+version ``v`` arriving when the server is at ``V`` has staleness
+``V - v``, exactly the quantity Eq. 4/5 gate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.base import dense_bytes
+from repro.fl.client import Client, ClientUpdate
+from repro.fl.config import FederationConfig
+from repro.fl.metrics import RoundRecord, RunResult
+from repro.fl.server import Server
+from repro.fl.strategy import AsyncStrategy
+from repro.network.conditions import NetworkConditions
+from repro.network.events import EventQueue
+
+__all__ = ["AsyncEngine"]
+
+_DEFAULT_DEVICE_FLOPS = 2e9
+
+_MODEL_ARRIVAL = "model_arrival"
+_UPDATE_ARRIVAL = "update_arrival"
+
+
+@dataclass
+class _InFlight:
+    """An upload travelling to the server."""
+
+    update: ClientUpdate
+    delta: np.ndarray
+    num_bytes: int
+    base_version: int
+
+
+class AsyncEngine:
+    """Runs an asynchronous federated training session."""
+
+    def __init__(
+        self,
+        server: Server,
+        clients: list[Client],
+        strategy: AsyncStrategy,
+        config: FederationConfig,
+        network: NetworkConditions | None = None,
+        device_flops: np.ndarray | None = None,
+        churn=None,
+    ):
+        if not clients:
+            raise ValueError("need at least one client")
+        if network is not None and len(network) != len(clients):
+            raise ValueError("network must describe exactly one endpoint per client")
+        if device_flops is not None and len(device_flops) != len(clients):
+            raise ValueError("device_flops must have one entry per client")
+        self.server = server
+        self.clients = clients
+        self.strategy = strategy
+        self.config = config
+        self.network = network
+        self.device_flops = (
+            np.asarray(device_flops, dtype=np.float64)
+            if device_flops is not None
+            else np.full(len(clients), _DEFAULT_DEVICE_FLOPS)
+        )
+        if np.any(self.device_flops <= 0):
+            raise ValueError("device compute rates must be positive")
+        self._rng = np.random.default_rng(config.seed)
+        self._queue = EventQueue()
+        self._halted: list[int] = []
+        self._bytes_down_pending = 0
+        self._total_updates = 0
+        # Availability churn (repro.network.churn); None = always on.
+        self._churn = churn
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Simulate until ``max_sim_time_s`` (or ``max_updates``) and report."""
+        self.strategy.prepare(self.server, self.clients)
+        result = RunResult(
+            method=self.strategy.name,
+            num_clients=len(self.clients),
+            model_bytes=dense_bytes(self.server.dim),
+        )
+        local_cfg = self.strategy.local_config(self.config.local)
+
+        for client in self.clients:
+            self._dispatch_model(client.client_id)
+
+        while True:
+            if not self._queue:
+                if self._halted and self._queue.now <= self.config.max_sim_time_s:
+                    # Every in-flight client has halted: without a
+                    # fresh update no global version change will ever
+                    # wake them.  Force-train the longest-waiting one
+                    # so the federation keeps making progress.
+                    cid = self._halted.pop(0)
+                    self._dispatch_model(cid, forced=True)
+                    continue
+                break
+            if self._queue.peek().time > self.config.max_sim_time_s:
+                break
+            event = self._queue.pop()
+            if event.kind == _MODEL_ARRIVAL:
+                self._on_model_arrival(event.payload, local_cfg)
+            elif event.kind == _UPDATE_ARRIVAL:
+                self._on_update_arrival(event.payload, result)
+                if (
+                    self.config.max_updates is not None
+                    and self._total_updates >= self.config.max_updates
+                ):
+                    break
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event kind {event.kind!r}")
+        return result
+
+    # ------------------------------------------------------------------
+    def _dispatch_model(self, cid: int, forced: bool = False) -> None:
+        """Send the current global model to a client."""
+        nbytes = self.strategy.downlink_bytes(self.server)
+        self._bytes_down_pending += nbytes
+        now = self._queue.now
+        payload = {"cid": cid, "forced": forced}
+        if self.network is None:
+            self._queue.push(now, _MODEL_ARRIVAL, payload)
+            return
+        res = self.network[cid].receive_model(nbytes, now, self._rng)
+        if not res.delivered:
+            # Lost broadcast: the client retries after the same duration.
+            retry = now + 2.0 * res.duration_s
+            self._bytes_down_pending += nbytes
+            self._queue.push(retry, _MODEL_ARRIVAL, payload)
+            return
+        self._queue.push(now + res.duration_s, _MODEL_ARRIVAL, payload)
+
+    def _on_model_arrival(self, payload: dict, local_cfg) -> None:
+        cid = payload["cid"]
+        client = self.clients[cid]
+        now = self._queue.now
+        if self._churn is not None and not self._churn.is_online(cid, now):
+            # Device is offline: the work resumes (with a fresh model)
+            # once it comes back.
+            resume = self._churn.next_online(cid, now)
+            self._queue.push(resume, _MODEL_ARRIVAL, payload)
+            return
+        if not payload["forced"] and not self.strategy.should_train(
+            client, self.server, now
+        ):
+            # AdaFL halting: park the client until the next global
+            # model version (paper §V, Q3 — halted clients save the
+            # training *and* communication cost).
+            client.halted = True
+            self._halted.append(cid)
+            return
+        client.halted = False
+        update = client.local_train(
+            self.server.params, local_cfg, round_index=self.server.version
+        )
+        update.extras["base_params"] = self.server.params.copy()
+        compute_s = update.flops / self.device_flops[cid]
+        delta, nbytes = self.strategy.process_upload(client, update, now + compute_s)
+
+        if self.network is None:
+            up_s, delivered = 0.0, True
+        else:
+            res = self.network[cid].send_update(nbytes, now + compute_s, self._rng)
+            up_s, delivered = res.duration_s, res.delivered
+
+        arrival = now + compute_s + up_s
+        self.strategy.on_upload_result(client, delivered, now + compute_s)
+        if delivered:
+            payload = _InFlight(
+                update=update,
+                delta=delta,
+                num_bytes=nbytes,
+                base_version=update.round_index,
+            )
+            self._queue.push(arrival, _UPDATE_ARRIVAL, payload)
+        else:
+            # Update lost in transit: client fetches a fresh model and
+            # goes again (wasted compute, exactly as on real links).
+            self._queue.push(arrival, _MODEL_ARRIVAL, {"cid": cid, "forced": False})
+
+    def _on_update_arrival(self, payload: _InFlight, result: RunResult) -> None:
+        staleness = max(0, self.server.version - payload.base_version)
+        changed = self.strategy.on_update(
+            self.server, payload.update, payload.delta, staleness
+        )
+        self._total_updates += 1
+
+        record = RoundRecord(
+            round_index=self._total_updates - 1,
+            sim_time_s=self._queue.now,
+            num_uploads=1,
+            bytes_up=payload.num_bytes,
+            bytes_down=self._bytes_down_pending,
+            participants=[payload.update.client_id],
+            upload_sizes=[payload.num_bytes],
+        )
+        self._bytes_down_pending = 0
+        if self._total_updates % self.config.eval_every == 0:
+            accuracy, loss = self.server.evaluate()
+            record.accuracy = accuracy
+            record.loss = loss
+        result.records.append(record)
+
+        # The uploading client immediately receives the latest model.
+        self._dispatch_model(payload.update.client_id)
+        # A model change wakes any halted clients (they were waiting
+        # for "the next global update").
+        if changed and self._halted:
+            woken, self._halted = self._halted, []
+            for cid in woken:
+                self._dispatch_model(cid)

@@ -1,0 +1,273 @@
+"""Baseline FL methods the paper compares against.
+
+Synchronous: FedAvg (McMahan et al.), FedAdam (Reddi et al.), FedProx
+(Li et al.), SCAFFOLD (Karimireddy et al.).  Asynchronous: FedAsync
+(Xie et al.) and FedBuff (Nguyen et al.).  All follow the reference
+algorithms at the aggregation level; clients run plain local SGD
+except where the method dictates otherwise (FedProx's proximal term,
+SCAFFOLD's control-variate correction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.fl.client import Client, ClientUpdate
+from repro.fl.config import LocalTrainingConfig
+from repro.fl.server import Server
+from repro.fl.strategy import AsyncStrategy, RoundContext, SyncStrategy, weighted_average
+from repro.nn.optim import AdamVector
+
+__all__ = [
+    "FedAvg",
+    "FedAvgM",
+    "FedProx",
+    "FedAdam",
+    "Scaffold",
+    "FedAsync",
+    "FedBuff",
+    "SYNC_BASELINES",
+    "ASYNC_BASELINES",
+]
+
+
+class FedAvg(SyncStrategy):
+    """Plain weighted averaging of client deltas."""
+
+    name = "fedavg"
+
+
+class FedProx(SyncStrategy):
+    """FedAvg aggregation + client-side proximal term ``mu/2 ||w - w_g||^2``."""
+
+    name = "fedprox"
+
+    def __init__(self, participation_rate: float = 0.5, mu: float = 0.01):
+        super().__init__(participation_rate)
+        if mu <= 0:
+            raise ValueError("FedProx requires mu > 0 (use FedAvg otherwise)")
+        self.mu = mu
+
+    def local_config(self, base: LocalTrainingConfig) -> LocalTrainingConfig:
+        return replace(base, prox_mu=self.mu)
+
+
+class FedAdam(SyncStrategy):
+    """Server-side Adam over the negated average delta (Reddi et al. 2020)."""
+
+    name = "fedadam"
+
+    def __init__(
+        self,
+        participation_rate: float = 0.5,
+        server_lr: float = 0.05,
+        beta1: float = 0.9,
+        beta2: float = 0.99,
+        eps: float = 1e-3,
+    ):
+        super().__init__(participation_rate)
+        self.server_lr = server_lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._optimizer: AdamVector | None = None
+
+    def prepare(self, server: Server, clients: list[Client]) -> None:
+        self._optimizer = AdamVector(
+            server.dim,
+            lr=self.server_lr,
+            beta1=self.beta1,
+            beta2=self.beta2,
+            eps=self.eps,
+        )
+
+    def aggregate(
+        self, server: Server, updates: list[ClientUpdate], context: RoundContext
+    ) -> None:
+        if not updates:
+            return
+        if self._optimizer is None:
+            raise RuntimeError("FedAdam.prepare was not called")
+        pseudo_grad = -weighted_average(updates)
+        new_params = self._optimizer.step(server.params, pseudo_grad)
+        server.set_params(new_params)
+
+
+class FedAvgM(SyncStrategy):
+    """FedAvg with server momentum (Reddi et al. 2020's SGDm server).
+
+    The server keeps a momentum buffer over the averaged client delta:
+    ``v = beta * v + delta_avg``, ``w += server_lr * v``.
+    """
+
+    name = "fedavgm"
+
+    def __init__(
+        self,
+        participation_rate: float = 0.5,
+        server_lr: float = 1.0,
+        beta: float = 0.9,
+    ):
+        super().__init__(participation_rate)
+        if server_lr <= 0:
+            raise ValueError("server_lr must be positive")
+        if not 0.0 <= beta < 1.0:
+            raise ValueError("beta must be in [0, 1)")
+        self.server_lr = server_lr
+        self.beta = beta
+        self._velocity: np.ndarray | None = None
+
+    def prepare(self, server: Server, clients: list[Client]) -> None:
+        self._velocity = np.zeros(server.dim, dtype=np.float64)
+
+    def aggregate(
+        self, server: Server, updates: list[ClientUpdate], context: RoundContext
+    ) -> None:
+        if not updates:
+            return
+        if self._velocity is None:
+            raise RuntimeError("FedAvgM.prepare was not called")
+        self._velocity = self.beta * self._velocity + weighted_average(updates)
+        server.apply_delta(self.server_lr * self._velocity)
+
+
+class Scaffold(SyncStrategy):
+    """SCAFFOLD with option-II control variates.
+
+    The server keeps a global control variate ``c``; each client keeps
+    ``c_i`` (attached lazily by :meth:`client_train_kwargs` via
+    ``Client.control_variate``).  Wire cost doubles in both directions
+    because control variates travel with the model/update — reflected
+    in :meth:`process_upload` and :meth:`downlink_bytes`.
+    """
+
+    name = "scaffold"
+
+    def __init__(self, participation_rate: float = 0.5, server_lr: float = 1.0):
+        super().__init__(participation_rate)
+        if server_lr <= 0:
+            raise ValueError("server_lr must be positive")
+        self.server_lr = server_lr
+        self._control: np.ndarray | None = None
+        self._num_clients = 0
+
+    def prepare(self, server: Server, clients: list[Client]) -> None:
+        self._control = np.zeros(server.dim, dtype=np.float64)
+        self._num_clients = len(clients)
+
+    def client_train_kwargs(self, client: Client) -> dict:
+        if self._control is None:
+            raise RuntimeError("Scaffold.prepare was not called")
+        return {"server_control": self._control}
+
+    def process_upload(
+        self, client: Client, update: ClientUpdate, context: RoundContext
+    ) -> tuple[np.ndarray, int]:
+        delta, nbytes = super().process_upload(client, update, context)
+        return delta, 2 * nbytes  # model delta + control-variate delta
+
+    def downlink_bytes(self, server: Server) -> int:
+        return 2 * super().downlink_bytes(server)  # model + server control
+
+    def aggregate(
+        self, server: Server, updates: list[ClientUpdate], context: RoundContext
+    ) -> None:
+        if not updates:
+            return
+        if self._control is None:
+            raise RuntimeError("Scaffold.prepare was not called")
+        mean_delta = np.mean([u.delta for u in updates], axis=0)
+        server.apply_delta(self.server_lr * mean_delta)
+        control_deltas = [
+            u.extras["control_delta"] for u in updates if "control_delta" in u.extras
+        ]
+        if control_deltas:
+            self._control += (len(control_deltas) / self._num_clients) * np.mean(
+                control_deltas, axis=0
+            )
+
+
+class FedAsync(AsyncStrategy):
+    """Fully asynchronous aggregation with polynomial staleness weighting.
+
+    On receiving a client model trained from version ``v`` while the
+    server is at version ``V``, mixes with weight
+    ``alpha * (1 + V - v)^{-poly_a}`` (Xie et al. 2019).
+    """
+
+    name = "fedasync"
+
+    def __init__(self, alpha: float = 0.6, poly_a: float = 0.5):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if poly_a < 0:
+            raise ValueError("poly_a must be non-negative")
+        self.alpha = alpha
+        self.poly_a = poly_a
+
+    def effective_alpha(self, staleness: int) -> float:
+        """Mixing weight after staleness discounting."""
+        if staleness < 0:
+            raise ValueError("staleness must be non-negative")
+        return self.alpha * (1.0 + staleness) ** (-self.poly_a)
+
+    def on_update(
+        self,
+        server: Server,
+        update: ClientUpdate,
+        delta: np.ndarray,
+        staleness: int,
+    ) -> bool:
+        alpha = self.effective_alpha(staleness)
+        base_params = update.extras["base_params"]
+        client_model = base_params + delta
+        server.set_params((1.0 - alpha) * server.params + alpha * client_model)
+        return True
+
+
+class FedBuff(AsyncStrategy):
+    """Buffered asynchronous aggregation (Nguyen et al. 2022).
+
+    Deltas accumulate (staleness-discounted) in a size-``buffer_size``
+    buffer; when full, their mean is applied with ``server_lr`` and the
+    buffer clears.
+    """
+
+    name = "fedbuff"
+
+    def __init__(self, buffer_size: int = 3, server_lr: float = 1.0, poly_a: float = 0.5):
+        if buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+        if server_lr <= 0:
+            raise ValueError("server_lr must be positive")
+        self.buffer_size = buffer_size
+        self.server_lr = server_lr
+        self.poly_a = poly_a
+        self._buffer: list[np.ndarray] = []
+
+    def prepare(self, server: Server, clients: list[Client]) -> None:
+        self._buffer = []
+
+    def on_update(
+        self,
+        server: Server,
+        update: ClientUpdate,
+        delta: np.ndarray,
+        staleness: int,
+    ) -> bool:
+        discount = (1.0 + max(staleness, 0)) ** (-self.poly_a)
+        self._buffer.append(discount * delta)
+        if len(self._buffer) < self.buffer_size:
+            return False
+        aggregated = self.server_lr * np.mean(self._buffer, axis=0)
+        self._buffer = []
+        server.apply_delta(aggregated)
+        return True
+
+
+SYNC_BASELINES = {
+    cls.name: cls for cls in (FedAvg, FedAvgM, FedProx, FedAdam, Scaffold)
+}
+ASYNC_BASELINES = {cls.name: cls for cls in (FedAsync, FedBuff)}

@@ -1,0 +1,197 @@
+"""The FL client: local training, deltas, and cached gradients.
+
+A client owns a private model replica (rebuilt from the shared
+architecture), its local dataset shard, and any stateful machinery a
+strategy attaches (SCAFFOLD control variates, a DGC compressor for
+AdaFL).  ``local_train`` returns a :class:`ClientUpdate` whose
+``delta = w_local - w_global`` is the pseudo-gradient every
+aggregation rule in this package consumes.
+
+After each round the client caches its (uncompressed) delta.  AdaFL's
+utility score compares this cached local direction against the global
+direction — an O(d) dot product, which is why the paper measures only
+~0.05% CPU overhead for scoring (§V, Q3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.fl.config import LocalTrainingConfig
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optim import SGD
+from repro.nn.sequential import Sequential
+
+__all__ = ["ClientUpdate", "Client"]
+
+# Backward pass costs roughly 2x the forward pass; the standard
+# rule-of-thumb factor of 3 covers forward + backward together.
+_TRAIN_FLOP_FACTOR = 3
+
+
+@dataclass
+class ClientUpdate:
+    """What a client hands to the server after local work."""
+
+    client_id: int
+    round_index: int
+    num_samples: int
+    delta: np.ndarray  # w_local - w_global (dense, float64)
+    train_loss: float
+    flops: int  # arithmetic performed during this local round
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+class Client:
+    """One federated participant."""
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: Dataset,
+        model_fn: Callable[[], Sequential],
+        seed: int = 0,
+    ):
+        if len(dataset) == 0:
+            raise ValueError(f"client {client_id} has an empty dataset")
+        self.client_id = client_id
+        self.dataset = dataset
+        self._model = model_fn()
+        self._rng = np.random.default_rng(seed)
+        self._loss_fn = SoftmaxCrossEntropy()
+        # Strategy-attached state ----------------------------------------
+        self.control_variate: np.ndarray | None = None  # SCAFFOLD c_i
+        self.compressor = None  # AdaFL attaches a DGCCompressor
+        self.last_delta: np.ndarray | None = None  # cached local direction
+        self.halted = False  # AdaFL async: paused until next global model
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.dataset)
+
+    @property
+    def model_dim(self) -> int:
+        return self._model.num_params
+
+    # ------------------------------------------------------------------
+    def local_train(
+        self,
+        global_params: np.ndarray,
+        config: LocalTrainingConfig,
+        round_index: int = 0,
+        server_control: np.ndarray | None = None,
+    ) -> ClientUpdate:
+        """Run local SGD from ``global_params`` and return the delta.
+
+        ``server_control`` activates the SCAFFOLD correction
+        ``g - c_i + c``; the updated client control variate and its
+        change are returned in ``extras`` ("control_delta").
+        ``config.prox_mu > 0`` activates the FedProx proximal term.
+        """
+        model = self._model
+        model.set_flat_params(global_params)
+        optimizer = SGD(
+            model.parameters(),
+            lr=config.lr,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+
+        use_scaffold = server_control is not None
+        if use_scaffold and self.control_variate is None:
+            self.control_variate = np.zeros_like(global_params)
+
+        losses: list[float] = []
+        steps = 0
+        samples_seen = 0
+        for _ in range(config.local_epochs):
+            for batch_index, (xb, yb) in enumerate(
+                self.dataset.batches(config.batch_size, self._rng)
+            ):
+                if config.max_batches is not None and batch_index >= config.max_batches:
+                    break
+                model.zero_grad()
+                logits = model.forward(xb, training=True)
+                loss = self._loss_fn.forward(logits, yb)
+                model.backward(self._loss_fn.backward())
+
+                if config.prox_mu > 0.0:
+                    # FedProx: grad += mu * (w - w_global), applied flat.
+                    prox = config.prox_mu * (model.get_flat_params() - global_params)
+                    model.set_flat_grads(model.get_flat_grads() + prox)
+                if use_scaffold:
+                    correction = server_control - self.control_variate
+                    model.set_flat_grads(model.get_flat_grads() + correction)
+
+                optimizer.step()
+                losses.append(loss)
+                steps += 1
+                samples_seen += xb.shape[0]
+
+        local_params = model.get_flat_params()
+        delta = local_params - global_params
+        self.last_delta = delta
+
+        extras: dict[str, Any] = {}
+        if use_scaffold and steps > 0:
+            # SCAFFOLD option II: c_i+ = c_i - c + (w_g - w_l) / (K * lr).
+            new_control = (
+                self.control_variate
+                - server_control
+                + (global_params - local_params) / (steps * config.lr)
+            )
+            extras["control_delta"] = new_control - self.control_variate
+            self.control_variate = new_control
+
+        flops = _TRAIN_FLOP_FACTOR * model.flops_per_sample() * samples_seen
+        return ClientUpdate(
+            client_id=self.client_id,
+            round_index=round_index,
+            num_samples=self.num_samples,
+            delta=delta,
+            train_loss=float(np.mean(losses)) if losses else 0.0,
+            flops=flops,
+            extras=extras,
+        )
+
+    # ------------------------------------------------------------------
+    def probe_delta(
+        self, global_params: np.ndarray, config: LocalTrainingConfig
+    ) -> np.ndarray:
+        """Refresh the cached local direction with a one-minibatch probe.
+
+        The paper's clients interrupt their ongoing local training to
+        score the freshly received global model (§IV); a client that
+        was not selected recently therefore still holds a *current*
+        local gradient.  The selected-clients-only engine emulates that
+        with a single minibatch gradient at ``global_params``, scaled
+        to a pseudo-delta (``-lr * g``) so it is directly comparable to
+        cached training deltas.  Updates ``last_delta`` and returns it.
+        """
+        model = self._model
+        model.set_flat_params(global_params)
+        xb, yb = next(self.dataset.batches(config.batch_size, self._rng))
+        model.zero_grad()
+        logits = model.forward(xb, training=True)
+        self._loss_fn.forward(logits, yb)
+        model.backward(self._loss_fn.backward())
+        probe = -config.lr * model.get_flat_grads()
+        self.last_delta = probe
+        return probe
+
+    def training_flops(self, config: LocalTrainingConfig) -> int:
+        """Arithmetic one local round costs, without running it."""
+        per_epoch = len(self.dataset)
+        if config.max_batches is not None:
+            per_epoch = min(per_epoch, config.max_batches * config.batch_size)
+        samples = per_epoch * config.local_epochs
+        return _TRAIN_FLOP_FACTOR * self._model.flops_per_sample() * samples
+
+    def evaluate(self, global_params: np.ndarray, dataset: Dataset) -> float:
+        """Accuracy of ``global_params`` on an arbitrary dataset."""
+        self._model.set_flat_params(global_params)
+        return float((self._model.predict(dataset.x) == dataset.y).mean())

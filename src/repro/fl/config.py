@@ -1,0 +1,71 @@
+"""Configuration dataclasses shared by the FL engines and strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LocalTrainingConfig", "FederationConfig"]
+
+
+@dataclass(frozen=True)
+class LocalTrainingConfig:
+    """How each client runs its local optimisation.
+
+    ``prox_mu`` enables the FedProx proximal term (0 disables it);
+    clients always train with plain SGD as in the paper's baselines.
+    """
+
+    local_epochs: int = 1
+    batch_size: int = 32
+    lr: float = 0.05
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    prox_mu: float = 0.0
+    max_batches: int | None = None  # cap batches per epoch (fast test mode)
+
+    def __post_init__(self) -> None:
+        if self.local_epochs <= 0:
+            raise ValueError("local_epochs must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if self.weight_decay < 0 or self.prox_mu < 0:
+            raise ValueError("weight_decay and prox_mu must be non-negative")
+        if self.max_batches is not None and self.max_batches <= 0:
+            raise ValueError("max_batches must be positive or None")
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """Engine-level settings for one federated run."""
+
+    num_rounds: int = 40
+    participation_rate: float = 0.5
+    eval_every: int = 1
+    seed: int = 0
+    local: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
+    # Synchronous engine: optional per-round deadline.  §III-A: "the
+    # server can impose a maximum wait time, dropping any delayed
+    # updates beyond this threshold" — updates arriving after the
+    # deadline are discarded and the round closes at the deadline.
+    round_deadline_s: float | None = None
+    # Async engine settings.
+    max_sim_time_s: float = 2000.0
+    max_updates: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        if not 0.0 < self.participation_rate <= 1.0:
+            raise ValueError("participation_rate must be in (0, 1]")
+        if self.eval_every <= 0:
+            raise ValueError("eval_every must be positive")
+        if self.round_deadline_s is not None and self.round_deadline_s <= 0:
+            raise ValueError("round_deadline_s must be positive or None")
+        if self.max_sim_time_s <= 0:
+            raise ValueError("max_sim_time_s must be positive")
+        if self.max_updates is not None and self.max_updates <= 0:
+            raise ValueError("max_updates must be positive or None")

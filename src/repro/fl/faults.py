@@ -1,0 +1,76 @@
+"""Controlled fault injection for the empirical study (Fig. 1).
+
+The paper's §III experiments impose two failure modes on a chosen
+fraction of "straggler" clients:
+
+* **dropout** — the straggler only reaches the server every other
+  communication round (synchronous) — the client is simply absent;
+* **data loss** — the straggler trains and uploads, but the update is
+  lost in transit with some probability, so its contribution flickers
+  in and out (the paper observes this injects more noise than clean
+  dropout).
+
+For asynchronous runs the paper slows stragglers down 3x instead;
+that is modelled by the engine's per-client compute speed, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FaultInjector"]
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic dropout / stochastic data-loss injection.
+
+    ``mode`` is one of ``"none"``, ``"dropout"``, ``"dataloss"``.
+    """
+
+    mode: str = "none"
+    straggler_ids: frozenset[int] = field(default_factory=frozenset)
+    dropout_period: int = 2
+    loss_prob: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("none", "dropout", "dataloss"):
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+        if self.dropout_period < 2:
+            raise ValueError("dropout_period must be >= 2")
+        if not 0.0 <= self.loss_prob <= 1.0:
+            raise ValueError("loss_prob must be in [0, 1]")
+        object.__setattr__(self, "straggler_ids", frozenset(self.straggler_ids))
+
+    @classmethod
+    def from_fraction(
+        cls,
+        mode: str,
+        num_clients: int,
+        fraction: float,
+        rng: np.random.Generator,
+        **kwargs,
+    ) -> "FaultInjector":
+        """Pick ``round(fraction * num_clients)`` random stragglers."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        num_bad = int(round(num_clients * fraction))
+        ids = rng.choice(num_clients, size=num_bad, replace=False)
+        return cls(mode=mode, straggler_ids=frozenset(int(i) for i in ids), **kwargs)
+
+    def available(self, client_id: int, round_index: int) -> bool:
+        """Can this client participate in this round at all?"""
+        if self.mode != "dropout" or client_id not in self.straggler_ids:
+            return True
+        # Stagger phases by client id so stragglers don't all skip the
+        # same rounds ("update the server every other communication
+        # round", §III-B).
+        return (round_index + client_id) % self.dropout_period == 0
+
+    def upload_lost(self, client_id: int, rng: np.random.Generator) -> bool:
+        """Is this client's upload destroyed in transit this round?"""
+        if self.mode != "dataloss" or client_id not in self.straggler_ids:
+            return False
+        return rng.random() < self.loss_prob

@@ -1,0 +1,169 @@
+"""Run metrics: per-round records and whole-run summaries.
+
+The paper's evaluation reduces to a handful of quantities per run —
+accuracy over rounds/time, client-to-server update count, bytes moved,
+and per-update payload sizes.  :class:`RunResult` carries all of them
+and derives the Table I/II columns (update frequency, cost reduction,
+gradient size range, compression ratio range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RoundRecord", "RunResult"]
+
+
+@dataclass
+class RoundRecord:
+    """Everything measured in one aggregation step.
+
+    For synchronous engines one record is one communication round; for
+    asynchronous engines one record is one server model update.
+    """
+
+    round_index: int
+    sim_time_s: float
+    num_uploads: int
+    bytes_up: int
+    bytes_down: int
+    participants: list[int] = field(default_factory=list)
+    accuracy: float | None = None
+    loss: float | None = None
+    upload_sizes: list[int] = field(default_factory=list)
+    dropped_uploads: int = 0
+
+
+@dataclass
+class RunResult:
+    """Summary of one federated training run."""
+
+    method: str
+    num_clients: int
+    records: list[RoundRecord] = field(default_factory=list)
+    model_bytes: int = 0  # dense size of one model/gradient payload
+
+    # ------------------------------------------------------------------
+    # Curves
+    # ------------------------------------------------------------------
+    def accuracy_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(round indices, accuracy) at evaluated rounds."""
+        pts = [(r.round_index, r.accuracy) for r in self.records if r.accuracy is not None]
+        if not pts:
+            return np.zeros(0), np.zeros(0)
+        rounds, accs = zip(*pts)
+        return np.asarray(rounds, dtype=np.int64), np.asarray(accs)
+
+    def time_accuracy_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(simulated seconds, accuracy) at evaluated rounds."""
+        pts = [(r.sim_time_s, r.accuracy) for r in self.records if r.accuracy is not None]
+        if not pts:
+            return np.zeros(0), np.zeros(0)
+        times, accs = zip(*pts)
+        return np.asarray(times), np.asarray(accs)
+
+    # ------------------------------------------------------------------
+    # Scalar summaries (Table I / II columns)
+    # ------------------------------------------------------------------
+    @property
+    def final_accuracy(self) -> float:
+        """Last evaluated accuracy (NaN if never evaluated)."""
+        for record in reversed(self.records):
+            if record.accuracy is not None:
+                return record.accuracy
+        return float("nan")
+
+    @property
+    def best_accuracy(self) -> float:
+        accs = [r.accuracy for r in self.records if r.accuracy is not None]
+        return max(accs) if accs else float("nan")
+
+    @property
+    def total_uploads(self) -> int:
+        """Client-to-server updates delivered (paper's "Update Freq.")."""
+        return sum(r.num_uploads for r in self.records)
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(r.dropped_uploads for r in self.records)
+
+    @property
+    def total_bytes_up(self) -> int:
+        return sum(r.bytes_up for r in self.records)
+
+    @property
+    def total_bytes_down(self) -> int:
+        return sum(r.bytes_down for r in self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_bytes_up + self.total_bytes_down
+
+    @property
+    def total_sim_time(self) -> float:
+        return self.records[-1].sim_time_s if self.records else 0.0
+
+    def upload_sizes(self) -> np.ndarray:
+        """All delivered upload payload sizes, in bytes."""
+        sizes: list[int] = []
+        for r in self.records:
+            sizes.extend(r.upload_sizes)
+        return np.asarray(sizes, dtype=np.int64)
+
+    def gradient_size_range(self) -> tuple[int, int]:
+        """(min, max) upload payload size — the Table I "Gradient Size" column."""
+        sizes = self.upload_sizes()
+        if sizes.size == 0:
+            return (0, 0)
+        return int(sizes.min()), int(sizes.max())
+
+    def compression_ratio_range(self) -> tuple[float, float]:
+        """(max, min) achieved compression ratio, as the paper reports it."""
+        sizes = self.upload_sizes()
+        if sizes.size == 0 or self.model_bytes == 0:
+            return (1.0, 1.0)
+        ratios = self.model_bytes / sizes
+        return float(ratios.max()), float(ratios.min())
+
+    def update_cost_reduction(self, ideal_updates: int) -> float:
+        """Fractional reduction of update count vs full participation.
+
+        Table I/II's "Cost Reduc." column: 1 - updates/ideal, where the
+        ideal counts every client updating every round (800 in the
+        paper's setup).
+        """
+        if ideal_updates <= 0:
+            raise ValueError("ideal_updates must be positive")
+        return 1.0 - self.total_uploads / ideal_updates
+
+    def byte_cost_reduction(self, ideal_updates: int) -> float:
+        """Fractional reduction in uplink bytes vs dense full participation."""
+        if ideal_updates <= 0:
+            raise ValueError("ideal_updates must be positive")
+        ideal_bytes = ideal_updates * self.model_bytes
+        if ideal_bytes == 0:
+            return 0.0
+        return 1.0 - self.total_bytes_up / ideal_bytes
+
+    def mean_participation_rate(self) -> float:
+        """Average fraction of clients uploading per aggregation step."""
+        if not self.records or self.num_clients == 0:
+            return 0.0
+        per_round = [r.num_uploads / self.num_clients for r in self.records]
+        return float(np.mean(per_round))
+
+    def time_to_accuracy(self, target: float) -> float | None:
+        """First simulated time at which accuracy >= target, else None."""
+        for r in self.records:
+            if r.accuracy is not None and r.accuracy >= target:
+                return r.sim_time_s
+        return None
+
+    def rounds_to_accuracy(self, target: float) -> int | None:
+        """First round index at which accuracy >= target, else None."""
+        for r in self.records:
+            if r.accuracy is not None and r.accuracy >= target:
+                return r.round_index
+        return None

@@ -1,0 +1,116 @@
+"""Persistence: save/load run results and model checkpoints.
+
+``RunResult`` serialises to a single JSON document (curves, byte
+accounting, per-round records) so experiment outputs can be archived
+and re-plotted without re-running; model parameters round-trip through
+``.npz`` checkpoints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.fl.metrics import RoundRecord, RunResult
+from repro.nn.sequential import Sequential
+
+__all__ = [
+    "run_result_to_dict",
+    "run_result_from_dict",
+    "save_run_result",
+    "load_run_result",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+_FORMAT_VERSION = 1
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """JSON-serialisable representation of a run."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "method": result.method,
+        "num_clients": result.num_clients,
+        "model_bytes": result.model_bytes,
+        "records": [
+            {
+                "round_index": r.round_index,
+                "sim_time_s": r.sim_time_s,
+                "num_uploads": r.num_uploads,
+                "bytes_up": r.bytes_up,
+                "bytes_down": r.bytes_down,
+                "participants": list(r.participants),
+                "accuracy": r.accuracy,
+                "loss": r.loss,
+                "upload_sizes": [int(s) for s in r.upload_sizes],
+                "dropped_uploads": r.dropped_uploads,
+            }
+            for r in result.records
+        ],
+    }
+
+
+def run_result_from_dict(payload: dict) -> RunResult:
+    """Inverse of :func:`run_result_to_dict`."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported run-result format version {version!r}")
+    result = RunResult(
+        method=payload["method"],
+        num_clients=payload["num_clients"],
+        model_bytes=payload["model_bytes"],
+    )
+    for rec in payload["records"]:
+        result.records.append(
+            RoundRecord(
+                round_index=rec["round_index"],
+                sim_time_s=rec["sim_time_s"],
+                num_uploads=rec["num_uploads"],
+                bytes_up=rec["bytes_up"],
+                bytes_down=rec["bytes_down"],
+                participants=list(rec["participants"]),
+                accuracy=rec["accuracy"],
+                loss=rec["loss"],
+                upload_sizes=list(rec["upload_sizes"]),
+                dropped_uploads=rec["dropped_uploads"],
+            )
+        )
+    return result
+
+
+def save_run_result(result: RunResult, path: str | Path) -> Path:
+    """Write a run result to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(run_result_to_dict(result), indent=1))
+    return path
+
+
+def load_run_result(path: str | Path) -> RunResult:
+    """Read a run result previously written by :func:`save_run_result`."""
+    return run_result_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_checkpoint(
+    model: Sequential,
+    path: str | Path,
+    metadata: dict | None = None,
+) -> Path:
+    """Write model parameters (and optional metadata) to ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = json.dumps(metadata or {})
+    np.savez(path, params=model.get_flat_params(), metadata=np.array(meta))
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint(model: Sequential, path: str | Path) -> dict:
+    """Load parameters into ``model``; returns the stored metadata."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        params = archive["params"]
+        meta = json.loads(str(archive["metadata"]))
+    model.set_flat_params(params)
+    return meta

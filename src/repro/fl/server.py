@@ -1,0 +1,71 @@
+"""The FL server: global model state, evaluation, and history.
+
+The server stores the global model as one flat vector (Eq. 1's ``w``)
+plus the most recent aggregated *global delta* — the paper's ``g_hat``
+(Eq. 6) that clients compare their local gradients against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.sequential import Sequential
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Holds and evaluates the global model."""
+
+    def __init__(
+        self,
+        model_fn: Callable[[], Sequential],
+        test_set: Dataset,
+        eval_batch: int = 256,
+    ):
+        self._model = model_fn()
+        self.test_set = test_set
+        self.eval_batch = eval_batch
+        self.params = self._model.get_flat_params()
+        self.global_delta: np.ndarray | None = None  # g_hat of Eq. 6
+        self.version = 0  # bumps on every global model change
+        self._loss_fn = SoftmaxCrossEntropy()
+
+    @property
+    def dim(self) -> int:
+        return self.params.size
+
+    def apply_delta(self, delta: np.ndarray) -> None:
+        """Advance the global model by an aggregated delta."""
+        if delta.shape != self.params.shape:
+            raise ValueError("delta shape does not match global model")
+        self.params = self.params + delta
+        self.global_delta = delta
+        self.version += 1
+
+    def set_params(self, params: np.ndarray, record_delta: bool = True) -> None:
+        """Replace the global model, optionally recording the movement."""
+        if params.shape != self.params.shape:
+            raise ValueError("params shape mismatch")
+        if record_delta:
+            self.global_delta = params - self.params
+        self.params = params.copy()
+        self.version += 1
+
+    def evaluate(self) -> tuple[float, float]:
+        """(accuracy, mean loss) of the current global model on the test set."""
+        self._model.set_flat_params(self.params)
+        n = len(self.test_set)
+        correct = 0
+        losses: list[float] = []
+        for start in range(0, n, self.eval_batch):
+            xb = self.test_set.x[start : start + self.eval_batch]
+            yb = self.test_set.y[start : start + self.eval_batch]
+            logits = self._model.forward(xb, training=False)
+            correct += int((np.argmax(logits, axis=-1) == yb).sum())
+            losses.append(self._loss_fn.forward(logits, yb) * xb.shape[0])
+        return correct / n, float(np.sum(losses) / n)

@@ -1,0 +1,171 @@
+"""Strategy interfaces for synchronous and asynchronous FL.
+
+A *strategy* owns the three decisions that differ between methods:
+which clients participate, what travels on the wire, and how the
+server folds deliveries into the global model.  The engines in
+:mod:`repro.fl.sync_engine` / :mod:`repro.fl.async_engine` own
+everything else (timing, transfers, faults, metrics), so a strategy is
+small and testable in isolation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.compression.base import dense_bytes
+from repro.fl.client import Client, ClientUpdate
+from repro.fl.config import LocalTrainingConfig
+from repro.fl.server import Server
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.conditions import NetworkConditions
+
+__all__ = ["RoundContext", "SyncStrategy", "AsyncStrategy", "weighted_average"]
+
+
+@dataclass
+class RoundContext:
+    """Everything a strategy may consult when selecting clients."""
+
+    round_index: int
+    sim_time_s: float
+    server: Server
+    clients: list[Client]
+    network: "NetworkConditions | None" = None
+    local_config: LocalTrainingConfig | None = None
+
+
+def weighted_average(updates: list[ClientUpdate]) -> np.ndarray:
+    """Sample-count-weighted average of client deltas (Eq. 2 weights)."""
+    if not updates:
+        raise ValueError("cannot average zero updates")
+    total = sum(u.num_samples for u in updates)
+    if total <= 0:
+        raise ValueError("updates carry no samples")
+    acc = np.zeros_like(updates[0].delta)
+    for u in updates:
+        acc += (u.num_samples / total) * u.delta
+    return acc
+
+
+class SyncStrategy:
+    """Base synchronous strategy: random selection, dense uploads, FedAvg-style hooks."""
+
+    name = "sync-base"
+
+    def __init__(self, participation_rate: float = 0.5):
+        if not 0.0 < participation_rate <= 1.0:
+            raise ValueError("participation_rate must be in (0, 1]")
+        self.participation_rate = participation_rate
+
+    # -- lifecycle ------------------------------------------------------
+    def prepare(self, server: Server, clients: list[Client]) -> None:
+        """One-time setup before round 0 (attach state to clients, etc.)."""
+
+    # -- participation --------------------------------------------------
+    def select(
+        self,
+        available: list[int],
+        rng: np.random.Generator,
+        context: RoundContext,
+    ) -> list[int]:
+        """Pick this round's participants from the available clients.
+
+        Default: uniform random sample of ``ceil(rate * num_clients)``
+        clients, capped by availability — the fixed-``r_p`` scheme all
+        baselines in the paper use.
+        """
+        if not available:
+            return []
+        want = math.ceil(self.participation_rate * len(context.clients))
+        take = min(want, len(available))
+        picked = rng.choice(np.asarray(available), size=take, replace=False)
+        return sorted(int(i) for i in picked)
+
+    # -- local training config -----------------------------------------
+    def local_config(self, base: LocalTrainingConfig) -> LocalTrainingConfig:
+        """Per-method tweak of the client optimiser config (e.g. FedProx mu)."""
+        return base
+
+    def client_train_kwargs(self, client: Client) -> dict:
+        """Extra ``Client.local_train`` kwargs (e.g. SCAFFOLD's control)."""
+        del client
+        return {}
+
+    # -- wire format ------------------------------------------------------
+    def process_upload(
+        self, client: Client, update: ClientUpdate, context: RoundContext
+    ) -> tuple[np.ndarray, int]:
+        """(delta as reconstructed by the server, wire bytes).
+
+        Baselines send the dense delta; AdaFL overrides this with DGC.
+        """
+        del client, context
+        return update.delta, dense_bytes(update.delta.size)
+
+    def downlink_bytes(self, server: Server) -> int:
+        """Bytes of the model broadcast each participant downloads."""
+        return dense_bytes(server.dim)
+
+    def on_upload_result(
+        self, client: Client, delivered: bool, context: RoundContext
+    ) -> None:
+        """Delivery feedback for the client's last upload (ACK/NACK).
+
+        Stateful compressors use the NACK to restore state they cleared
+        optimistically at compress time; default is a no-op.
+        """
+
+    # -- aggregation ------------------------------------------------------
+    def aggregate(
+        self, server: Server, updates: list[ClientUpdate], context: RoundContext
+    ) -> None:
+        """Fold delivered updates into the global model (default FedAvg)."""
+        del context
+        if not updates:
+            return
+        server.apply_delta(weighted_average(updates))
+
+
+class AsyncStrategy:
+    """Base asynchronous strategy: server reacts to one update at a time."""
+
+    name = "async-base"
+
+    def prepare(self, server: Server, clients: list[Client]) -> None:
+        """One-time setup before the first dispatch."""
+
+    def local_config(self, base: LocalTrainingConfig) -> LocalTrainingConfig:
+        return base
+
+    def process_upload(
+        self, client: Client, update: ClientUpdate, sim_time_s: float
+    ) -> tuple[np.ndarray, int]:
+        """(delta as reconstructed by the server, wire bytes)."""
+        del client, sim_time_s
+        return update.delta, dense_bytes(update.delta.size)
+
+    def downlink_bytes(self, server: Server) -> int:
+        return dense_bytes(server.dim)
+
+    def on_upload_result(self, client: Client, delivered: bool, sim_time_s: float) -> None:
+        """Delivery feedback (ACK/NACK) for the client's last upload."""
+
+    def should_train(self, client: Client, server: Server, sim_time_s: float) -> bool:
+        """Gate for AdaFL's halting; baselines always train."""
+        del client, server, sim_time_s
+        return True
+
+    def on_update(
+        self,
+        server: Server,
+        update: ClientUpdate,
+        delta: np.ndarray,
+        staleness: int,
+    ) -> bool:
+        """Handle one delivered update; return True if the model changed."""
+        raise NotImplementedError

@@ -1,0 +1,199 @@
+"""Synchronous FL engine.
+
+Implements the round structure of §III-A: every round the strategy
+selects participants, each participant downloads the global model,
+trains locally, and uploads its (possibly compressed) delta; the
+server waits for all transfers, so the round takes
+``max_i (download_i + compute_i + upload_i)`` seconds (Eq. 3).
+Network loss and injected faults turn uploads into *dropped* updates —
+the server aggregates whatever arrived.
+
+The engine is strategy-agnostic: FedAvg and AdaFL run through exactly
+the same loop, differing only in the :class:`~repro.fl.strategy.SyncStrategy`
+hooks they implement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import dense_bytes
+from repro.fl.client import Client
+from repro.fl.config import FederationConfig
+from repro.fl.faults import FaultInjector
+from repro.fl.metrics import RoundRecord, RunResult
+from repro.fl.server import Server
+from repro.fl.strategy import RoundContext, SyncStrategy
+from repro.network.conditions import NetworkConditions
+
+__all__ = ["SyncEngine"]
+
+_DEFAULT_DEVICE_FLOPS = 2e9  # workstation-class sustained FLOP/s
+
+
+class SyncEngine:
+    """Runs a synchronous federated training session."""
+
+    def __init__(
+        self,
+        server: Server,
+        clients: list[Client],
+        strategy: SyncStrategy,
+        config: FederationConfig,
+        network: NetworkConditions | None = None,
+        faults: FaultInjector | None = None,
+        device_flops: np.ndarray | None = None,
+    ):
+        if not clients:
+            raise ValueError("need at least one client")
+        if network is not None and len(network) != len(clients):
+            raise ValueError("network must describe exactly one endpoint per client")
+        if device_flops is not None and len(device_flops) != len(clients):
+            raise ValueError("device_flops must have one entry per client")
+        self.server = server
+        self.clients = clients
+        self.strategy = strategy
+        self.config = config
+        self.network = network
+        self.faults = faults if faults is not None else FaultInjector()
+        self.device_flops = (
+            np.asarray(device_flops, dtype=np.float64)
+            if device_flops is not None
+            else np.full(len(clients), _DEFAULT_DEVICE_FLOPS)
+        )
+        if np.any(self.device_flops <= 0):
+            raise ValueError("device compute rates must be positive")
+        self._rng = np.random.default_rng(config.seed)
+        self.sim_time_s = 0.0
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute ``config.num_rounds`` rounds and return the metrics."""
+        result = self.new_result()
+        for record in self.iter_rounds():
+            result.records.append(record)
+        return result
+
+    def new_result(self) -> RunResult:
+        """An empty :class:`RunResult` wired for this engine."""
+        return RunResult(
+            method=self.strategy.name,
+            num_clients=len(self.clients),
+            model_bytes=dense_bytes(self.server.dim),
+        )
+
+    def iter_rounds(self):
+        """Yield one :class:`RoundRecord` per round as training progresses.
+
+        Lets callers observe (or interleave work with) the federation
+        round by round; ``run`` is a thin wrapper over this.
+        """
+        self.strategy.prepare(self.server, self.clients)
+        local_cfg = self.strategy.local_config(self.config.local)
+        for round_index in range(self.config.num_rounds):
+            record = self._run_round(round_index, local_cfg)
+            if (round_index + 1) % self.config.eval_every == 0:
+                accuracy, loss = self.server.evaluate()
+                record.accuracy = accuracy
+                record.loss = loss
+            yield record
+
+    # ------------------------------------------------------------------
+    def _run_round(self, round_index: int, local_cfg) -> RoundRecord:
+        context = RoundContext(
+            round_index=round_index,
+            sim_time_s=self.sim_time_s,
+            server=self.server,
+            clients=self.clients,
+            network=self.network,
+            local_config=local_cfg,
+        )
+        available = [
+            c.client_id
+            for c in self.clients
+            if self.faults.available(c.client_id, round_index)
+        ]
+        selected = self.strategy.select(available, self._rng, context)
+
+        delivered = []
+        bytes_up = 0
+        bytes_down = 0
+        upload_sizes: list[int] = []
+        dropped = 0
+        durations: list[float] = [0.0]
+
+        model_bytes = self.strategy.downlink_bytes(self.server)
+        for cid in selected:
+            client = self.clients[cid]
+            down_s, down_ok = self._transfer_down(cid, model_bytes)
+            bytes_down += model_bytes
+            if not down_ok:
+                # Client never received the round's model: silent dropout.
+                dropped += 1
+                durations.append(down_s)
+                continue
+
+            kwargs = self.strategy.client_train_kwargs(client)
+            update = client.local_train(
+                self.server.params, local_cfg, round_index=round_index, **kwargs
+            )
+            compute_s = update.flops / self.device_flops[cid]
+
+            delta, up_bytes = self.strategy.process_upload(client, update, context)
+            up_s, up_ok = self._transfer_up(cid, up_bytes, down_s + compute_s)
+            total_s = down_s + compute_s + up_s
+
+            deadline = self.config.round_deadline_s
+            if deadline is not None and total_s > deadline:
+                # §III-A max-wait-time policy: the server closes the
+                # round at the deadline and discards the late update.
+                durations.append(deadline)
+                dropped += 1
+                self.strategy.on_upload_result(client, False, context)
+                continue
+            durations.append(total_s)
+
+            if not up_ok or self.faults.upload_lost(cid, self._rng):
+                dropped += 1
+                self.strategy.on_upload_result(client, False, context)
+                continue
+            self.strategy.on_upload_result(client, True, context)
+
+            bytes_up += up_bytes
+            upload_sizes.append(up_bytes)
+            update.delta = delta  # server sees the decompressed delta
+            delivered.append(update)
+
+        self.strategy.aggregate(self.server, delivered, context)
+        # Synchronous barrier: the round lasts as long as its slowest
+        # participant (Eq. 3), capped by the server's deadline if set.
+        round_time = max(durations)
+        if self.config.round_deadline_s is not None:
+            round_time = min(round_time, self.config.round_deadline_s)
+        self.sim_time_s += round_time
+
+        return RoundRecord(
+            round_index=round_index,
+            sim_time_s=self.sim_time_s,
+            num_uploads=len(delivered),
+            bytes_up=bytes_up,
+            bytes_down=bytes_down,
+            participants=[u.client_id for u in delivered],
+            upload_sizes=upload_sizes,
+            dropped_uploads=dropped,
+        )
+
+    # ------------------------------------------------------------------
+    def _transfer_down(self, cid: int, num_bytes: int) -> tuple[float, bool]:
+        if self.network is None:
+            return 0.0, True
+        res = self.network[cid].receive_model(num_bytes, self.sim_time_s, self._rng)
+        return res.duration_s, res.delivered
+
+    def _transfer_up(self, cid: int, num_bytes: int, offset_s: float) -> tuple[float, bool]:
+        if self.network is None:
+            return 0.0, True
+        res = self.network[cid].send_update(
+            num_bytes, self.sim_time_s + offset_s, self._rng
+        )
+        return res.duration_s, res.delivered

@@ -1,0 +1,41 @@
+"""Network emulation substrate: links, traces, schedules, events."""
+
+from repro.network.churn import AlwaysOn, ChurnModel
+from repro.network.conditions import ClientNetwork, NetworkConditions
+from repro.network.estimator import BandwidthEstimator
+from repro.network.events import Event, EventQueue
+from repro.network.link import LINK_PRESETS, LinkModel, TransferResult, link_preset
+from repro.network.tracefile import load_trace_csv, load_trace_dir, save_trace_csv
+from repro.network.traces import (
+    TRACE_GENERATORS,
+    BandwidthTrace,
+    constant_trace,
+    diurnal_trace,
+    gauss_markov_trace,
+    generate_trace,
+    markov_onoff_trace,
+)
+
+__all__ = [
+    "Event",
+    "BandwidthEstimator",
+    "EventQueue",
+    "LinkModel",
+    "TransferResult",
+    "LINK_PRESETS",
+    "link_preset",
+    "BandwidthTrace",
+    "save_trace_csv",
+    "load_trace_csv",
+    "load_trace_dir",
+    "constant_trace",
+    "gauss_markov_trace",
+    "markov_onoff_trace",
+    "diurnal_trace",
+    "generate_trace",
+    "TRACE_GENERATORS",
+    "ClientNetwork",
+    "ChurnModel",
+    "AlwaysOn",
+    "NetworkConditions",
+]

@@ -1,0 +1,103 @@
+"""Client availability churn.
+
+Embedded FL fleets are not always-on: devices sleep, move out of
+coverage, or yield to foreground work.  :class:`ChurnModel` generates
+a deterministic on/off schedule per client (exponential on- and
+off-period durations), and the async engine consults it to defer work
+while a client is offline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ChurnModel", "AlwaysOn"]
+
+
+class AlwaysOn:
+    """The no-churn default: every client is always available."""
+
+    def is_online(self, client_id: int, t: float) -> bool:
+        del client_id, t
+        return True
+
+    def next_online(self, client_id: int, t: float) -> float:
+        del client_id
+        return t
+
+
+class ChurnModel:
+    """Per-client alternating on/off schedule.
+
+    Periods are exponentially distributed with the given means and
+    pre-generated far enough ahead for any simulation horizon
+    (extended lazily on demand), so lookups are deterministic for a
+    given seed regardless of query order.
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        mean_on_s: float = 300.0,
+        mean_off_s: float = 60.0,
+        seed: int = 0,
+        start_online_prob: float = 0.8,
+    ):
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if mean_on_s <= 0 or mean_off_s <= 0:
+            raise ValueError("mean periods must be positive")
+        if not 0.0 <= start_online_prob <= 1.0:
+            raise ValueError("start_online_prob must be in [0, 1]")
+        self.num_clients = num_clients
+        self.mean_on_s = mean_on_s
+        self.mean_off_s = mean_off_s
+        self._rngs = [
+            np.random.default_rng(seed * 1_000_003 + cid) for cid in range(num_clients)
+        ]
+        self._starts_online = [
+            rng.random() < start_online_prob for rng in self._rngs
+        ]
+        # Per client: sorted toggle times; state flips at each toggle.
+        self._toggles: list[list[float]] = [[] for _ in range(num_clients)]
+
+    def _extend(self, cid: int, until: float) -> None:
+        toggles = self._toggles[cid]
+        rng = self._rngs[cid]
+        online = self._starts_online[cid] if not toggles else (
+            self._starts_online[cid] ^ (len(toggles) % 2 == 1)
+        )
+        last = toggles[-1] if toggles else 0.0
+        while last <= until:
+            mean = self.mean_on_s if online else self.mean_off_s
+            last += float(rng.exponential(mean))
+            toggles.append(last)
+            online = not online
+
+    def _state_at(self, cid: int, t: float) -> tuple[bool, int]:
+        """(online?, index of next toggle after t)."""
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        self._extend(cid, t)
+        toggles = self._toggles[cid]
+        idx = int(np.searchsorted(toggles, t, side="right"))
+        online = self._starts_online[cid] ^ (idx % 2 == 1)
+        return online, idx
+
+    def is_online(self, client_id: int, t: float) -> bool:
+        """Is the client available at simulated time ``t``?"""
+        self._check_cid(client_id)
+        online, _ = self._state_at(client_id, t)
+        return online
+
+    def next_online(self, client_id: int, t: float) -> float:
+        """Earliest time >= ``t`` at which the client is online."""
+        self._check_cid(client_id)
+        online, idx = self._state_at(client_id, t)
+        if online:
+            return t
+        return self._toggles[client_id][idx]
+
+    def _check_cid(self, client_id: int) -> None:
+        if not 0 <= client_id < self.num_clients:
+            raise ValueError(f"client_id {client_id} out of range")

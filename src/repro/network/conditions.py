@@ -1,0 +1,162 @@
+"""Per-client network schedules.
+
+:class:`ClientNetwork` combines a base uplink/downlink
+:class:`~repro.network.link.LinkModel` with an optional
+:class:`~repro.network.traces.BandwidthTrace` that modulates bandwidth
+over simulated time.  :class:`NetworkConditions` holds one
+``ClientNetwork`` per client and provides constructors for the mixes
+used in the paper's empirical study (a fraction of unreliable
+"straggler" clients among healthy ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.link import LINK_PRESETS, LinkModel, TransferResult
+from repro.network.traces import BandwidthTrace
+
+__all__ = ["ClientNetwork", "NetworkConditions"]
+
+
+@dataclass
+class ClientNetwork:
+    """Network endpoint state for a single FL client."""
+
+    uplink: LinkModel
+    downlink: LinkModel
+    uplink_trace: BandwidthTrace | None = None
+    downlink_trace: BandwidthTrace | None = None
+    label: str = "client"
+
+    def uplink_at(self, t: float) -> LinkModel:
+        """Effective uplink at simulated time ``t``."""
+        if self.uplink_trace is None:
+            return self.uplink
+        factor = self.uplink_trace.bandwidth_at(t) / self.uplink.bandwidth_mbps
+        return self.uplink.scaled(factor)
+
+    def downlink_at(self, t: float) -> LinkModel:
+        """Effective downlink at simulated time ``t``."""
+        if self.downlink_trace is None:
+            return self.downlink
+        factor = self.downlink_trace.bandwidth_at(t) / self.downlink.bandwidth_mbps
+        return self.downlink.scaled(factor)
+
+    def uplink_bandwidth(self, t: float) -> float:
+        """Uplink bandwidth (Mbps) observable at time ``t``.
+
+        This is the ``B_i^up`` term of the paper's utility score
+        (Eq. 6): the bandwidth a client would report to the server.
+        """
+        return self.uplink_at(t).bandwidth_mbps
+
+    def downlink_bandwidth(self, t: float) -> float:
+        """Downlink bandwidth (Mbps) observable at time ``t`` (``B_i^down``)."""
+        return self.downlink_at(t).bandwidth_mbps
+
+    def send_update(self, num_bytes: int, t: float, rng: np.random.Generator) -> TransferResult:
+        """Client-to-server transfer at time ``t``."""
+        return self.uplink_at(t).transfer(num_bytes, rng)
+
+    def receive_model(self, num_bytes: int, t: float, rng: np.random.Generator) -> TransferResult:
+        """Server-to-client transfer at time ``t``."""
+        return self.downlink_at(t).transfer(num_bytes, rng)
+
+
+@dataclass
+class NetworkConditions:
+    """The network side of a federation: one endpoint per client."""
+
+    clients: list[ClientNetwork] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    def __getitem__(self, client_id: int) -> ClientNetwork:
+        return self.clients[client_id]
+
+    @classmethod
+    def uniform(cls, num_clients: int, preset: str = "ethernet") -> "NetworkConditions":
+        """All clients on the same preset link (both directions)."""
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        link = LINK_PRESETS[preset]
+        return cls(
+            clients=[
+                ClientNetwork(uplink=link, downlink=link, label=preset)
+                for _ in range(num_clients)
+            ]
+        )
+
+    @classmethod
+    def with_stragglers(
+        cls,
+        num_clients: int,
+        straggler_fraction: float,
+        good_preset: str = "ethernet",
+        bad_preset: str = "constrained",
+        rng: np.random.Generator | None = None,
+    ) -> "NetworkConditions":
+        """The empirical-study mix: a fraction of clients on a bad link.
+
+        Stragglers are chosen uniformly at random; the count is
+        ``round(num_clients * straggler_fraction)``, matching the
+        paper's "proportion of unreliable clients" axis in Figure 1.
+        """
+        if not 0.0 <= straggler_fraction <= 1.0:
+            raise ValueError("straggler_fraction must be in [0, 1]")
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        good = LINK_PRESETS[good_preset]
+        bad = LINK_PRESETS[bad_preset]
+        num_bad = int(round(num_clients * straggler_fraction))
+        bad_ids = set(rng.choice(num_clients, size=num_bad, replace=False).tolist())
+        clients = []
+        for i in range(num_clients):
+            if i in bad_ids:
+                clients.append(ClientNetwork(uplink=bad, downlink=bad, label=bad_preset))
+            else:
+                clients.append(ClientNetwork(uplink=good, downlink=good, label=good_preset))
+        return cls(clients=clients)
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        num_clients: int,
+        presets: list[str],
+        rng: np.random.Generator | None = None,
+        traces: list[BandwidthTrace | None] | None = None,
+    ) -> "NetworkConditions":
+        """Clients drawn round-robin from a preset list, optionally traced."""
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if not presets:
+            raise ValueError("presets must be non-empty")
+        del rng  # kept for API symmetry with the other constructors
+        clients = []
+        for i in range(num_clients):
+            preset = presets[i % len(presets)]
+            link = LINK_PRESETS[preset]
+            trace = traces[i % len(traces)] if traces else None
+            clients.append(
+                ClientNetwork(
+                    uplink=link,
+                    downlink=link,
+                    uplink_trace=trace,
+                    downlink_trace=trace,
+                    label=preset,
+                )
+            )
+        return cls(clients=clients)
+
+    def straggler_ids(self, threshold_mbps: float = 2.0, t: float = 0.0) -> list[int]:
+        """Clients whose uplink at time ``t`` is below ``threshold_mbps``."""
+        return [
+            i
+            for i, c in enumerate(self.clients)
+            if c.uplink_bandwidth(t) < threshold_mbps
+        ]

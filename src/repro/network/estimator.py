@@ -1,0 +1,65 @@
+"""Client-side bandwidth estimation.
+
+AdaFL's utility score consumes per-client bandwidths ``B_i^down`` and
+``B_i^up`` (Eq. 6).  Real clients do not know their link capacity —
+they estimate it from observed transfers.  :class:`BandwidthEstimator`
+implements the estimator a deployment would run: an exponentially
+weighted moving average over per-transfer throughput samples, with a
+configurable prior for the cold-start rounds before any transfer has
+completed.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BandwidthEstimator"]
+
+_BITS_PER_BYTE = 8.0
+_MBPS = 1_000_000.0
+
+
+class BandwidthEstimator:
+    """EWMA throughput estimator over observed transfers."""
+
+    def __init__(self, alpha: float = 0.3, prior_mbps: float = 10.0):
+        """``alpha`` weights the newest sample; ``prior_mbps`` seeds the
+        estimate before the first observation."""
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if prior_mbps <= 0:
+            raise ValueError("prior_mbps must be positive")
+        self.alpha = alpha
+        self.prior_mbps = prior_mbps
+        self._estimate: float | None = None
+        self._num_samples = 0
+
+    @property
+    def num_samples(self) -> int:
+        return self._num_samples
+
+    @property
+    def cold(self) -> bool:
+        """True until at least one transfer has been observed."""
+        return self._estimate is None
+
+    def observe(self, num_bytes: int, duration_s: float) -> float:
+        """Fold one completed transfer into the estimate; returns it."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        sample = num_bytes * _BITS_PER_BYTE / duration_s / _MBPS
+        if self._estimate is None:
+            self._estimate = sample
+        else:
+            self._estimate = self.alpha * sample + (1.0 - self.alpha) * self._estimate
+        self._num_samples += 1
+        return self._estimate
+
+    def estimate_mbps(self) -> float:
+        """Current bandwidth estimate (the prior while cold)."""
+        return self.prior_mbps if self._estimate is None else self._estimate
+
+    def reset(self) -> None:
+        """Forget all observations (e.g. after a network handover)."""
+        self._estimate = None
+        self._num_samples = 0

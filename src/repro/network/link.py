@@ -1,0 +1,104 @@
+"""Point-to-point link models.
+
+A :class:`LinkModel` turns a payload size into a transfer time and a
+delivery verdict, from four physical-ish parameters: bandwidth,
+propagation latency, latency jitter, and packet/update loss rate.
+This is the quantity the paper consumes from ns-3 — per-transfer delay
+and loss — without simulating individual packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["LinkModel", "TransferResult", "LINK_PRESETS", "link_preset"]
+
+_BITS_PER_BYTE = 8.0
+_MBPS = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of sending a payload across a link."""
+
+    delivered: bool
+    duration_s: float
+    num_bytes: int
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """A unidirectional link.
+
+    Parameters
+    ----------
+    bandwidth_mbps:
+        Sustained throughput in megabits per second; must be positive.
+    latency_ms:
+        One-way propagation delay added to every transfer.
+    jitter_ms:
+        Standard deviation of a (truncated-at-zero) Gaussian latency
+        perturbation.
+    loss_rate:
+        Probability that a transfer is lost entirely.  The paper models
+        constrained links at update granularity — an undelivered update
+        is a dropout — so loss applies per transfer, not per packet.
+    """
+
+    bandwidth_mbps: float
+    latency_ms: float = 0.0
+    jitter_ms: float = 0.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_ms < 0 or self.jitter_ms < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+
+    def transfer_time(self, num_bytes: int, rng: np.random.Generator | None = None) -> float:
+        """Seconds to move ``num_bytes`` across the link (no loss)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        serialisation = num_bytes * _BITS_PER_BYTE / (self.bandwidth_mbps * _MBPS)
+        latency = self.latency_ms / 1000.0
+        if rng is not None and self.jitter_ms > 0:
+            latency = max(0.0, latency + rng.normal(0.0, self.jitter_ms / 1000.0))
+        return serialisation + latency
+
+    def transfer(self, num_bytes: int, rng: np.random.Generator) -> TransferResult:
+        """Attempt a transfer, rolling for loss."""
+        duration = self.transfer_time(num_bytes, rng)
+        delivered = rng.random() >= self.loss_rate
+        return TransferResult(delivered=delivered, duration_s=duration, num_bytes=num_bytes)
+
+    def scaled(self, bandwidth_factor: float) -> "LinkModel":
+        """A copy with bandwidth multiplied by ``bandwidth_factor``."""
+        if bandwidth_factor <= 0:
+            raise ValueError("bandwidth_factor must be positive")
+        return replace(self, bandwidth_mbps=self.bandwidth_mbps * bandwidth_factor)
+
+
+LINK_PRESETS: dict[str, LinkModel] = {
+    # Campus wired link: effectively unconstrained for gradient-sized payloads.
+    "ethernet": LinkModel(bandwidth_mbps=100.0, latency_ms=1.0, jitter_ms=0.2),
+    # Healthy consumer Wi-Fi.
+    "wifi": LinkModel(bandwidth_mbps=20.0, latency_ms=5.0, jitter_ms=2.0, loss_rate=0.01),
+    # Cellular uplink (embedded/mobile clients).
+    "lte": LinkModel(bandwidth_mbps=5.0, latency_ms=40.0, jitter_ms=15.0, loss_rate=0.03),
+    # Badly constrained/congested edge link — the paper's problem regime.
+    "constrained": LinkModel(bandwidth_mbps=1.0, latency_ms=100.0, jitter_ms=40.0, loss_rate=0.10),
+}
+
+
+def link_preset(name: str) -> LinkModel:
+    """Look up a preset link by name, failing loudly on typos."""
+    try:
+        return LINK_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(LINK_PRESETS))
+        raise KeyError(f"unknown link preset {name!r}; known presets: {known}") from None

@@ -1,0 +1,74 @@
+"""Bandwidth-trace file I/O.
+
+The paper drives its emulation from ns-3 output (the ns3-fl workflow);
+deployments log real link telemetry.  Both reduce to the same
+interchange format: rows of ``time_s, bandwidth_mbps``.  This module
+reads and writes that CSV form so externally generated traces (ns-3,
+iperf logs, production telemetry) can drive
+:class:`repro.network.traces.BandwidthTrace` directly.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.network.traces import BandwidthTrace
+
+__all__ = ["save_trace_csv", "load_trace_csv", "load_trace_dir"]
+
+_HEADER = ("time_s", "bandwidth_mbps")
+
+
+def save_trace_csv(trace: BandwidthTrace, path: str | Path) -> Path:
+    """Write a trace as ``time_s,bandwidth_mbps`` rows; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for t, bw in zip(trace.times, trace.bandwidth_mbps):
+            writer.writerow([f"{t:.6f}", f"{bw:.6f}"])
+    return path
+
+
+def load_trace_csv(path: str | Path) -> BandwidthTrace:
+    """Read a trace CSV written by :func:`save_trace_csv` (or ns-3 export).
+
+    Rows must be sorted by time, start at t=0, and carry positive
+    bandwidths; a header row matching the canonical column names is
+    skipped if present.
+    """
+    path = Path(path)
+    times: list[float] = []
+    bws: list[float] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        for row_index, row in enumerate(reader):
+            if not row or row[0].startswith("#"):
+                continue
+            if row_index == 0 and row[0].strip().lower() == _HEADER[0]:
+                continue
+            if len(row) < 2:
+                raise ValueError(f"{path}: row {row_index} has fewer than 2 columns")
+            times.append(float(row[0]))
+            bws.append(float(row[1]))
+    if not times:
+        raise ValueError(f"{path}: no trace rows found")
+    return BandwidthTrace(
+        times=np.asarray(times), bandwidth_mbps=np.asarray(bws)
+    )
+
+
+def load_trace_dir(directory: str | Path, pattern: str = "*.csv") -> list[BandwidthTrace]:
+    """Load every trace CSV in a directory (sorted by filename).
+
+    The per-client trace layout ns3-fl produces: one file per client.
+    """
+    directory = Path(directory)
+    paths = sorted(directory.glob(pattern))
+    if not paths:
+        raise ValueError(f"no trace files matching {pattern!r} in {directory}")
+    return [load_trace_csv(p) for p in paths]

@@ -1,0 +1,80 @@
+"""A from-scratch numpy neural-network substrate.
+
+This package stands in for PyTorch in the reproduction: layers with
+explicit backprop, SGD/Adam optimisers, softmax cross-entropy, and a
+model zoo matching the paper's architectures (the MNIST CNN exactly;
+ResNet/VGG as depth-reduced equivalents).
+"""
+
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Layer,
+    Linear,
+    MaxPool2d,
+    Parameter,
+    ReLU,
+    ResidualBlock,
+    Tanh,
+)
+from repro.nn.normalization import BatchNorm2d, GroupNorm
+from repro.nn.schedulers import (
+    CosineAnnealingLR,
+    LRScheduler,
+    StepLR,
+    WarmupLR,
+    clip_grad_norm,
+)
+from repro.nn.losses import MSELoss, SoftmaxCrossEntropy, log_softmax, softmax
+from repro.nn.models import (
+    MODEL_BUILDERS,
+    build_logistic,
+    build_mlp,
+    build_mnist_cnn,
+    build_model,
+    build_resnet_mini,
+    build_vgg_mini,
+)
+from repro.nn.optim import SGD, Adam, AdamVector, Optimizer
+from repro.nn.sequential import Sequential
+
+__all__ = [
+    "Layer",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "ReLU",
+    "Tanh",
+    "Dropout",
+    "Flatten",
+    "ResidualBlock",
+    "BatchNorm2d",
+    "GroupNorm",
+    "LRScheduler",
+    "StepLR",
+    "CosineAnnealingLR",
+    "WarmupLR",
+    "clip_grad_norm",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "MSELoss",
+    "softmax",
+    "log_softmax",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamVector",
+    "MODEL_BUILDERS",
+    "build_model",
+    "build_logistic",
+    "build_mlp",
+    "build_mnist_cnn",
+    "build_resnet_mini",
+    "build_vgg_mini",
+]

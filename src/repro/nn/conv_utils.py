@@ -1,0 +1,96 @@
+"""im2col / col2im helpers for convolution and pooling layers.
+
+Convolutions in :mod:`repro.nn` are implemented as a single matrix
+multiplication over an *im2col* expansion of the input.  On a CPU this
+is the standard way to get BLAS-speed convolutions out of numpy, and it
+keeps the backward pass a plain transposed matmul plus a *col2im*
+scatter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conv_output_size", "im2col", "col2im"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution collapses dimension: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Expand ``x`` of shape (N, C, H, W) into convolution columns.
+
+    Returns an array of shape ``(N * out_h * out_w, C * kernel_h *
+    kernel_w)`` where each row is one receptive field, laid out so that
+    ``cols @ weights.reshape(out_c, -1).T`` computes the convolution.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+
+    if padding > 0:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+
+    cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
+    for i in range(kernel_h):
+        i_max = i + stride * out_h
+        for j in range(kernel_w):
+            j_max = j + stride * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
+
+    # (N, out_h, out_w, C, kh, kw) -> rows of receptive fields.
+    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+        n * out_h * out_w, c * kernel_h * kernel_w
+    )
+    return cols
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back to an image.
+
+    Overlapping receptive fields accumulate, which is exactly the
+    gradient of the im2col gather — so this implements the backward
+    pass of convolution with respect to its input.
+    """
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+
+    cols = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w)
+    cols = cols.transpose(0, 3, 4, 5, 1, 2)
+
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kernel_h):
+        i_max = i + stride * out_h
+        for j in range(kernel_w):
+            j_max = j + stride * out_w
+            padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
+
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded

@@ -1,0 +1,514 @@
+"""Layers with explicit forward/backward passes.
+
+The package deliberately avoids a tape-based autograd: every layer
+caches what it needs during ``forward`` and consumes it in
+``backward``.  That keeps the memory profile predictable (important for
+the embedded-device cost model in :mod:`repro.embedded`) and makes the
+FLOP accounting per layer exact.
+
+All layers share the :class:`Layer` interface:
+
+``forward(x, training=False)``
+    Run the layer, caching intermediates when ``training`` is true.
+``backward(grad_out)``
+    Given the loss gradient w.r.t. the layer output, accumulate
+    parameter gradients into ``Parameter.grad`` and return the gradient
+    w.r.t. the layer input.
+``parameters()``
+    The layer's trainable :class:`Parameter` objects, in a stable
+    order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.conv_utils import col2im, conv_output_size, im2col
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "ReLU",
+    "Tanh",
+    "Dropout",
+    "Flatten",
+    "ResidualBlock",
+]
+
+
+class Parameter:
+    """A trainable tensor with an accompanying gradient buffer."""
+
+    __slots__ = ("name", "data", "grad")
+
+    def __init__(self, name: str, data: np.ndarray):
+        self.name = name
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def size(self) -> int:
+        """Number of scalar elements in the parameter."""
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        """Reset the gradient buffer in place."""
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name!r}, shape={self.data.shape})"
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        """Trainable parameters in a stable order (default: none)."""
+        return []
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Shape (excluding batch) this layer produces for ``input_shape``."""
+        raise NotImplementedError
+
+    def flops(self, input_shape: tuple[int, ...]) -> int:
+        """Approximate multiply-accumulate count for one forward sample.
+
+        The embedded-device cost model multiplies this by a
+        backward-pass factor; layers without arithmetic return 0.
+        """
+        del input_shape
+        return 0
+
+
+class Linear(Layer):
+    """Fully connected layer: ``y = x @ W.T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        name: str = "linear",
+    ):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            f"{name}.weight",
+            initializers.kaiming_uniform((out_features, in_features), rng),
+        )
+        self.bias = Parameter(f"{name}.bias", initializers.zeros((out_features,))) if bias else None
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Linear expected (N, {self.in_features}), got {x.shape}"
+            )
+        if training:
+            self._x = x
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        self.weight.grad += grad_out.T @ self._x
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=0)
+        grad_in = grad_out @ self.weight.data
+        self._x = None
+        return grad_in
+
+    def parameters(self) -> list[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if input_shape != (self.in_features,):
+            raise ValueError(
+                f"Linear expected input shape ({self.in_features},), got {input_shape}"
+            )
+        return (self.out_features,)
+
+    def flops(self, input_shape: tuple[int, ...]) -> int:
+        return self.in_features * self.out_features
+
+
+class Conv2d(Layer):
+    """2-D convolution over (N, C, H, W) inputs via im2col."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        name: str = "conv",
+    ):
+        if kernel_size <= 0 or stride <= 0 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(f"{name}.weight", initializers.kaiming_uniform(shape, rng))
+        self.bias = Parameter(f"{name}.bias", initializers.zeros((out_channels,))) if bias else None
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expected (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n, _, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        out_h = conv_output_size(h, k, s, p)
+        out_w = conv_output_size(w, k, s, p)
+        cols = im2col(x, k, k, s, p)
+        if training:
+            self._cols = cols
+            self._x_shape = x.shape
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        out = cols @ w_mat.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        n, _, out_h, out_w = grad_out.shape
+        grad_mat = grad_out.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        self.weight.grad += (grad_mat.T @ self._cols).reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += grad_mat.sum(axis=0)
+        grad_cols = grad_mat @ w_mat
+        grad_in = col2im(
+            grad_cols,
+            self._x_shape,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+        self._cols = None
+        self._x_shape = None
+        return grad_in
+
+    def parameters(self) -> list[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        out_h = conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        return (self.out_channels, out_h, out_w)
+
+    def flops(self, input_shape: tuple[int, ...]) -> int:
+        _, out_h, out_w = self.output_shape(input_shape)
+        per_output = self.in_channels * self.kernel_size * self.kernel_size
+        return per_output * self.out_channels * out_h * out_w
+
+
+class MaxPool2d(Layer):
+    """Max pooling with a square window; window must tile exactly or floor."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._mask: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = conv_output_size(h, k, s, 0)
+        out_w = conv_output_size(w, k, s, 0)
+        # Treat channels as extra batch entries so im2col windows stay
+        # single-channel.
+        reshaped = x.reshape(n * c, 1, h, w)
+        cols = im2col(reshaped, k, k, s, 0)
+        out = cols.max(axis=1)
+        if training:
+            mask = cols == out[:, None]
+            # Break ties: keep only the first maximal element per window
+            # so the backward pass routes each gradient exactly once.
+            first = np.argmax(mask, axis=1)
+            mask = np.zeros_like(mask)
+            mask[np.arange(mask.shape[0]), first] = True
+            self._mask = mask
+            self._x_shape = (n, c, h, w)
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        n, c, h, w = self._x_shape
+        grad_flat = grad_out.reshape(-1, 1)
+        grad_cols = self._mask * grad_flat
+        grad_in = col2im(
+            grad_cols,
+            (n * c, 1, h, w),
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            0,
+        )
+        self._mask = None
+        self._x_shape = None
+        return grad_in.reshape(n, c, h, w)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        out_h = conv_output_size(h, self.kernel_size, self.stride, 0)
+        out_w = conv_output_size(w, self.kernel_size, self.stride, 0)
+        return (c, out_h, out_w)
+
+
+class AvgPool2d(Layer):
+    """Average pooling with a square window."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = conv_output_size(h, k, s, 0)
+        out_w = conv_output_size(w, k, s, 0)
+        cols = im2col(x.reshape(n * c, 1, h, w), k, k, s, 0)
+        out = cols.mean(axis=1)
+        if training:
+            self._x_shape = (n, c, h, w)
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        n, c, h, w = self._x_shape
+        window = self.kernel_size * self.kernel_size
+        grad_cols = np.repeat(grad_out.reshape(-1, 1) / window, window, axis=1)
+        grad_in = col2im(
+            grad_cols,
+            (n * c, 1, h, w),
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            0,
+        )
+        self._x_shape = None
+        return grad_in.reshape(n, c, h, w)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        out_h = conv_output_size(h, self.kernel_size, self.stride, 0)
+        out_w = conv_output_size(w, self.kernel_size, self.stride, 0)
+        return (c, out_h, out_w)
+
+
+class GlobalAvgPool2d(Layer):
+    """Average over the entire spatial extent, yielding (N, C)."""
+
+    def __init__(self) -> None:
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        n, c, h, w = self._x_shape
+        grad_in = np.broadcast_to(
+            grad_out[:, :, None, None] / (h * w), (n, c, h, w)
+        ).copy()
+        self._x_shape = None
+        return grad_in
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, _, _ = input_shape
+        return (c,)
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        grad_in = grad_out * self._mask
+        self._mask = None
+        return grad_in
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(x)
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        grad_in = grad_out * (1.0 - self._out**2)
+        self._out = None
+        return grad_in
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at evaluation time.
+
+    The layer owns its RNG so that two clones of a model seeded
+    identically draw identical masks — required for deterministic
+    federated runs.
+    """
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        grad_in = grad_out * self._mask
+        self._mask = None
+        return grad_in
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+
+class Flatten(Layer):
+    """Reshape (N, ...) to (N, -1)."""
+
+    def __init__(self) -> None:
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._x_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        grad_in = grad_out.reshape(self._x_shape)
+        self._x_shape = None
+        return grad_in
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        size = 1
+        for dim in input_shape:
+            size *= dim
+        return (size,)
+
+
+class ResidualBlock(Layer):
+    """Two 3x3 same-padding convolutions with an identity skip.
+
+    This is the building block of :func:`repro.nn.models.build_resnet_mini`,
+    the depth-reduced stand-in for the paper's ResNet-50.
+    """
+
+    def __init__(self, channels: int, rng: np.random.Generator, name: str = "res"):
+        self.conv1 = Conv2d(channels, channels, 3, rng, padding=1, name=f"{name}.conv1")
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(channels, channels, 3, rng, padding=1, name=f"{name}.conv2")
+        self.relu2 = ReLU()
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = self.conv1.forward(x, training)
+        out = self.relu1.forward(out, training)
+        out = self.conv2.forward(out, training)
+        return self.relu2.forward(out + x, training)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.relu2.backward(grad_out)
+        grad_branch = self.conv2.backward(grad)
+        grad_branch = self.relu1.backward(grad_branch)
+        grad_branch = self.conv1.backward(grad_branch)
+        return grad_branch + grad
+
+    def parameters(self) -> list[Parameter]:
+        return self.conv1.parameters() + self.conv2.parameters()
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+    def flops(self, input_shape: tuple[int, ...]) -> int:
+        mid = self.conv1.output_shape(input_shape)
+        return self.conv1.flops(input_shape) + self.conv2.flops(mid)

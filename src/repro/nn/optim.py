@@ -1,0 +1,149 @@
+"""Optimisers operating on :class:`repro.nn.layers.Parameter` lists.
+
+``SGD`` (optionally with momentum and weight decay) is the client-side
+optimiser used throughout the paper; ``Adam`` doubles as the
+server-side optimiser for FedAdam when driven through
+:class:`AdamVector`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamVector"]
+
+
+class Optimizer:
+    """Base optimiser over a fixed parameter list."""
+
+    def __init__(self, params: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not params:
+            raise ValueError("optimizer needs at least one parameter")
+        self.params = list(params)
+        self.lr = lr
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0.0:
+            raise ValueError("weight_decay must be non-negative")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in params] if momentum else None
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self._velocity is not None:
+                v = self._velocity[i]
+                v *= self.momentum
+                v += grad
+                update = v
+            else:
+                update = grad
+            p.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in params]
+        self._v = [np.zeros_like(p.data) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for i, p in enumerate(self.params):
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m = self._m[i]
+            v = self._v[i]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class AdamVector:
+    """Adam over a single flat vector (server-side optimiser for FedAdam).
+
+    FedAdam (Reddi et al., 2020) treats the negated average client delta
+    as a pseudo-gradient and applies Adam on the server.  The server
+    stores the global model as one flat vector, so this variant avoids
+    round-tripping through ``Parameter`` objects.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        lr: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.99,
+        eps: float = 1e-3,
+    ):
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = np.zeros(dim, dtype=np.float64)
+        self._v = np.zeros(dim, dtype=np.float64)
+        self._t = 0
+
+    def step(self, params: np.ndarray, pseudo_grad: np.ndarray) -> np.ndarray:
+        """Return updated parameters given a pseudo-gradient."""
+        if params.shape != self._m.shape or pseudo_grad.shape != self._m.shape:
+            raise ValueError("shape mismatch with optimiser state")
+        self._t += 1
+        self._m = self.beta1 * self._m + (1.0 - self.beta1) * pseudo_grad
+        self._v = self.beta2 * self._v + (1.0 - self.beta2) * pseudo_grad**2
+        m_hat = self._m / (1.0 - self.beta1**self._t)
+        v_hat = self._v / (1.0 - self.beta2**self._t)
+        return params - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,108 @@
+"""Learning-rate schedulers and gradient utilities.
+
+The DGC paper pairs compression warm-up with a learning-rate warm-up;
+these schedulers provide that plus the standard step and cosine decay
+policies, operating in place on any :class:`repro.nn.optim.Optimizer`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+from repro.nn.optim import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "CosineAnnealingLR", "WarmupLR", "clip_grad_norm"]
+
+
+class LRScheduler:
+    """Base scheduler: computes the lr for a step count."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_count = 0
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step and apply the new lr; returns it."""
+        self.step_count += 1
+        lr = self.lr_at(self.step_count)
+        if lr <= 0:
+            raise ValueError(f"scheduler produced non-positive lr {lr}")
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the lr by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base lr to ``min_lr`` over ``t_max`` steps."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        if min_lr < 0:
+            raise ValueError("min_lr must be non-negative")
+        self.t_max = t_max
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        t = min(step, self.t_max)
+        cos = (1.0 + math.cos(math.pi * t / self.t_max)) / 2.0
+        lr = self.min_lr + (self.base_lr - self.min_lr) * cos
+        return max(lr, 1e-12)
+
+
+class WarmupLR(LRScheduler):
+    """Linear ramp from ``base_lr / warmup_steps`` to ``base_lr``.
+
+    After the ramp the lr holds at the base value; compose with another
+    policy by chaining (apply warm-up first, then hand the optimizer to
+    the decay scheduler).
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int):
+        super().__init__(optimizer)
+        if warmup_steps <= 0:
+            raise ValueError("warmup_steps must be positive")
+        self.warmup_steps = warmup_steps
+
+    def lr_at(self, step: int) -> float:
+        if step >= self.warmup_steps:
+            return self.base_lr
+        return self.base_lr * step / self.warmup_steps
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Clip the global gradient norm in place; returns the pre-clip norm."""
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    for p in params:
+        total += float(np.sum(p.grad**2))
+    norm = math.sqrt(total)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for p in params:
+            p.grad *= scale
+    return norm

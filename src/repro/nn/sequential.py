@@ -1,0 +1,126 @@
+"""Sequential model container with flat-parameter-vector utilities.
+
+Federated learning treats a model as one flat vector `w ∈ R^d`
+(Eq. 1 of the paper), so :class:`Sequential` provides lossless
+round-trips between its layer parameters and a single 1-D array:
+``get_flat_params`` / ``set_flat_params`` / ``get_flat_grads``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer, Parameter
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """An ordered stack of layers run back-to-back."""
+
+    def __init__(self, layers: list[Layer], input_shape: tuple[int, ...]):
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers = list(layers)
+        self.input_shape = tuple(input_shape)
+        # Validate shape propagation eagerly so misconfigured models
+        # fail at construction, not mid-experiment.
+        self._layer_input_shapes: list[tuple[int, ...]] = []
+        shape = self.input_shape
+        for layer in self.layers:
+            self._layer_input_shapes.append(shape)
+            shape = layer.output_shape(shape)
+        self.output_shape = shape
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run all layers in order."""
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate through all layers, accumulating parameter grads."""
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions (argmax over the final axis)."""
+        return np.argmax(self.forward(x, training=False), axis=-1)
+
+    # ------------------------------------------------------------------
+    # Parameter plumbing
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    @property
+    def num_params(self) -> int:
+        """Total scalar parameter count ``d``."""
+        return sum(p.size for p in self.parameters())
+
+    def get_flat_params(self) -> np.ndarray:
+        """Concatenate all parameters into one 1-D float64 vector."""
+        params = self.parameters()
+        if not params:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([p.data.ravel() for p in params])
+
+    def set_flat_params(self, vector: np.ndarray) -> None:
+        """Load a flat vector back into the layer parameters."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.ndim != 1 or vector.size != self.num_params:
+            raise ValueError(
+                f"expected flat vector of size {self.num_params}, got shape {vector.shape}"
+            )
+        offset = 0
+        for p in self.parameters():
+            chunk = vector[offset : offset + p.size]
+            p.data[...] = chunk.reshape(p.data.shape)
+            offset += p.size
+
+    def get_flat_grads(self) -> np.ndarray:
+        """Concatenate all parameter gradients into one 1-D vector."""
+        params = self.parameters()
+        if not params:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([p.grad.ravel() for p in params])
+
+    def set_flat_grads(self, vector: np.ndarray) -> None:
+        """Load a flat vector into the gradient buffers (used by SCAFFOLD)."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.ndim != 1 or vector.size != self.num_params:
+            raise ValueError(
+                f"expected flat vector of size {self.num_params}, got shape {vector.shape}"
+            )
+        offset = 0
+        for p in self.parameters():
+            chunk = vector[offset : offset + p.size]
+            p.grad[...] = chunk.reshape(p.data.shape)
+            offset += p.size
+
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
+    def flops_per_sample(self) -> int:
+        """Forward multiply-accumulate count for a single input sample."""
+        total = 0
+        for layer, shape in zip(self.layers, self._layer_input_shapes):
+            total += layer.flops(shape)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(type(layer).__name__ for layer in self.layers)
+        return f"Sequential([{names}], d={self.num_params})"

@@ -1,0 +1,106 @@
+"""Tests for the generic error-feedback wrapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.error_feedback import ErrorFeedback
+from repro.compression.qsgd import QSGDCompressor
+from repro.compression.topk import TopKCompressor
+
+
+class TestBasics:
+    def test_name_reflects_inner(self):
+        ef = ErrorFeedback(TopKCompressor(10, ratio=5.0))
+        assert ef.name == "ef(topk)"
+
+    def test_decompress_delegates(self, rng):
+        ef = ErrorFeedback(TopKCompressor(20, ratio=4.0))
+        grad = rng.normal(size=20)
+        payload = ef.compress(grad)
+        dense = ef.decompress(payload)
+        assert dense.shape == (20,)
+
+    def test_reset_clears_residual(self, rng):
+        ef = ErrorFeedback(TopKCompressor(20, ratio=10.0))
+        ef.compress(rng.normal(size=20))
+        assert ef.residual_norm > 0
+        ef.reset()
+        assert ef.residual_norm == 0.0
+
+
+class TestErrorFeedbackInvariant:
+    def test_conservation(self, rng):
+        """transmitted + residual == cumulative input (float32 slack)."""
+        ef = ErrorFeedback(TopKCompressor(30, ratio=6.0))
+        total_in = np.zeros(30)
+        total_out = np.zeros(30)
+        for _ in range(15):
+            grad = rng.normal(size=30)
+            total_in += grad
+            total_out += ef.decompress(ef.compress(grad))
+        np.testing.assert_allclose(total_out + ef._residual, total_in, atol=1e-4)
+
+    def test_starved_coordinate_eventually_sent(self):
+        ef = ErrorFeedback(TopKCompressor(10, ratio=10.0))
+        grad = np.zeros(10)
+        grad[0] = 5.0
+        grad[7] = 0.05
+        sent = False
+        for _ in range(200):
+            if ef.decompress(ef.compress(grad))[7] != 0.0:
+                sent = True
+                break
+        assert sent
+
+    def test_plain_topk_starves_forever(self):
+        """Contrast: without EF the small coordinate is never sent."""
+        comp = TopKCompressor(10, ratio=10.0)
+        grad = np.zeros(10)
+        grad[0] = 5.0
+        grad[7] = 0.05
+        for _ in range(50):
+            assert comp.decompress(comp.compress(grad))[7] == 0.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 50), ratio=st.floats(2.0, 20.0))
+    def test_property_conservation(self, seed, ratio):
+        rng = np.random.default_rng(seed)
+        ef = ErrorFeedback(TopKCompressor(25, ratio=ratio))
+        grads = rng.normal(size=(10, 25))
+        sent = np.zeros(25)
+        for g in grads:
+            sent += ef.decompress(ef.compress(g))
+        np.testing.assert_allclose(sent + ef._residual, grads.sum(axis=0), atol=1e-4)
+
+
+class TestBiasedCompressorRepair:
+    def test_ef_reduces_long_run_error_vs_plain_topk(self):
+        """EF repairs top-k's bias: cumulative signal error shrinks."""
+        rng = np.random.default_rng(3)
+        dim = 40
+        # A persistent signal with coordinates of very different scales,
+        # so plain top-k permanently drops the small ones.
+        base = rng.normal(size=dim)
+        base[dim // 2 :] *= 0.05
+        grads = base + 0.1 * rng.normal(size=(60, dim))
+        plain = TopKCompressor(dim, ratio=8.0)
+        wrapped = ErrorFeedback(TopKCompressor(dim, ratio=8.0))
+        err_plain = np.zeros(dim)
+        err_ef = np.zeros(dim)
+        for g in grads:
+            err_plain += plain.decompress(plain.compress(g)) - g
+            err_ef += wrapped.decompress(wrapped.compress(g)) - g
+        assert np.linalg.norm(err_ef) < 0.5 * np.linalg.norm(err_plain)
+
+    def test_ef_composes_with_qsgd(self, rng):
+        """EF wrapping an unbiased quantiser still satisfies conservation."""
+        ef = ErrorFeedback(QSGDCompressor(20, num_levels=2, rng=np.random.default_rng(0)))
+        total_in = np.zeros(20)
+        sent = np.zeros(20)
+        for _ in range(10):
+            g = rng.normal(size=20)
+            total_in += g
+            sent += ef.decompress(ef.compress(g))
+        np.testing.assert_allclose(sent + ef._residual, total_in, atol=1e-6)

@@ -1,0 +1,88 @@
+"""Tests for top-k sparsification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.topk import TopKCompressor, topk_indices
+
+
+class TestTopKIndices:
+    def test_selects_largest_magnitudes(self):
+        v = np.array([0.1, -5.0, 2.0, 0.0, 3.0])
+        idx = topk_indices(v, 2)
+        assert set(idx.tolist()) == {1, 4}
+
+    def test_k_exceeds_size_returns_all(self):
+        v = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(topk_indices(v, 10), [0, 1])
+
+    def test_deterministic_on_ties(self):
+        v = np.ones(6)
+        a = topk_indices(v, 3)
+        b = topk_indices(v.copy(), 3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            topk_indices(np.ones(3), 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 200),
+        k=st.integers(1, 50),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_optimal_selection(self, n, k, seed):
+        """Every kept entry is >= every dropped entry in magnitude."""
+        v = np.random.default_rng(seed).normal(size=n)
+        idx = topk_indices(v, k)
+        kept = np.abs(v[idx])
+        mask = np.ones(n, dtype=bool)
+        mask[idx] = False
+        dropped = np.abs(v[mask])
+        if dropped.size and kept.size:
+            assert kept.min() >= dropped.max() - 1e-12
+        assert idx.size == min(k, n)
+
+
+class TestTopKCompressor:
+    def test_keeps_expected_count(self, rng):
+        comp = TopKCompressor(100, ratio=10.0)
+        payload = comp.compress(rng.normal(size=100))
+        assert payload.data["indices"].size == 10
+
+    def test_roundtrip_preserves_support(self, rng):
+        comp = TopKCompressor(50, ratio=5.0)
+        grad = rng.normal(size=50)
+        restored, payload = comp.roundtrip(grad)
+        idx = payload.data["indices"].astype(int)
+        np.testing.assert_allclose(restored[idx], grad[idx], atol=1e-6)
+        mask = np.ones(50, dtype=bool)
+        mask[idx] = False
+        assert np.all(restored[mask] == 0.0)
+
+    def test_min_one_coordinate(self, rng):
+        comp = TopKCompressor(10, ratio=1000.0)
+        payload = comp.compress(rng.normal(size=10))
+        assert payload.data["indices"].size == 1
+
+    def test_wire_size_uses_best_encoding(self, rng):
+        # nnz=100 of dim=1000: bitmap (400 + 125) beats COO (800).
+        comp = TopKCompressor(1000, ratio=10.0)
+        payload = comp.compress(rng.normal(size=1000))
+        assert payload.num_bytes == 525
+        assert payload.compression_ratio > 7.0
+
+    def test_ratio_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            TopKCompressor(10, ratio=0.5)
+
+    def test_no_error_feedback(self, rng):
+        """Plain top-k is memoryless: same input twice -> same output."""
+        comp = TopKCompressor(30, ratio=3.0)
+        grad = rng.normal(size=30)
+        a, _ = comp.roundtrip(grad)
+        b, _ = comp.roundtrip(grad)
+        np.testing.assert_array_equal(a, b)

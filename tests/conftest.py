@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite.
+
+Everything here is deliberately tiny: models with a few hundred
+parameters and datasets of a few dozen samples, so the full suite runs
+in seconds on one CPU core while still exercising every code path the
+experiments use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic import make_image_classification
+from repro.nn.models import build_mlp
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_shape() -> tuple[int, int, int]:
+    return (1, 6, 6)
+
+
+@pytest.fixture
+def tiny_model_fn(tiny_shape):
+    """Factory producing identical small MLPs (deterministic init)."""
+
+    def factory():
+        return build_mlp(tiny_shape, num_classes=4, hidden=(12,), seed=99)
+
+    return factory
+
+
+@pytest.fixture
+def tiny_model(tiny_model_fn):
+    return tiny_model_fn()
+
+
+@pytest.fixture
+def tiny_data(tiny_shape) -> tuple[Dataset, Dataset]:
+    """An easy 4-class synthetic dataset pair (train, test)."""
+    return make_image_classification(
+        n_train=80,
+        n_test=40,
+        num_classes=4,
+        image_shape=tiny_shape,
+        noise_std=0.4,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def tiny_train(tiny_data) -> Dataset:
+    return tiny_data[0]
+
+
+@pytest.fixture
+def tiny_test(tiny_data) -> Dataset:
+    return tiny_data[1]

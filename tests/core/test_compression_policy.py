@@ -1,0 +1,84 @@
+"""Tests for the adaptive compression policy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compression_policy import AdaptiveCompressionPolicy
+
+
+class TestValidation:
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            AdaptiveCompressionPolicy(min_ratio=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveCompressionPolicy(min_ratio=10.0, max_ratio=5.0)
+
+    def test_bad_warmup(self):
+        with pytest.raises(ValueError):
+            AdaptiveCompressionPolicy(warmup_rounds=-1)
+        with pytest.raises(ValueError):
+            AdaptiveCompressionPolicy(warmup_ratio=0.5)
+
+    def test_bad_utility_window(self):
+        with pytest.raises(ValueError):
+            AdaptiveCompressionPolicy(utility_floor=0.8, utility_ceil=0.5)
+
+
+class TestWarmup:
+    def test_in_warmup_window(self):
+        policy = AdaptiveCompressionPolicy(warmup_rounds=3)
+        assert policy.in_warmup(0)
+        assert policy.in_warmup(2)
+        assert not policy.in_warmup(3)
+
+    def test_warmup_ratio_applied(self):
+        policy = AdaptiveCompressionPolicy(warmup_rounds=3, warmup_ratio=4.0)
+        assert policy.ratio_for(0.0, round_index=0) == 4.0
+        assert policy.ratio_for(1.0, round_index=2) == 4.0
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveCompressionPolicy().in_warmup(-1)
+
+
+class TestMapping:
+    def test_extremes(self):
+        policy = AdaptiveCompressionPolicy(min_ratio=4.0, max_ratio=210.0, warmup_rounds=0)
+        assert abs(policy.ratio_for(1.0, 5) - 4.0) < 1e-9
+        assert abs(policy.ratio_for(0.0, 5) - 210.0) < 1e-9
+
+    def test_midpoint_is_geometric_mean(self):
+        policy = AdaptiveCompressionPolicy(min_ratio=4.0, max_ratio=100.0, warmup_rounds=0)
+        assert abs(policy.ratio_for(0.5, 0) - (4.0 * 100.0) ** 0.5) < 1e-9
+
+    def test_monotone_decreasing_in_utility(self):
+        policy = AdaptiveCompressionPolicy(warmup_rounds=0)
+        ratios = [policy.ratio_for(u / 10, 0) for u in range(11)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_utility_window_clipping(self):
+        policy = AdaptiveCompressionPolicy(
+            warmup_rounds=0, utility_floor=0.3, utility_ceil=0.7
+        )
+        assert policy.ratio_for(0.1, 0) == policy.ratio_for(0.0, 0)
+        assert policy.ratio_for(0.9, 0) == policy.ratio_for(1.0, 0)
+
+    def test_bad_utility(self):
+        with pytest.raises(ValueError):
+            AdaptiveCompressionPolicy().ratio_for(1.5, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(utility=st.floats(0.0, 1.0), round_index=st.integers(0, 100))
+    def test_property_within_bounds(self, utility, round_index):
+        policy = AdaptiveCompressionPolicy(
+            min_ratio=4.0, max_ratio=210.0, warmup_rounds=5, warmup_ratio=4.0
+        )
+        ratio = policy.ratio_for(utility, round_index)
+        assert 4.0 - 1e-9 <= ratio <= 210.0 + 1e-9
+
+    def test_paper_table_bounds_defaults(self):
+        """Table I reports the sync span as 4x-210x."""
+        policy = AdaptiveCompressionPolicy()
+        assert policy.min_ratio == 4.0
+        assert policy.max_ratio == 210.0

@@ -1,0 +1,88 @@
+"""Tests for gradient-geometry diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import (
+    alignment_with_mean,
+    gradient_dispersion,
+    pairwise_similarity,
+)
+
+
+class TestPairwiseSimilarity:
+    def test_identical_vectors(self, rng):
+        v = rng.normal(size=8)
+        matrix = pairwise_similarity([v, v.copy(), v.copy()])
+        np.testing.assert_allclose(matrix, np.ones((3, 3)), atol=1e-12)
+
+    def test_orthogonal_pair(self):
+        matrix = pairwise_similarity([np.array([1.0, 0.0]), np.array([0.0, 1.0])])
+        assert abs(matrix[0, 1]) < 1e-12
+        assert matrix[0, 0] == matrix[1, 1] == 1.0
+
+    def test_symmetric(self, rng):
+        deltas = [rng.normal(size=6) for _ in range(4)]
+        matrix = pairwise_similarity(deltas)
+        np.testing.assert_allclose(matrix, matrix.T)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_similarity([rng.normal(size=4), rng.normal(size=5)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_similarity([])
+
+
+class TestAlignment:
+    def test_identical_vectors_fully_aligned(self, rng):
+        v = rng.normal(size=10)
+        np.testing.assert_allclose(alignment_with_mean([v, v.copy()]), [1.0, 1.0])
+
+    def test_opposing_pair_zero_mean(self):
+        a = np.array([1.0, 0.0])
+        out = alignment_with_mean([a, -a])
+        # Mean is ~zero: similarity degenerates to 0 by convention.
+        np.testing.assert_allclose(out, [0.0, 0.0], atol=1e-9)
+
+
+class TestDispersion:
+    def test_iid_like_gradients_cluster(self, rng):
+        base = rng.normal(size=30)
+        deltas = [base + 0.05 * rng.normal(size=30) for _ in range(6)]
+        disp = gradient_dispersion(deltas)
+        assert disp.mean_pairwise_cosine > 0.9
+        assert disp.fraction_conflicting == 0.0
+        assert disp.looks_iid
+
+    def test_noniid_like_gradients_disperse(self, rng):
+        deltas = [rng.normal(size=30) for _ in range(6)]
+        disp = gradient_dispersion(deltas)
+        assert disp.mean_pairwise_cosine < 0.5
+        assert not disp.looks_iid
+
+    def test_single_delta_degenerate(self, rng):
+        disp = gradient_dispersion([rng.normal(size=5)])
+        assert disp.mean_pairwise_cosine == 1.0
+        assert disp.looks_iid
+
+    def test_real_federation_shard_vs_iid(self, tiny_train, tiny_model_fn):
+        """Shard-partitioned clients produce more dispersed gradients."""
+        from repro.data.partition import partition_dataset
+        from repro.fl.client import Client
+        from repro.fl.config import LocalTrainingConfig
+
+        def deltas_for(scheme):
+            parts = partition_dataset(tiny_train, 4, scheme, np.random.default_rng(0))
+            cfg = LocalTrainingConfig(local_epochs=1, batch_size=8, lr=0.1)
+            global_params = tiny_model_fn().get_flat_params()
+            out = []
+            for i, shard in enumerate(parts):
+                client = Client(i, shard, tiny_model_fn, seed=i)
+                out.append(client.local_train(global_params, cfg).delta)
+            return out
+
+        iid = gradient_dispersion(deltas_for("iid"))
+        shard = gradient_dispersion(deltas_for("shard"))
+        assert shard.mean_pairwise_cosine < iid.mean_pairwise_cosine

@@ -1,0 +1,119 @@
+"""Tests for participation-fairness metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fairness import coverage, fairness_report, jain_index, participation_counts
+from repro.fl.metrics import RoundRecord, RunResult
+
+
+def run_with_participants(participant_lists, num_clients=4):
+    res = RunResult(method="m", num_clients=num_clients)
+    for i, parts in enumerate(participant_lists):
+        res.records.append(
+            RoundRecord(
+                round_index=i,
+                sim_time_s=float(i),
+                num_uploads=len(parts),
+                bytes_up=0,
+                bytes_down=0,
+                participants=list(parts),
+            )
+        )
+    return res
+
+
+class TestParticipationCounts:
+    def test_counts(self):
+        res = run_with_participants([[0, 1], [0, 2], [0]])
+        np.testing.assert_array_equal(participation_counts(res), [3, 1, 1, 0])
+
+    def test_out_of_range_rejected(self):
+        res = run_with_participants([[9]], num_clients=4)
+        with pytest.raises(ValueError):
+            participation_counts(res)
+
+
+class TestJainIndex:
+    def test_perfectly_even(self):
+        assert abs(jain_index(np.array([5, 5, 5, 5])) - 1.0) < 1e-12
+
+    def test_single_monopoliser(self):
+        assert abs(jain_index(np.array([10, 0, 0, 0])) - 0.25) < 1e-12
+
+    def test_all_zero(self):
+        assert jain_index(np.zeros(4)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jain_index(np.zeros(0))
+        with pytest.raises(ValueError):
+            jain_index(np.array([-1.0, 1.0]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.integers(0, 100), min_size=1, max_size=20))
+    def test_property_bounds(self, values):
+        arr = np.array(values, dtype=float)
+        idx = jain_index(arr)
+        n = arr.size
+        if arr.sum() == 0:
+            assert idx == 0.0
+        else:
+            assert 1.0 / n - 1e-12 <= idx <= 1.0 + 1e-12
+
+
+class TestCoverageAndReport:
+    def test_coverage(self):
+        res = run_with_participants([[0, 1], [1]], num_clients=4)
+        assert coverage(res) == 0.5
+
+    def test_report_keys(self):
+        res = run_with_participants([[0, 1], [0, 2]], num_clients=3)
+        report = fairness_report(res)
+        assert set(report) == {"jain_index", "coverage", "min_share", "max_share"}
+        assert report["coverage"] == 1.0
+        assert report["max_share"] == 0.5
+
+
+class TestAdaFLFairness:
+    def test_rotation_bonus_improves_fairness(self, tiny_train, tiny_test, tiny_model_fn):
+        """The rotation bonus measurably evens out participation."""
+        from dataclasses import replace
+
+        from repro.core.adafl import AdaFLConfig, AdaFLSync
+        from repro.core.compression_policy import AdaptiveCompressionPolicy
+        from repro.fl.client import Client
+        from repro.fl.config import FederationConfig, LocalTrainingConfig
+        from repro.fl.server import Server
+        from repro.fl.sync_engine import SyncEngine
+
+        def run(bonus):
+            parts = np.array_split(np.arange(len(tiny_train)), 5)
+            clients = [
+                Client(i, tiny_train.subset(parts[i]), tiny_model_fn, seed=60 + i)
+                for i in range(5)
+            ]
+            server = Server(tiny_model_fn, tiny_test)
+            cfg = AdaFLConfig(
+                k_max=2,
+                tau=0.6,
+                tau_mode="relative",
+                rotation_bonus=bonus,
+                rotation_horizon=3,
+                policy=AdaptiveCompressionPolicy(warmup_rounds=1, warmup_ratio=2.0,
+                                                 min_ratio=2.0, max_ratio=20.0),
+            )
+            fed_cfg = FederationConfig(
+                num_rounds=12,
+                participation_rate=1.0,
+                eval_every=12,
+                seed=0,
+                local=LocalTrainingConfig(local_epochs=1, batch_size=8, lr=0.1),
+            )
+            return SyncEngine(server, clients, AdaFLSync(cfg), fed_cfg).run()
+
+        without = jain_index(participation_counts(run(0.0)))
+        with_bonus = jain_index(participation_counts(run(0.5)))
+        assert with_bonus >= without

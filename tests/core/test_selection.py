@@ -1,0 +1,85 @@
+"""Tests for Algorithm 1 (adaptive node selection)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selection import select_clients
+
+
+class TestBasics:
+    def test_selects_top_k(self):
+        scores = {0: 0.9, 1: 0.8, 2: 0.7, 3: 0.6}
+        result = select_clients(scores, k=2, tau=0.0)
+        assert result.selected == (0, 1)
+        assert result.truncated == (2, 3)
+
+    def test_threshold_filters(self):
+        scores = {0: 0.9, 1: 0.3, 2: 0.7}
+        result = select_clients(scores, k=3, tau=0.5)
+        assert set(result.selected) == {0, 2}
+        assert result.filtered_out == (1,)
+
+    def test_all_below_threshold(self):
+        result = select_clients({0: 0.1, 1: 0.2}, k=2, tau=0.9)
+        assert result.selected == ()
+        assert result.num_selected == 0
+
+    def test_k_larger_than_filtered(self):
+        result = select_clients({0: 0.9, 1: 0.8}, k=10, tau=0.5)
+        assert set(result.selected) == {0, 1}
+
+    def test_ordered_by_score_descending(self):
+        scores = {0: 0.5, 1: 0.9, 2: 0.7}
+        result = select_clients(scores, k=3, tau=0.0)
+        assert result.selected == (1, 2, 0)
+
+    def test_tie_broken_by_id(self):
+        result = select_clients({5: 0.5, 2: 0.5, 9: 0.5}, k=2, tau=0.0)
+        assert result.selected == (2, 5)
+
+    def test_boundary_score_passes(self):
+        result = select_clients({0: 0.5}, k=1, tau=0.5)
+        assert result.selected == (0,)
+
+    def test_empty_scores(self):
+        result = select_clients({}, k=3, tau=0.5)
+        assert result.selected == ()
+
+
+class TestValidation:
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            select_clients({0: 0.5}, k=0, tau=0.5)
+
+    def test_bad_tau(self):
+        with pytest.raises(ValueError):
+            select_clients({0: 0.5}, k=1, tau=1.5)
+
+
+class TestAlgorithmConstraints:
+    """The three 'Subject to' constraints stated in Algorithm 1."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        scores=st.dictionaries(
+            st.integers(0, 30), st.floats(0.0, 1.0), min_size=0, max_size=20
+        ),
+        k=st.integers(1, 10),
+        tau=st.floats(0.0, 1.0),
+    )
+    def test_property_constraints_hold(self, scores, k, tau):
+        result = select_clients(scores, k=k, tau=tau)
+        selected = set(result.selected)
+        # |C_selected| <= K
+        assert len(selected) <= k
+        # forall i in selected: S_i >= tau
+        assert all(scores[i] >= tau for i in selected)
+        # forall i selected, j not selected: S_i >= S_j (among filtered)
+        unselected_passing = [
+            s for cid, s in scores.items() if cid not in selected and s >= tau
+        ]
+        if selected and unselected_passing:
+            assert min(scores[i] for i in selected) >= max(unselected_passing) - 1e-12
+        # Bookkeeping partitions the input.
+        assert selected | set(result.filtered_out) | set(result.truncated) == set(scores)

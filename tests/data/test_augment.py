@@ -1,0 +1,111 @@
+"""Tests for image augmentations and the quantity-skew partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.data.augment import (
+    Augmenter,
+    add_gaussian_noise,
+    random_crop,
+    random_horizontal_flip,
+)
+from repro.data.partition import quantity_skew_partition
+
+
+class TestFlip:
+    def test_prob_one_flips_all(self, rng):
+        batch = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = random_horizontal_flip(batch, rng, prob=1.0)
+        np.testing.assert_array_equal(out, batch[:, :, :, ::-1])
+
+    def test_prob_zero_identity(self, rng):
+        batch = rng.normal(size=(3, 1, 4, 4))
+        out = random_horizontal_flip(batch, rng, prob=0.0)
+        np.testing.assert_array_equal(out, batch)
+
+    def test_does_not_mutate_input(self, rng):
+        batch = rng.normal(size=(4, 1, 4, 4))
+        snapshot = batch.copy()
+        random_horizontal_flip(batch, rng, prob=1.0)
+        np.testing.assert_array_equal(batch, snapshot)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_horizontal_flip(np.zeros((2, 3, 4)), rng)
+        with pytest.raises(ValueError):
+            random_horizontal_flip(np.zeros((1, 1, 2, 2)), rng, prob=1.5)
+
+
+class TestCrop:
+    def test_preserves_shape(self, rng):
+        batch = rng.normal(size=(5, 3, 8, 8))
+        assert random_crop(batch, rng, padding=2).shape == batch.shape
+
+    def test_zero_padding_identity(self, rng):
+        batch = rng.normal(size=(2, 1, 4, 4))
+        np.testing.assert_array_equal(random_crop(batch, rng, padding=0), batch)
+
+    def test_content_shifted_not_destroyed(self, rng):
+        batch = np.ones((10, 1, 6, 6))
+        out = random_crop(batch, rng, padding=1)
+        # Centre pixels always survive a +-1 shift.
+        assert np.all(out[:, :, 2:4, 2:4] == 1.0)
+
+
+class TestNoise:
+    def test_zero_std_identity(self, rng):
+        batch = rng.normal(size=(2, 1, 3, 3))
+        np.testing.assert_array_equal(add_gaussian_noise(batch, rng, std=0.0), batch)
+
+    def test_noise_statistics(self, rng):
+        batch = np.zeros((50, 1, 10, 10))
+        out = add_gaussian_noise(batch, rng, std=0.5)
+        assert abs(out.std() - 0.5) < 0.02
+
+
+class TestAugmenter:
+    def test_deterministic_given_seed(self, rng):
+        batch = rng.normal(size=(4, 3, 6, 6))
+        a = Augmenter(seed=7, noise_std=0.1)(batch)
+        b = Augmenter(seed=7, noise_std=0.1)(batch)
+        np.testing.assert_array_equal(a, b)
+
+    def test_changes_batch(self, rng):
+        batch = rng.normal(size=(4, 3, 6, 6))
+        out = Augmenter(seed=1, noise_std=0.1)(batch)
+        assert not np.array_equal(out, batch)
+
+
+class TestQuantitySkew:
+    def test_partition_invariant(self, rng):
+        parts = quantity_skew_partition(100, 5, rng, concentration=0.5)
+        union = np.concatenate(parts)
+        assert len(union) == 100
+        assert len(set(union.tolist())) == 100
+
+    def test_low_concentration_is_skewed(self):
+        rng = np.random.default_rng(0)
+        skewed = quantity_skew_partition(1000, 10, rng, concentration=0.2)
+        rng = np.random.default_rng(0)
+        even = quantity_skew_partition(1000, 10, rng, concentration=100.0)
+        spread_skewed = max(len(p) for p in skewed) - min(len(p) for p in skewed)
+        spread_even = max(len(p) for p in even) - min(len(p) for p in even)
+        assert spread_skewed > spread_even
+
+    def test_min_samples(self, rng):
+        parts = quantity_skew_partition(100, 4, rng, concentration=0.3, min_samples=5)
+        assert min(len(p) for p in parts) >= 5
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            quantity_skew_partition(100, 4, rng, concentration=0.0)
+        with pytest.raises(ValueError):
+            quantity_skew_partition(10, 4, rng, min_samples=5)
+
+    def test_via_partition_dataset(self, rng):
+        from repro.data.dataset import Dataset
+        from repro.data.partition import partition_dataset
+
+        ds = Dataset(np.zeros((60, 1, 2, 2)), np.arange(60) % 3, 3)
+        parts = partition_dataset(ds, 4, "quantity_skew", rng)
+        assert sum(len(p) for p in parts) == 60

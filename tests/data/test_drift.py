@@ -1,0 +1,87 @@
+"""Tests for the concept-drift source."""
+
+import numpy as np
+import pytest
+
+from repro.data.drift import DriftingSource
+
+
+class TestPrototypes:
+    def test_phase_zero_matches_start(self):
+        source = DriftingSource(3, (1, 6, 6), seed=0)
+        protos = source.prototypes_at(0.0)
+        assert protos.shape == (3, 1, 6, 6)
+
+    def test_drift_is_monotone_in_phase(self):
+        source = DriftingSource(4, (1, 8, 8), seed=1)
+        near = source.drift_magnitude(0.0, 0.2)
+        far = source.drift_magnitude(0.0, 0.9)
+        assert 0 < near < far
+
+    def test_no_drift_at_same_phase(self):
+        source = DriftingSource(4, (1, 8, 8), seed=1)
+        assert source.drift_magnitude(0.3, 0.3) == 0.0
+
+    def test_difficulty_phase_invariant(self):
+        source = DriftingSource(5, (1, 6, 6), seed=2)
+        for phase in (0.0, 0.5, 1.0):
+            flat = source.prototypes_at(phase).reshape(5, -1)
+            np.testing.assert_allclose(flat.std(axis=1), np.ones(5), atol=0.01)
+
+    def test_phase_validation(self):
+        source = DriftingSource(2)
+        with pytest.raises(ValueError):
+            source.prototypes_at(1.5)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            DriftingSource(0)
+        with pytest.raises(ValueError):
+            DriftingSource(2, noise_std=-1.0)
+
+
+class TestSampling:
+    def test_balanced_labels(self):
+        source = DriftingSource(4, (1, 6, 6), seed=3)
+        ds = source.sample(0.0, 40)
+        counts = ds.class_counts()
+        assert counts.min() == counts.max() == 10
+
+    def test_names_carry_phase(self):
+        source = DriftingSource(2, seed=0)
+        assert "@0.50" in source.sample(0.5, 4).name
+
+    def test_n_validation(self):
+        with pytest.raises(ValueError):
+            DriftingSource(2).sample(0.0, 0)
+
+
+class TestDriftHurtsStaleModels:
+    def test_model_trained_at_phase0_degrades_at_phase1(self):
+        """End-to-end: a classifier fit on phase-0 data loses accuracy on
+        fully drifted data, and recovers with re-training (the adaptation
+        scenario AdaFL targets)."""
+        from repro.nn.losses import SoftmaxCrossEntropy
+        from repro.nn.models import build_mlp
+        from repro.nn.optim import SGD
+
+        source = DriftingSource(4, (1, 6, 6), noise_std=0.4, seed=5)
+        train0 = source.sample(0.0, 200)
+        test0 = source.sample(0.0, 80)
+        test1 = source.sample(1.0, 80)
+
+        model = build_mlp((1, 6, 6), 4, hidden=(16,), seed=0)
+        loss_fn = SoftmaxCrossEntropy()
+        opt = SGD(model.parameters(), lr=0.1)
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            for xb, yb in train0.batches(16, rng):
+                model.zero_grad()
+                loss_fn.forward(model.forward(xb, training=True), yb)
+                model.backward(loss_fn.backward())
+                opt.step()
+
+        acc_fresh = (model.predict(test0.x) == test0.y).mean()
+        acc_drifted = (model.predict(test1.x) == test1.y).mean()
+        assert acc_fresh > 0.8
+        assert acc_drifted < acc_fresh - 0.2

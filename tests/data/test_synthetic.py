@@ -1,0 +1,106 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    DATASET_BUILDERS,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_dataset,
+    make_image_classification,
+    make_mnist_like,
+    make_prototypes,
+)
+
+
+class TestPrototypes:
+    def test_shape(self, rng):
+        protos = make_prototypes(5, (3, 8, 8), 2, rng)
+        assert protos.shape == (5, 2, 3, 8, 8)
+
+    def test_normalised(self, rng):
+        protos = make_prototypes(3, (1, 10, 10), 1, rng)
+        for cls in range(3):
+            assert abs(protos[cls, 0].std() - 1.0) < 0.05
+            assert abs(protos[cls, 0].mean()) < 0.05
+
+    def test_classes_differ(self, rng):
+        protos = make_prototypes(2, (1, 8, 8), 1, rng)
+        assert np.linalg.norm(protos[0] - protos[1]) > 0.5
+
+
+class TestMakeImageClassification:
+    def test_shapes_and_sizes(self):
+        train, test = make_image_classification(30, 12, 4, (1, 6, 6), seed=0)
+        assert len(train) == 30
+        assert len(test) == 12
+        assert train.input_shape == (1, 6, 6)
+        assert train.num_classes == 4
+
+    def test_balanced_labels(self):
+        train, _ = make_image_classification(40, 10, 4, (1, 6, 6), seed=0)
+        counts = train.class_counts()
+        assert counts.min() == counts.max() == 10
+
+    def test_deterministic(self):
+        a, _ = make_image_classification(10, 5, 2, (1, 4, 4), seed=3)
+        b, _ = make_image_classification(10, 5, 2, (1, 4, 4), seed=3)
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_seed_changes_data(self):
+        a, _ = make_image_classification(10, 5, 2, (1, 4, 4), seed=3)
+        b, _ = make_image_classification(10, 5, 2, (1, 4, 4), seed=4)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_noise_zero_is_pure_prototypes(self):
+        train, _ = make_image_classification(
+            20, 5, 2, (1, 4, 4), noise_std=0.0, max_shift=0, seed=0
+        )
+        # All samples of one class are identical when noise and shift are off.
+        cls0 = train.x[train.y == 0]
+        assert np.allclose(cls0, cls0[0])
+
+    def test_learnable_separation(self):
+        """A nearest-prototype classifier beats chance at moderate noise."""
+        train, test = make_image_classification(
+            100, 50, 4, (1, 6, 6), noise_std=0.5, max_shift=0, seed=1
+        )
+        means = np.stack([train.x[train.y == c].mean(axis=0) for c in range(4)])
+        dists = ((test.x[:, None] - means[None]) ** 2).sum(axis=(2, 3, 4))
+        acc = (dists.argmin(axis=1) == test.y).mean()
+        assert acc > 0.7
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            make_image_classification(0, 5, 2)
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            make_image_classification(5, 5, 2, noise_std=-1.0)
+
+
+class TestNamedBuilders:
+    def test_mnist_like(self):
+        train, test = make_mnist_like(50, 20, seed=0)
+        assert train.input_shape == (1, 14, 14)
+        assert train.num_classes == 10
+
+    def test_cifar10_like(self):
+        train, _ = make_cifar10_like(50, 20, seed=0)
+        assert train.input_shape == (3, 12, 12)
+        assert train.num_classes == 10
+
+    def test_cifar100_like(self):
+        train, _ = make_cifar100_like(200, 100, seed=0)
+        assert train.num_classes == 100
+
+    def test_registry_roundtrip(self):
+        for name in DATASET_BUILDERS:
+            train, test = make_dataset(name, 100, 20, seed=0)
+            assert len(train) == 100
+
+    def test_registry_unknown(self):
+        with pytest.raises(KeyError, match="known datasets"):
+            make_dataset("imagenet", 10, 10)

@@ -1,0 +1,63 @@
+"""Tests for cluster builders."""
+
+import numpy as np
+import pytest
+
+from repro.embedded.cluster import (
+    compute_rates,
+    make_heterogeneous_cluster,
+    make_pi_cluster,
+)
+
+
+class TestPiCluster:
+    def test_homogeneous(self):
+        cluster = make_pi_cluster(10)
+        assert len(cluster) == 10
+        assert len({d.name for d in cluster}) == 1
+
+    def test_model_choice(self):
+        cluster = make_pi_cluster(3, model="pi3")
+        assert all(d.name == "pi3" for d in cluster)
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            make_pi_cluster(0)
+
+
+class TestHeterogeneousCluster:
+    def test_slow_fraction(self):
+        cluster = make_heterogeneous_cluster(
+            10, slow_fraction=0.3, slow_factor=3.0, rng=np.random.default_rng(0)
+        )
+        slow = [d for d in cluster if d.name.endswith("-slow")]
+        assert len(slow) == 3
+
+    def test_slow_factor_applied(self):
+        cluster = make_heterogeneous_cluster(
+            2, slow_fraction=0.5, slow_factor=3.0, rng=np.random.default_rng(0)
+        )
+        rates = sorted(compute_rates(cluster))
+        assert abs(rates[1] / rates[0] - 3.0) < 1e-9
+
+    def test_round_robin_presets(self):
+        cluster = make_heterogeneous_cluster(4, presets=["pi4", "pi3"])
+        assert [d.name for d in cluster] == ["pi4", "pi3", "pi4", "pi3"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_heterogeneous_cluster(5, slow_fraction=2.0)
+        with pytest.raises(ValueError):
+            make_heterogeneous_cluster(5, slow_factor=0.5)
+
+
+class TestComputeRates:
+    def test_shape_and_values(self):
+        cluster = make_pi_cluster(4)
+        rates = compute_rates(cluster)
+        assert rates.shape == (4,)
+        assert np.all(rates == cluster[0].flops_per_second)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            compute_rates([])

@@ -1,0 +1,52 @@
+"""Tests for device profiles."""
+
+import pytest
+
+from repro.embedded.device import DEVICE_PRESETS, DeviceProfile, device_preset
+
+
+class TestDeviceProfile:
+    def test_flops_per_second(self):
+        dev = DeviceProfile("x", clock_hz=2e9, cycles_per_flop=2.0)
+        assert dev.flops_per_second == 1e9
+
+    def test_cycles(self):
+        dev = DeviceProfile("x", clock_hz=1e9, cycles_per_flop=3.0)
+        assert dev.cycles(100) == 300.0
+
+    def test_seconds(self):
+        dev = DeviceProfile("x", clock_hz=1e9, cycles_per_flop=2.0)
+        assert dev.seconds(5e8) == 1.0
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            DEVICE_PRESETS["pi4"].cycles(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceProfile("x", clock_hz=0.0, cycles_per_flop=1.0)
+        with pytest.raises(ValueError):
+            DeviceProfile("x", clock_hz=1e9, cycles_per_flop=0.0)
+
+
+class TestPresets:
+    def test_all_presets_valid(self):
+        for name, dev in DEVICE_PRESETS.items():
+            assert dev.flops_per_second > 0, name
+
+    def test_workstation_fastest(self):
+        rates = {n: d.flops_per_second for n, d in DEVICE_PRESETS.items()}
+        assert rates["workstation"] == max(rates.values())
+
+    def test_pi3_slower_than_pi4(self):
+        assert (
+            DEVICE_PRESETS["pi3"].flops_per_second
+            < DEVICE_PRESETS["pi4"].flops_per_second
+        )
+
+    def test_lookup(self):
+        assert device_preset("pi4") is DEVICE_PRESETS["pi4"]
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="known presets"):
+            device_preset("gpu")

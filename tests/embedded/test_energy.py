@@ -1,0 +1,68 @@
+"""Tests for the energy cost model."""
+
+import pytest
+
+from repro.embedded.device import DEVICE_PRESETS
+from repro.embedded.energy import RADIO_PRESETS, EnergyModel, RadioProfile
+
+
+@pytest.fixture
+def model():
+    return EnergyModel(DEVICE_PRESETS["pi4"], RADIO_PRESETS["lte"], nj_per_cycle=1.0)
+
+
+class TestRadioProfiles:
+    def test_presets_valid(self):
+        for name, radio in RADIO_PRESETS.items():
+            assert radio.tx_nj_per_byte > 0, name
+
+    def test_lte_costlier_than_wifi(self):
+        assert (
+            RADIO_PRESETS["lte"].tx_nj_per_byte > RADIO_PRESETS["wifi"].tx_nj_per_byte
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadioProfile(name="x", tx_nj_per_byte=0.0, rx_nj_per_byte=1.0)
+
+
+class TestEnergyModel:
+    def test_compute_energy_scales_with_flops(self, model):
+        assert model.compute_energy(2000) == 2 * model.compute_energy(1000)
+
+    def test_tx_energy_known_value(self, model):
+        # 1 MB at 80 nJ/B = 0.08 J.
+        assert abs(model.tx_energy(1_000_000) - 0.08) < 1e-12
+
+    def test_negative_bytes_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.tx_energy(-1)
+        with pytest.raises(ValueError):
+            model.rx_energy(-1)
+
+    def test_round_breakdown_sums(self, model):
+        breakdown = model.round_energy(1e9, 500_000, 200_000)
+        assert abs(
+            breakdown.total_j
+            - (breakdown.compute_j + breakdown.tx_j + breakdown.rx_j)
+        ) < 1e-15
+        assert breakdown.communication_j == breakdown.tx_j + breakdown.rx_j
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(DEVICE_PRESETS["pi4"], RADIO_PRESETS["wifi"], nj_per_cycle=0.0)
+
+
+class TestAdaFLEnergyArgument:
+    def test_compression_cycles_cheaper_than_bytes_saved(self):
+        """The Q3 energy story: DGC's extra cycles cost less energy than
+        the uplink bytes it removes, on a cellular radio."""
+        from repro.embedded.profiler import dgc_compress_flops
+
+        dim = 431_080
+        model = EnergyModel(DEVICE_PRESETS["pi4"], RADIO_PRESETS["lte"])
+        compress_j = model.compute_energy(dgc_compress_flops(dim))
+        dense_bytes = 4 * dim
+        compressed_bytes = dense_bytes // 100
+        saved_j = model.tx_energy(dense_bytes - compressed_bytes)
+        assert saved_j > 10 * compress_j

@@ -1,0 +1,84 @@
+"""Tests for cycle accounting and FLOP cost models."""
+
+import pytest
+
+from repro.embedded.device import DEVICE_PRESETS
+from repro.embedded.profiler import (
+    CycleCounter,
+    OverheadReport,
+    dgc_compress_flops,
+    training_flops,
+    utility_score_flops,
+)
+from repro.nn.models import build_mlp
+
+
+class TestFlopModels:
+    def test_training_flops(self):
+        model = build_mlp((1, 4, 4), 3, hidden=(8,), seed=0)
+        per_sample = model.flops_per_sample()
+        assert training_flops(model, 10, 2) == 3 * per_sample * 20
+
+    def test_utility_scales_linearly(self):
+        assert utility_score_flops(2000) > 5 * utility_score_flops(200)
+
+    def test_utility_tiny_vs_training(self):
+        """The structural reason for the paper's 0.05% claim: scoring is
+        O(d) while a training round is O(d * samples)."""
+        model = build_mlp((1, 8, 8), 10, hidden=(32,), seed=0)
+        dim = model.num_params
+        train = training_flops(model, num_samples=100, local_epochs=1)
+        score = utility_score_flops(dim)
+        assert score / train < 0.05
+
+    def test_dgc_more_than_utility(self):
+        assert dgc_compress_flops(1000) > utility_score_flops(1000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            utility_score_flops(0)
+        with pytest.raises(ValueError):
+            dgc_compress_flops(-1)
+        model = build_mlp((1, 4, 4), 3, seed=0)
+        with pytest.raises(ValueError):
+            training_flops(model, -1)
+
+
+class TestCycleCounter:
+    def test_accumulates_per_component(self):
+        counter = CycleCounter(DEVICE_PRESETS["pi4"])
+        counter.charge_flops("training", 1000)
+        counter.charge_flops("training", 500)
+        counter.charge_flops("utility", 100)
+        assert counter.cycles("training") == DEVICE_PRESETS["pi4"].cycles(1500)
+        assert counter.cycles("utility") == DEVICE_PRESETS["pi4"].cycles(100)
+
+    def test_total(self):
+        counter = CycleCounter(DEVICE_PRESETS["pi3"])
+        counter.charge_flops("a", 10)
+        counter.charge_flops("b", 20)
+        assert counter.total_cycles == DEVICE_PRESETS["pi3"].cycles(30)
+
+    def test_unknown_component_zero(self):
+        assert CycleCounter(DEVICE_PRESETS["pi4"]).cycles("nothing") == 0.0
+
+    def test_reset(self):
+        counter = CycleCounter(DEVICE_PRESETS["pi4"])
+        counter.charge_flops("x", 5)
+        counter.reset()
+        assert counter.total_cycles == 0.0
+
+    def test_report(self):
+        counter = CycleCounter(DEVICE_PRESETS["pi4"])
+        counter.charge_flops("training", 10000)
+        counter.charge_flops("utility", 5)
+        report = counter.report("training")
+        assert isinstance(report, OverheadReport)
+        assert report.overhead_pct("utility") == pytest.approx(0.05)
+        assert report.total_with_overheads == counter.total_cycles
+
+    def test_report_zero_baseline_raises(self):
+        counter = CycleCounter(DEVICE_PRESETS["pi4"])
+        counter.charge_flops("utility", 5)
+        with pytest.raises(ValueError):
+            counter.report("training").overhead_pct("utility")

@@ -1,0 +1,107 @@
+"""Tests for run-analysis statistics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.analysis import (
+    aggregate_accuracy_curves,
+    curve_auc,
+    interpolate_curve,
+    time_to_accuracy_table,
+)
+from repro.fl.metrics import RoundRecord, RunResult
+
+
+def make_run(accs, times=None, method="m"):
+    res = RunResult(method=method, num_clients=4, model_bytes=100)
+    for i, acc in enumerate(accs):
+        res.records.append(
+            RoundRecord(
+                round_index=i,
+                sim_time_s=float(times[i]) if times else float(i),
+                num_uploads=1,
+                bytes_up=10,
+                bytes_down=10,
+                accuracy=acc,
+            )
+        )
+    return res
+
+
+class TestInterpolate:
+    def test_exact_points(self):
+        out = interpolate_curve(np.array([0.0, 2.0]), np.array([0.0, 1.0]), np.array([1.0]))
+        np.testing.assert_allclose(out, [0.5])
+
+    def test_clamps_outside(self):
+        out = interpolate_curve(
+            np.array([1.0, 2.0]), np.array([0.3, 0.7]), np.array([0.0, 3.0])
+        )
+        np.testing.assert_allclose(out, [0.3, 0.7])
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            interpolate_curve(np.zeros(0), np.zeros(0), np.array([1.0]))
+
+
+class TestCurveAuc:
+    def test_constant_curve(self):
+        assert abs(curve_auc(make_run([0.8, 0.8, 0.8])) - 0.8) < 1e-12
+
+    def test_fast_riser_beats_slow_riser(self):
+        fast = make_run([0.9, 0.9, 0.9, 0.9])
+        slow = make_run([0.1, 0.3, 0.6, 0.9])
+        assert curve_auc(fast) > curve_auc(slow)
+
+    def test_single_point(self):
+        assert curve_auc(make_run([0.5])) == 0.5
+
+    def test_empty(self):
+        assert np.isnan(curve_auc(RunResult(method="x", num_clients=1)))
+
+
+class TestAggregate:
+    def test_mean_of_identical_runs(self):
+        runs = [make_run([0.2, 0.4, 0.6]) for _ in range(3)]
+        agg = aggregate_accuracy_curves(runs, num_points=3)
+        np.testing.assert_allclose(agg.mean, [0.2, 0.4, 0.6])
+        np.testing.assert_allclose(agg.std, np.zeros(3), atol=1e-12)
+        assert agg.num_runs == 3
+
+    def test_std_reflects_spread(self):
+        runs = [make_run([0.0, 0.0]), make_run([1.0, 1.0])]
+        agg = aggregate_accuracy_curves(runs, num_points=2)
+        np.testing.assert_allclose(agg.mean, [0.5, 0.5])
+        np.testing.assert_allclose(agg.std, [0.5, 0.5])
+
+    def test_final_accessors(self):
+        agg = aggregate_accuracy_curves([make_run([0.1, 0.9])], num_points=2)
+        assert agg.final_mean() == 0.9
+        assert agg.final_std() == 0.0
+
+    def test_intersection_grid(self):
+        short = make_run([0.5, 0.6], times=[0.0, 1.0])
+        long = make_run([0.4, 0.8, 0.9], times=[0.0, 1.0, 2.0])
+        agg = aggregate_accuracy_curves([short, long], num_points=5, by_time=True)
+        assert agg.grid[0] == 0.0
+        assert agg.grid[-1] == 1.0  # clipped to the shorter run
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_accuracy_curves([])
+
+
+class TestTimeToAccuracyTable:
+    def test_rows(self):
+        runs = {
+            "fast": make_run([0.6, 0.95], times=[1.0, 2.0]),
+            "slow": make_run([0.1, 0.6], times=[1.0, 2.0]),
+        }
+        rows = time_to_accuracy_table(runs, targets=(0.5, 0.9))
+        assert rows[0] == ["fast", "1.0s", "2.0s"]
+        assert rows[1] == ["slow", "2.0s", "-"]
+
+    def test_rounds_mode(self):
+        runs = {"m": make_run([0.2, 0.8])}
+        rows = time_to_accuracy_table(runs, targets=(0.5,), by_time=False)
+        assert rows[0] == ["m", "1"]

@@ -1,0 +1,43 @@
+"""Tests for the calibrated default AdaFL configuration."""
+
+from repro.experiments.comparison import default_adafl_config
+from repro.experiments.presets import BENCH, FAST, FULL
+
+
+class TestDefaultConfig:
+    def test_sync_uses_relative_threshold(self):
+        cfg = default_adafl_config(BENCH)
+        assert cfg.tau_mode == "relative"
+        assert 0.0 < cfg.tau < 1.0
+
+    def test_async_uses_absolute_threshold(self):
+        cfg = default_adafl_config(BENCH, async_mode=True)
+        assert cfg.tau_mode == "absolute"
+
+    def test_k_max_is_half_the_fleet(self):
+        for scale in (FAST, BENCH, FULL):
+            cfg = default_adafl_config(scale)
+            assert cfg.k_max == max(1, scale.num_clients // 2)
+
+    def test_compression_bounds_match_paper_tables(self):
+        sync = default_adafl_config(BENCH)
+        async_ = default_adafl_config(BENCH, async_mode=True)
+        assert sync.policy.max_ratio == 210.0  # Table I
+        assert async_.policy.max_ratio == 105.0  # Table II
+        assert sync.policy.min_ratio == async_.policy.min_ratio == 4.0
+
+    def test_warmup_scales_with_rounds(self):
+        assert (
+            default_adafl_config(FULL).policy.warmup_rounds
+            > default_adafl_config(FAST).policy.warmup_rounds
+        )
+
+    def test_stabilisers_enabled_for_sync(self):
+        cfg = default_adafl_config(BENCH)
+        assert cfg.score_smoothing > 0
+        assert cfg.rotation_bonus > 0
+
+    def test_async_has_no_rotation_bonus(self):
+        # Rotation is a ranking concept; async halting has no ranking.
+        cfg = default_adafl_config(BENCH, async_mode=True)
+        assert cfg.rotation_bonus == 0.0

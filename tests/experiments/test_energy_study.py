@@ -1,0 +1,38 @@
+"""Tests for the energy study runner."""
+
+from dataclasses import replace
+
+from repro.experiments.energy_study import run_energy_study
+from repro.experiments.presets import FAST
+
+TINY = replace(
+    FAST,
+    num_rounds=4,
+    train_samples=120,
+    test_samples=40,
+    image_size=8,
+    cnn_channels=(2, 4),
+    cnn_hidden=8,
+    eval_every=4,
+)
+
+
+class TestEnergyStudy:
+    def test_produces_positive_energies(self):
+        result = run_energy_study(scale=TINY, seed=0)
+        assert result.fedavg_compute_j > 0
+        assert result.fedavg_comm_j > 0
+        assert result.adafl_total_j > 0
+
+    def test_adafl_radio_energy_lower(self):
+        result = run_energy_study(scale=TINY, seed=0)
+        assert result.adafl_comm_j < result.fedavg_comm_j
+
+    def test_saving_fraction_bounded(self):
+        result = run_energy_study(scale=TINY, seed=0)
+        assert result.energy_saving < 1.0
+
+    def test_radio_choice_scales_comm_energy(self):
+        lte = run_energy_study(scale=TINY, seed=0, radio="lte")
+        wifi = run_energy_study(scale=TINY, seed=0, radio="wifi")
+        assert lte.fedavg_comm_j > wifi.fedavg_comm_j

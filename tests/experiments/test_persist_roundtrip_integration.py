@@ -1,0 +1,42 @@
+"""Integration: archive a real run to JSON and analyse the reload."""
+
+from dataclasses import replace
+
+from repro.experiments.analysis import aggregate_accuracy_curves, curve_auc
+from repro.experiments.presets import FAST
+from repro.experiments.runner import FederationSpec, run_sync
+from repro.fl.baselines import FedAvg
+from repro.fl.persist import load_run_result, save_run_result
+
+TINY = replace(
+    FAST,
+    num_rounds=4,
+    train_samples=100,
+    test_samples=40,
+    image_size=8,
+    cnn_channels=(2, 4),
+    cnn_hidden=8,
+    eval_every=1,
+)
+
+
+class TestArchiveAndAnalyse:
+    def test_roundtrip_preserves_analysis(self, tmp_path):
+        spec = FederationSpec(dataset="mnist", model="mlp", scale=TINY, seed=0)
+        result = run_sync(spec, FedAvg(participation_rate=0.5))
+        path = save_run_result(result, tmp_path / "fedavg.json")
+        restored = load_run_result(path)
+        assert curve_auc(restored) == curve_auc(result)
+        assert restored.total_bytes_up == result.total_bytes_up
+
+    def test_multi_seed_aggregation(self, tmp_path):
+        runs = []
+        for seed in range(3):
+            spec = FederationSpec(dataset="mnist", model="mlp", scale=TINY, seed=seed)
+            result = run_sync(spec, FedAvg(participation_rate=0.5))
+            path = save_run_result(result, tmp_path / f"run{seed}.json")
+            runs.append(load_run_result(path))
+        agg = aggregate_accuracy_curves(runs, num_points=4)
+        assert agg.num_runs == 3
+        assert agg.mean.shape == (4,)
+        assert (agg.std >= 0).all()

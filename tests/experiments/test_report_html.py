@@ -1,0 +1,87 @@
+"""Tests for the static HTML report generator."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report_html import runs_to_html, svg_curve, write_report
+from repro.fl.metrics import RoundRecord, RunResult
+
+
+def make_run(accs, method="m"):
+    res = RunResult(method=method, num_clients=4, model_bytes=100)
+    for i, acc in enumerate(accs):
+        res.records.append(
+            RoundRecord(
+                round_index=i,
+                sim_time_s=float(i),
+                num_uploads=2,
+                bytes_up=100,
+                bytes_down=50,
+                accuracy=acc,
+            )
+        )
+    return res
+
+
+class TestSvgCurve:
+    def test_contains_polyline_per_series(self):
+        svg = svg_curve(
+            {
+                "a": (np.array([0, 1, 2]), np.array([0.1, 0.5, 0.9])),
+                "b": (np.array([0, 1, 2]), np.array([0.2, 0.4, 0.6])),
+            }
+        )
+        assert svg.count("<polyline") == 2
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+
+    def test_labels_escaped(self):
+        svg = svg_curve({"<evil>": (np.array([0.0, 1.0]), np.array([0.1, 0.2]))})
+        assert "<evil>" not in svg
+        assert "&lt;evil&gt;" in svg
+
+    def test_empty_series_skipped(self):
+        svg = svg_curve({"empty": (np.zeros(0), np.zeros(0))})
+        assert svg == "<svg/>"
+
+    def test_points_within_viewbox(self):
+        svg = svg_curve({"a": (np.array([0.0, 10.0]), np.array([0.0, 1.0]))})
+        import re
+
+        for x, y in re.findall(r"(\d+\.\d),(\d+\.\d)", svg):
+            assert 0 <= float(x) <= 360
+            assert 0 <= float(y) <= 180
+
+
+class TestRunsToHtml:
+    def test_summary_table_contains_all_methods(self):
+        page = runs_to_html({"fedavg": make_run([0.5, 0.9]), "adafl": make_run([0.6, 0.92])})
+        assert "fedavg" in page
+        assert "adafl" in page
+        assert page.count("<tr>") == 3  # header + 2 rows
+
+    def test_requires_runs(self):
+        with pytest.raises(ValueError):
+            runs_to_html({})
+
+    def test_includes_artifacts(self, tmp_path):
+        (tmp_path / "table1.txt").write_text("Table I contents & more")
+        page = runs_to_html({"m": make_run([0.5])}, artifacts_dir=tmp_path)
+        assert "table1" in page
+        assert "Table I contents &amp; more" in page
+
+    def test_is_wellformed_enough(self):
+        page = runs_to_html({"m": make_run([0.5, 0.7])})
+        assert page.startswith("<!DOCTYPE html>")
+        assert page.count("<html") == page.count("</html>") == 1
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = write_report({"m": make_run([0.4, 0.8])}, tmp_path / "report.html")
+        assert path.exists()
+        assert "<svg" in path.read_text()
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_report({"m": make_run([0.4])}, tmp_path / "a" / "b" / "r.html")
+        assert path.exists()

@@ -1,0 +1,126 @@
+"""Integration tests for the asynchronous engine."""
+
+import numpy as np
+import pytest
+
+from repro.fl.async_engine import AsyncEngine
+from repro.fl.baselines import FedAsync, FedBuff
+from repro.fl.client import Client
+from repro.fl.config import FederationConfig, LocalTrainingConfig
+from repro.fl.server import Server
+from repro.network.conditions import NetworkConditions
+
+NUM_CLIENTS = 4
+
+
+@pytest.fixture
+def federation(tiny_train, tiny_test, tiny_model_fn):
+    parts = np.array_split(np.arange(len(tiny_train)), NUM_CLIENTS)
+    clients = [
+        Client(i, tiny_train.subset(parts[i]), tiny_model_fn, seed=20 + i)
+        for i in range(NUM_CLIENTS)
+    ]
+    server = Server(tiny_model_fn, tiny_test)
+    return server, clients
+
+
+def config(max_updates=30, eval_every=5):
+    return FederationConfig(
+        num_rounds=10,
+        participation_rate=1.0,
+        eval_every=eval_every,
+        seed=0,
+        local=LocalTrainingConfig(local_epochs=1, batch_size=8, lr=0.1),
+        max_sim_time_s=1e9,
+        max_updates=max_updates,
+    )
+
+
+class TestBasicRun:
+    def test_stops_at_max_updates(self, federation):
+        server, clients = federation
+        result = AsyncEngine(server, clients, FedAsync(), config(max_updates=20)).run()
+        assert result.total_uploads == 20
+
+    def test_learning_happens(self, federation):
+        server, clients = federation
+        result = AsyncEngine(server, clients, FedAsync(), config(max_updates=40)).run()
+        _, accs = result.accuracy_curve()
+        assert accs[-1] > 0.5
+
+    def test_time_is_monotone(self, federation):
+        server, clients = federation
+        result = AsyncEngine(server, clients, FedAsync(), config()).run()
+        times = [r.sim_time_s for r in result.records]
+        assert times == sorted(times)
+
+    def test_every_record_is_one_upload(self, federation):
+        server, clients = federation
+        result = AsyncEngine(server, clients, FedAsync(), config()).run()
+        assert all(r.num_uploads == 1 for r in result.records)
+
+    def test_stops_at_time_budget(self, federation):
+        server, clients = federation
+        cfg = FederationConfig(
+            num_rounds=10,
+            participation_rate=1.0,
+            eval_every=100,
+            seed=0,
+            local=LocalTrainingConfig(local_epochs=1, batch_size=8, lr=0.1),
+            max_sim_time_s=1e-6,  # essentially immediately
+            max_updates=None,
+        )
+        result = AsyncEngine(server, clients, FedAsync(), cfg).run()
+        assert result.total_uploads == 0
+
+    def test_deterministic(self, tiny_train, tiny_test, tiny_model_fn):
+        def run():
+            parts = np.array_split(np.arange(len(tiny_train)), NUM_CLIENTS)
+            clients = [
+                Client(i, tiny_train.subset(parts[i]), tiny_model_fn, seed=20 + i)
+                for i in range(NUM_CLIENTS)
+            ]
+            server = Server(tiny_model_fn, tiny_test)
+            net = NetworkConditions.uniform(NUM_CLIENTS, "wifi")
+            return AsyncEngine(server, clients, FedAsync(), config(), network=net).run()
+
+        a, b = run(), run()
+        assert a.final_accuracy == b.final_accuracy
+        assert a.total_sim_time == b.total_sim_time
+
+
+class TestStaleness:
+    def test_slow_clients_produce_stale_updates(self, federation):
+        """A 3x-slower device uploads less often than fast peers."""
+        server, clients = federation
+        rates = np.full(NUM_CLIENTS, 1e9)
+        rates[0] /= 3.0
+        result = AsyncEngine(
+            server, clients, FedAsync(), config(max_updates=40), device_flops=rates
+        ).run()
+        counts = np.zeros(NUM_CLIENTS)
+        for r in result.records:
+            counts[r.participants[0]] += 1
+        assert counts[0] < counts[1:].min()
+
+    def test_fedbuff_applies_every_k(self, federation):
+        server, clients = federation
+        result = AsyncEngine(
+            server, clients, FedBuff(buffer_size=3), config(max_updates=12)
+        ).run()
+        # 12 uploads with buffer 3 -> exactly 4 model versions.
+        assert server.version == 4
+
+
+class TestValidation:
+    def test_no_clients(self, tiny_model_fn, tiny_test):
+        server = Server(tiny_model_fn, tiny_test)
+        with pytest.raises(ValueError):
+            AsyncEngine(server, [], FedAsync(), config())
+
+    def test_network_size_mismatch(self, federation):
+        server, clients = federation
+        with pytest.raises(ValueError):
+            AsyncEngine(
+                server, clients, FedAsync(), config(), network=NetworkConditions.uniform(2)
+            )

@@ -1,0 +1,116 @@
+"""Edge-case tests for the asynchronous engine."""
+
+import numpy as np
+import pytest
+
+from repro.fl.async_engine import AsyncEngine
+from repro.fl.baselines import FedAsync
+from repro.fl.client import Client
+from repro.fl.config import FederationConfig, LocalTrainingConfig
+from repro.fl.server import Server
+from repro.fl.strategy import AsyncStrategy
+from repro.network.conditions import ClientNetwork, NetworkConditions
+from repro.network.link import LinkModel
+
+NUM_CLIENTS = 3
+
+
+@pytest.fixture
+def federation(tiny_train, tiny_test, tiny_model_fn):
+    parts = np.array_split(np.arange(len(tiny_train)), NUM_CLIENTS)
+    clients = [
+        Client(i, tiny_train.subset(parts[i]), tiny_model_fn, seed=90 + i)
+        for i in range(NUM_CLIENTS)
+    ]
+    return Server(tiny_model_fn, tiny_test), clients
+
+
+def config(max_updates=15, max_time=1e9):
+    return FederationConfig(
+        num_rounds=10,
+        participation_rate=1.0,
+        eval_every=1000,
+        seed=0,
+        local=LocalTrainingConfig(local_epochs=1, batch_size=8, lr=0.1),
+        max_sim_time_s=max_time,
+        max_updates=max_updates,
+    )
+
+
+class _HaltEveryone(AsyncStrategy):
+    """A strategy that halts every client after the first dispatch."""
+
+    name = "halt-all"
+
+    def __init__(self):
+        self.forced_trainings = 0
+
+    def should_train(self, client, server, sim_time_s):
+        return False
+
+    def on_update(self, server, update, delta, staleness):
+        self.forced_trainings += 1
+        server.apply_delta(delta)
+        return True
+
+
+class TestDeadlockGuard:
+    def test_all_halted_fleet_still_progresses(self, federation):
+        server, clients = federation
+        strategy = _HaltEveryone()
+        result = AsyncEngine(server, clients, strategy, config(max_updates=5)).run()
+        # Force-waking produced exactly the requested updates.
+        assert result.total_uploads == 5
+        assert strategy.forced_trainings == 5
+
+    def test_guard_respects_time_budget(self, federation):
+        server, clients = federation
+        strategy = _HaltEveryone()
+        rates = np.full(NUM_CLIENTS, 1e6)  # slow compute: ~0.03 s/update
+        result = AsyncEngine(
+            server,
+            clients,
+            strategy,
+            config(max_updates=None, max_time=0.1),
+            device_flops=rates,
+        ).run()
+        # Progress happened but stopped at the simulated-time budget.
+        assert 0 < result.total_uploads < 50
+        assert result.total_sim_time <= 0.15
+
+
+class TestLossyUplink:
+    def test_lost_uploads_retry_and_complete(self, federation):
+        server, clients = federation
+        lossy = LinkModel(bandwidth_mbps=100.0, loss_rate=0.4)
+        net = NetworkConditions(
+            clients=[ClientNetwork(uplink=lossy, downlink=lossy) for _ in range(NUM_CLIENTS)]
+        )
+        result = AsyncEngine(
+            server, clients, FedAsync(), config(max_updates=12), network=net
+        ).run()
+        # Despite 40% loss the engine reaches the update budget.
+        assert result.total_uploads == 12
+
+    def test_deterministic_under_loss(self, tiny_train, tiny_test, tiny_model_fn):
+        def run():
+            parts = np.array_split(np.arange(len(tiny_train)), NUM_CLIENTS)
+            clients = [
+                Client(i, tiny_train.subset(parts[i]), tiny_model_fn, seed=90 + i)
+                for i in range(NUM_CLIENTS)
+            ]
+            server = Server(tiny_model_fn, tiny_test)
+            lossy = LinkModel(bandwidth_mbps=100.0, loss_rate=0.3)
+            net = NetworkConditions(
+                clients=[
+                    ClientNetwork(uplink=lossy, downlink=lossy)
+                    for _ in range(NUM_CLIENTS)
+                ]
+            )
+            return AsyncEngine(
+                server, clients, FedAsync(), config(max_updates=10), network=net
+            ).run()
+
+        a, b = run(), run()
+        assert a.total_sim_time == b.total_sim_time
+        assert a.total_bytes_down == b.total_bytes_down

@@ -1,0 +1,123 @@
+"""Tests for the FL client."""
+
+import numpy as np
+import pytest
+
+from repro.fl.client import Client
+from repro.fl.config import LocalTrainingConfig
+
+
+@pytest.fixture
+def client(tiny_train, tiny_model_fn):
+    return Client(0, tiny_train, tiny_model_fn, seed=1)
+
+
+@pytest.fixture
+def global_params(tiny_model_fn):
+    return tiny_model_fn().get_flat_params()
+
+
+CFG = LocalTrainingConfig(local_epochs=1, batch_size=16, lr=0.1)
+
+
+class TestConstruction:
+    def test_empty_dataset_rejected(self, tiny_train, tiny_model_fn):
+        empty = tiny_train.subset(np.array([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            Client(0, empty, tiny_model_fn)
+
+    def test_properties(self, client, tiny_train):
+        assert client.num_samples == len(tiny_train)
+        assert client.model_dim > 0
+
+
+class TestLocalTrain:
+    def test_returns_delta_of_right_shape(self, client, global_params):
+        update = client.local_train(global_params, CFG)
+        assert update.delta.shape == global_params.shape
+        assert update.num_samples == client.num_samples
+        assert update.flops > 0
+
+    def test_delta_is_nonzero_and_descends(self, client, global_params):
+        update = client.local_train(global_params, CFG)
+        assert np.linalg.norm(update.delta) > 0
+        # Applying the delta should reduce the client's own loss.
+        before = client.evaluate(global_params, client.dataset)
+        after = client.evaluate(global_params + update.delta, client.dataset)
+        assert after >= before
+
+    def test_caches_last_delta(self, client, global_params):
+        assert client.last_delta is None
+        update = client.local_train(global_params, CFG)
+        np.testing.assert_array_equal(client.last_delta, update.delta)
+
+    def test_does_not_mutate_global_params(self, client, global_params):
+        snapshot = global_params.copy()
+        client.local_train(global_params, CFG)
+        np.testing.assert_array_equal(global_params, snapshot)
+
+    def test_deterministic_given_seed(self, tiny_train, tiny_model_fn, global_params):
+        a = Client(0, tiny_train, tiny_model_fn, seed=5).local_train(global_params, CFG)
+        b = Client(0, tiny_train, tiny_model_fn, seed=5).local_train(global_params, CFG)
+        np.testing.assert_array_equal(a.delta, b.delta)
+
+    def test_max_batches_caps_work(self, client, global_params):
+        capped = LocalTrainingConfig(local_epochs=1, batch_size=8, lr=0.1, max_batches=1)
+        update = client.local_train(global_params, capped)
+        full = client.local_train(global_params, CFG)
+        assert update.flops < full.flops
+
+    def test_more_epochs_more_flops(self, client, global_params):
+        two = LocalTrainingConfig(local_epochs=2, batch_size=16, lr=0.1)
+        assert (
+            client.local_train(global_params, two).flops
+            > client.local_train(global_params, CFG).flops
+        )
+
+
+class TestProx:
+    def test_prox_shrinks_delta(self, tiny_train, tiny_model_fn, global_params):
+        plain = Client(0, tiny_train, tiny_model_fn, seed=3).local_train(
+            global_params, LocalTrainingConfig(local_epochs=3, batch_size=16, lr=0.1)
+        )
+        proxed = Client(0, tiny_train, tiny_model_fn, seed=3).local_train(
+            global_params,
+            LocalTrainingConfig(local_epochs=3, batch_size=16, lr=0.1, prox_mu=1.0),
+        )
+        assert np.linalg.norm(proxed.delta) < np.linalg.norm(plain.delta)
+
+
+class TestScaffold:
+    def test_control_variate_created_and_updated(self, client, global_params):
+        control = np.zeros_like(global_params)
+        update = client.local_train(global_params, CFG, server_control=control)
+        assert client.control_variate is not None
+        assert "control_delta" in update.extras
+        assert np.linalg.norm(client.control_variate) > 0
+
+    def test_control_delta_consistent(self, client, global_params):
+        control = np.zeros_like(global_params)
+        before = np.zeros_like(global_params)
+        update = client.local_train(global_params, CFG, server_control=control)
+        np.testing.assert_allclose(
+            before + update.extras["control_delta"], client.control_variate
+        )
+
+    def test_zero_correction_matches_plain_sgd(self, tiny_train, tiny_model_fn, global_params):
+        """With c == c_i == 0 the first SCAFFOLD round equals plain SGD."""
+        plain = Client(0, tiny_train, tiny_model_fn, seed=4).local_train(global_params, CFG)
+        scaff = Client(0, tiny_train, tiny_model_fn, seed=4).local_train(
+            global_params, CFG, server_control=np.zeros_like(global_params)
+        )
+        np.testing.assert_allclose(plain.delta, scaff.delta)
+
+
+class TestTrainingFlops:
+    def test_prediction_matches_actual(self, client, global_params):
+        predicted = client.training_flops(CFG)
+        actual = client.local_train(global_params, CFG).flops
+        assert predicted == actual
+
+    def test_evaluate_range(self, client, global_params, tiny_test):
+        acc = client.evaluate(global_params, tiny_test)
+        assert 0.0 <= acc <= 1.0

@@ -1,0 +1,89 @@
+"""Tests for the synchronous round deadline (§III-A max wait time)."""
+
+import numpy as np
+import pytest
+
+from repro.fl.baselines import FedAvg
+from repro.fl.client import Client
+from repro.fl.config import FederationConfig, LocalTrainingConfig
+from repro.fl.server import Server
+from repro.fl.sync_engine import SyncEngine
+from repro.network.conditions import ClientNetwork, NetworkConditions
+from repro.network.link import LinkModel
+
+NUM_CLIENTS = 4
+
+
+@pytest.fixture
+def federation(tiny_train, tiny_test, tiny_model_fn):
+    parts = np.array_split(np.arange(len(tiny_train)), NUM_CLIENTS)
+    clients = [
+        Client(i, tiny_train.subset(parts[i]), tiny_model_fn, seed=50 + i)
+        for i in range(NUM_CLIENTS)
+    ]
+    return Server(tiny_model_fn, tiny_test), clients
+
+
+def slow_fast_network(model_bytes: int):
+    """Client 0 needs ~10s per direction; the rest are instant-ish."""
+    slow = LinkModel(bandwidth_mbps=model_bytes * 8 / 10 / 1e6)
+    fast = LinkModel(bandwidth_mbps=1000.0)
+    clients = [ClientNetwork(uplink=fast, downlink=fast) for _ in range(NUM_CLIENTS)]
+    clients[0] = ClientNetwork(uplink=slow, downlink=slow)
+    return NetworkConditions(clients=clients)
+
+
+def config(deadline=None, rounds=3):
+    return FederationConfig(
+        num_rounds=rounds,
+        participation_rate=1.0,
+        eval_every=rounds,
+        seed=0,
+        local=LocalTrainingConfig(local_epochs=1, batch_size=8, lr=0.1),
+        round_deadline_s=deadline,
+    )
+
+
+class TestDeadline:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FederationConfig(round_deadline_s=0.0)
+
+    def test_no_deadline_waits_for_straggler(self, federation):
+        server, clients = federation
+        net = slow_fast_network(4 * server.dim)
+        result = SyncEngine(
+            server, clients, FedAvg(participation_rate=1.0), config(None), network=net
+        ).run()
+        # All updates delivered; rounds last ~20s (down + up on the slow link).
+        assert result.total_uploads == 3 * NUM_CLIENTS
+        assert result.total_sim_time > 3 * 15.0
+
+    def test_deadline_drops_straggler_and_caps_time(self, federation):
+        server, clients = federation
+        net = slow_fast_network(4 * server.dim)
+        result = SyncEngine(
+            server, clients, FedAvg(participation_rate=1.0), config(5.0), network=net
+        ).run()
+        # The slow client misses every deadline.
+        assert result.total_uploads == 3 * (NUM_CLIENTS - 1)
+        assert result.total_dropped == 3
+        assert result.total_sim_time <= 3 * 5.0 + 1e-9
+
+    def test_generous_deadline_drops_nothing(self, federation):
+        server, clients = federation
+        net = slow_fast_network(4 * server.dim)
+        result = SyncEngine(
+            server, clients, FedAvg(participation_rate=1.0), config(1000.0), network=net
+        ).run()
+        assert result.total_dropped == 0
+
+    def test_deadline_trades_time_for_accuracy_signal(self, federation):
+        """With a deadline the same wall-clock budget fits more rounds."""
+        server, clients = federation
+        net = slow_fast_network(4 * server.dim)
+        with_deadline = SyncEngine(
+            server, clients, FedAvg(participation_rate=1.0), config(5.0, rounds=4), network=net
+        ).run()
+        time_per_round = with_deadline.total_sim_time / 4
+        assert time_per_round <= 5.0 + 1e-9

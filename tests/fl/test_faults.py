@@ -1,0 +1,81 @@
+"""Tests for fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.fl.faults import FaultInjector
+
+
+class TestValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            FaultInjector(mode="meltdown")
+
+    def test_bad_period(self):
+        with pytest.raises(ValueError):
+            FaultInjector(mode="dropout", dropout_period=1)
+
+    def test_bad_loss_prob(self):
+        with pytest.raises(ValueError):
+            FaultInjector(mode="dataloss", loss_prob=1.5)
+
+
+class TestNone:
+    def test_everything_available(self, rng):
+        inj = FaultInjector()
+        assert all(inj.available(i, r) for i in range(5) for r in range(5))
+        assert not any(inj.upload_lost(i, rng) for i in range(5))
+
+
+class TestDropout:
+    def test_straggler_every_other_round(self):
+        inj = FaultInjector(mode="dropout", straggler_ids={0}, dropout_period=2)
+        availability = [inj.available(0, r) for r in range(6)]
+        assert availability == [True, False, True, False, True, False]
+
+    def test_non_straggler_always_available(self):
+        inj = FaultInjector(mode="dropout", straggler_ids={0})
+        assert all(inj.available(1, r) for r in range(10))
+
+    def test_phases_staggered_by_id(self):
+        inj = FaultInjector(mode="dropout", straggler_ids={0, 1}, dropout_period=2)
+        assert inj.available(0, 0) != inj.available(1, 0)
+
+    def test_no_upload_loss_in_dropout_mode(self, rng):
+        inj = FaultInjector(mode="dropout", straggler_ids={0})
+        assert not inj.upload_lost(0, rng)
+
+
+class TestDataloss:
+    def test_always_available(self):
+        inj = FaultInjector(mode="dataloss", straggler_ids={0})
+        assert all(inj.available(0, r) for r in range(10))
+
+    def test_loss_probability(self):
+        inj = FaultInjector(mode="dataloss", straggler_ids={0}, loss_prob=0.5)
+        rng = np.random.default_rng(0)
+        lost = sum(inj.upload_lost(0, rng) for _ in range(2000))
+        assert 0.45 < lost / 2000 < 0.55
+
+    def test_non_straggler_never_loses(self, rng):
+        inj = FaultInjector(mode="dataloss", straggler_ids={0}, loss_prob=1.0)
+        assert not inj.upload_lost(1, rng)
+
+
+class TestFromFraction:
+    def test_count(self, rng):
+        inj = FaultInjector.from_fraction("dropout", 10, 0.3, rng)
+        assert len(inj.straggler_ids) == 3
+
+    def test_zero_fraction(self, rng):
+        inj = FaultInjector.from_fraction("dropout", 10, 0.0, rng)
+        assert len(inj.straggler_ids) == 0
+
+    def test_bad_fraction(self, rng):
+        with pytest.raises(ValueError):
+            FaultInjector.from_fraction("dropout", 10, 1.5, rng)
+
+    def test_deterministic(self):
+        a = FaultInjector.from_fraction("dropout", 10, 0.5, np.random.default_rng(1))
+        b = FaultInjector.from_fraction("dropout", 10, 0.5, np.random.default_rng(1))
+        assert a.straggler_ids == b.straggler_ids

@@ -1,0 +1,121 @@
+"""Tests for the FedAT tiered baseline."""
+
+import numpy as np
+import pytest
+
+from repro.fl.async_engine import AsyncEngine
+from repro.fl.client import Client, ClientUpdate
+from repro.fl.config import FederationConfig, LocalTrainingConfig
+from repro.fl.fedat import FedAT, assign_tiers
+from repro.fl.server import Server
+
+
+def make_update(cid, delta):
+    return ClientUpdate(
+        client_id=cid,
+        round_index=0,
+        num_samples=10,
+        delta=np.asarray(delta, dtype=np.float64),
+        train_loss=0.0,
+        flops=0,
+    )
+
+
+class TestAssignTiers:
+    def test_fast_clients_in_tier_zero(self):
+        times = np.array([1.0, 10.0, 2.0, 20.0])
+        tiers = assign_tiers(times, 2)
+        assert tiers[0] == 0 and tiers[2] == 0
+        assert tiers[1] == 1 and tiers[3] == 1
+
+    def test_single_tier(self):
+        assert assign_tiers(np.array([3.0, 1.0]), 1) == [0, 0]
+
+    def test_equal_sizes(self):
+        tiers = assign_tiers(np.arange(9, dtype=float), 3)
+        assert [tiers.count(t) for t in range(3)] == [3, 3, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assign_tiers(np.array([]), 1)
+        with pytest.raises(ValueError):
+            assign_tiers(np.array([1.0, 2.0]), 3)
+
+
+class TestFedATAggregation:
+    @pytest.fixture
+    def server(self, tiny_model_fn, tiny_test):
+        return Server(tiny_model_fn, tiny_test)
+
+    def test_tier_flushes_when_complete(self, server):
+        strat = FedAT(tiers=[0, 0, 1])
+        strat.prepare(server, [None] * 3)
+        d = np.ones(server.dim)
+        assert not strat.on_update(server, make_update(0, d), d, 0)
+        before = server.params.copy()
+        assert strat.on_update(server, make_update(1, d), d, 0)
+        assert not np.array_equal(server.params, before)
+
+    def test_singleton_tier_flushes_immediately(self, server):
+        strat = FedAT(tiers=[0, 0, 1])
+        strat.prepare(server, [None] * 3)
+        d = np.ones(server.dim)
+        assert strat.on_update(server, make_update(2, d), d, 0)
+
+    def test_duplicate_update_overwrites_not_flushes(self, server):
+        strat = FedAT(tiers=[0, 0])
+        strat.prepare(server, [None] * 2)
+        d = np.ones(server.dim)
+        assert not strat.on_update(server, make_update(0, d), d, 0)
+        assert not strat.on_update(server, make_update(0, 2 * d), 2 * d, 0)
+        assert strat.on_update(server, make_update(1, d), d, 0)
+
+    def test_infrequent_tier_weighs_more(self, server):
+        strat = FedAT(tiers=[0, 1])
+        strat.prepare(server, [None] * 2)
+        d = np.ones(server.dim)
+        # Tier 0 flushes three times, tier 1 never.
+        for _ in range(3):
+            strat.on_update(server, make_update(0, d), d, 0)
+        # Now tier 1's weight must exceed tier 0's.
+        assert strat._tier_weight(1) > strat._tier_weight(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FedAT(tiers=[])
+        with pytest.raises(ValueError):
+            FedAT(tiers=[0, 2])  # tier 1 empty
+        with pytest.raises(ValueError):
+            FedAT(tiers=[0], server_lr=0.0)
+
+    def test_prepare_checks_count(self, server):
+        strat = FedAT(tiers=[0, 1])
+        with pytest.raises(ValueError):
+            strat.prepare(server, [None] * 3)
+
+
+class TestFedATEndToEnd:
+    def test_learns_with_heterogeneous_devices(self, tiny_train, tiny_test, tiny_model_fn):
+        num_clients = 4
+        parts = np.array_split(np.arange(len(tiny_train)), num_clients)
+        clients = [
+            Client(i, tiny_train.subset(parts[i]), tiny_model_fn, seed=40 + i)
+            for i in range(num_clients)
+        ]
+        server = Server(tiny_model_fn, tiny_test)
+        rates = np.array([1e9, 1e9, 3e8, 3e8])
+        tiers = assign_tiers(1.0 / rates, 2)
+        cfg = FederationConfig(
+            num_rounds=10,
+            participation_rate=1.0,
+            eval_every=10,
+            seed=0,
+            local=LocalTrainingConfig(local_epochs=1, batch_size=8, lr=0.1),
+            max_sim_time_s=1e9,
+            max_updates=40,
+        )
+        result = AsyncEngine(
+            server, clients, FedAT(tiers=tiers), cfg, device_flops=rates
+        ).run()
+        assert result.final_accuracy > 0.5
+        assert result.method == "fedat"

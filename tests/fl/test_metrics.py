@@ -1,0 +1,112 @@
+"""Tests for run metrics and Table-column derivations."""
+
+import numpy as np
+import pytest
+
+from repro.fl.metrics import RoundRecord, RunResult
+
+
+def record(i, acc=None, uploads=1, bup=100, bdown=50, sizes=None, t=None):
+    return RoundRecord(
+        round_index=i,
+        sim_time_s=float(i) if t is None else t,
+        num_uploads=uploads,
+        bytes_up=bup,
+        bytes_down=bdown,
+        accuracy=acc,
+        upload_sizes=sizes if sizes is not None else [bup],
+    )
+
+
+@pytest.fixture
+def result():
+    res = RunResult(method="test", num_clients=10, model_bytes=400)
+    res.records = [
+        record(0, acc=0.2, sizes=[100]),
+        record(1, sizes=[50]),
+        record(2, acc=0.6, sizes=[200]),
+        record(3, acc=0.8, sizes=[100]),
+    ]
+    return res
+
+
+class TestCurves:
+    def test_accuracy_curve_skips_unevaluated(self, result):
+        rounds, accs = result.accuracy_curve()
+        np.testing.assert_array_equal(rounds, [0, 2, 3])
+        np.testing.assert_allclose(accs, [0.2, 0.6, 0.8])
+
+    def test_time_curve(self, result):
+        times, accs = result.time_accuracy_curve()
+        np.testing.assert_allclose(times, [0.0, 2.0, 3.0])
+
+    def test_empty_curves(self):
+        res = RunResult(method="x", num_clients=1)
+        rounds, accs = res.accuracy_curve()
+        assert rounds.size == 0
+
+
+class TestScalars:
+    def test_final_and_best(self, result):
+        assert result.final_accuracy == 0.8
+        assert result.best_accuracy == 0.8
+
+    def test_final_nan_when_never_evaluated(self):
+        res = RunResult(method="x", num_clients=1)
+        res.records = [record(0)]
+        assert np.isnan(res.final_accuracy)
+
+    def test_totals(self, result):
+        assert result.total_uploads == 4
+        assert result.total_bytes_up == 400
+        assert result.total_bytes_down == 200
+        assert result.total_bytes == 600
+        assert result.total_sim_time == 3.0
+
+    def test_gradient_size_range(self, result):
+        assert result.gradient_size_range() == (50, 200)
+
+    def test_compression_ratio_range(self, result):
+        rmax, rmin = result.compression_ratio_range()
+        assert rmax == 400 / 50
+        assert rmin == 400 / 200
+
+    def test_ratio_range_no_model_bytes(self):
+        res = RunResult(method="x", num_clients=1, model_bytes=0)
+        assert res.compression_ratio_range() == (1.0, 1.0)
+
+
+class TestCostReduction:
+    def test_paper_arithmetic(self):
+        """233 updates out of an ideal 800 -> -70.88% (Table I)."""
+        res = RunResult(method="adafl", num_clients=10)
+        res.records = [record(0, uploads=233)]
+        assert abs(res.update_cost_reduction(800) - 0.70875) < 1e-9
+
+    def test_half_participation(self):
+        res = RunResult(method="fedavg", num_clients=10)
+        res.records = [record(i, uploads=5) for i in range(80)]
+        assert abs(res.update_cost_reduction(800) - 0.5) < 1e-12
+
+    def test_byte_reduction(self):
+        res = RunResult(method="x", num_clients=10, model_bytes=400)
+        res.records = [record(0, uploads=1, bup=100)]
+        # Ideal = 2 * 400 bytes; actual = 100 -> 87.5% saved.
+        assert abs(res.byte_cost_reduction(2) - 0.875) < 1e-12
+
+    def test_bad_ideal(self, result):
+        with pytest.raises(ValueError):
+            result.update_cost_reduction(0)
+
+
+class TestConvergenceQueries:
+    def test_time_to_accuracy(self, result):
+        assert result.time_to_accuracy(0.5) == 2.0
+        assert result.time_to_accuracy(0.95) is None
+
+    def test_rounds_to_accuracy(self, result):
+        assert result.rounds_to_accuracy(0.5) == 2
+        assert result.rounds_to_accuracy(0.1) == 0
+
+    def test_mean_participation(self, result):
+        assert abs(result.mean_participation_rate() - 0.1) < 1e-12

@@ -1,0 +1,107 @@
+"""Tests for strategy base classes and weighted averaging."""
+
+import numpy as np
+import pytest
+
+from repro.fl.client import ClientUpdate
+from repro.fl.strategy import RoundContext, SyncStrategy, weighted_average
+
+
+def update(cid, delta, n):
+    return ClientUpdate(
+        client_id=cid,
+        round_index=0,
+        num_samples=n,
+        delta=np.asarray(delta, dtype=np.float64),
+        train_loss=0.0,
+        flops=0,
+    )
+
+
+class TestWeightedAverage:
+    def test_equal_weights(self):
+        avg = weighted_average([update(0, [2.0, 0.0], 5), update(1, [0.0, 2.0], 5)])
+        np.testing.assert_allclose(avg, [1.0, 1.0])
+
+    def test_sample_weighting(self):
+        avg = weighted_average([update(0, [4.0], 3), update(1, [0.0], 1)])
+        np.testing.assert_allclose(avg, [3.0])
+
+    def test_single_update(self):
+        np.testing.assert_allclose(weighted_average([update(0, [1.0, 2.0], 7)]), [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_average([])
+
+    def test_zero_samples_raises(self):
+        with pytest.raises(ValueError):
+            weighted_average([update(0, [1.0], 0)])
+
+
+class TestSyncStrategySelection:
+    def _context(self, num_clients, tiny_model_fn, tiny_test):
+        from repro.fl.server import Server
+
+        return RoundContext(
+            round_index=0,
+            sim_time_s=0.0,
+            server=Server(tiny_model_fn, tiny_test),
+            clients=[None] * num_clients,  # only the count is used
+        )
+
+    def test_selects_rate_fraction(self, tiny_model_fn, tiny_test):
+        strat = SyncStrategy(participation_rate=0.5)
+        ctx = self._context(10, tiny_model_fn, tiny_test)
+        picked = strat.select(list(range(10)), np.random.default_rng(0), ctx)
+        assert len(picked) == 5
+        assert picked == sorted(picked)
+
+    def test_capped_by_availability(self, tiny_model_fn, tiny_test):
+        strat = SyncStrategy(participation_rate=0.5)
+        ctx = self._context(10, tiny_model_fn, tiny_test)
+        picked = strat.select([1, 2], np.random.default_rng(0), ctx)
+        assert set(picked) <= {1, 2}
+
+    def test_empty_available(self, tiny_model_fn, tiny_test):
+        strat = SyncStrategy()
+        ctx = self._context(10, tiny_model_fn, tiny_test)
+        assert strat.select([], np.random.default_rng(0), ctx) == []
+
+    def test_full_participation(self, tiny_model_fn, tiny_test):
+        strat = SyncStrategy(participation_rate=1.0)
+        ctx = self._context(6, tiny_model_fn, tiny_test)
+        picked = strat.select(list(range(6)), np.random.default_rng(0), ctx)
+        assert picked == list(range(6))
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SyncStrategy(participation_rate=0.0)
+
+    def test_default_upload_is_dense(self, tiny_model_fn, tiny_test):
+        strat = SyncStrategy()
+        ctx = self._context(2, tiny_model_fn, tiny_test)
+        u = update(0, np.ones(10), 5)
+        delta, nbytes = strat.process_upload(None, u, ctx)
+        np.testing.assert_array_equal(delta, u.delta)
+        assert nbytes == 40
+
+    def test_default_aggregate_applies_average(self, tiny_model_fn, tiny_test):
+        from repro.fl.server import Server
+
+        server = Server(tiny_model_fn, tiny_test)
+        strat = SyncStrategy()
+        ctx = RoundContext(0, 0.0, server, [])
+        d = server.dim
+        before = server.params.copy()
+        strat.aggregate(server, [update(0, np.ones(d), 5)], ctx)
+        np.testing.assert_allclose(server.params, before + 1.0)
+
+    def test_aggregate_no_updates_is_noop(self, tiny_model_fn, tiny_test):
+        from repro.fl.server import Server
+
+        server = Server(tiny_model_fn, tiny_test)
+        before = server.params.copy()
+        SyncStrategy().aggregate(server, [], RoundContext(0, 0.0, server, []))
+        np.testing.assert_array_equal(server.params, before)
+        assert server.version == 0

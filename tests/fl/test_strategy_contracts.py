@@ -1,0 +1,135 @@
+"""Cross-cutting contract tests: every strategy through its engine.
+
+For each registered method (plus AdaFL and FedAT), one tiny federation
+must: run to completion, learn past chance, keep byte accounting
+positive and consistent, and be bit-reproducible from its seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adafl import AdaFLAsync, AdaFLConfig, AdaFLSync
+from repro.core.compression_policy import AdaptiveCompressionPolicy
+from repro.fl.async_engine import AsyncEngine
+from repro.fl.baselines import FedAdam, FedAsync, FedAvg, FedAvgM, FedBuff, FedProx, Scaffold
+from repro.fl.client import Client
+from repro.fl.config import FederationConfig, LocalTrainingConfig
+from repro.fl.fedat import FedAT
+from repro.fl.server import Server
+from repro.fl.sync_engine import SyncEngine
+
+NUM_CLIENTS = 4
+CHANCE = 1.0 / 4  # tiny_data has 4 classes
+
+
+def adafl_cfg():
+    return AdaFLConfig(
+        k_max=3,
+        tau=0.5,
+        tau_mode="relative",
+        score_smoothing=0.5,
+        rotation_bonus=0.2,
+        policy=AdaptiveCompressionPolicy(
+            min_ratio=2.0, max_ratio=16.0, warmup_rounds=2, warmup_ratio=2.0
+        ),
+    )
+
+
+SYNC_FACTORIES = {
+    "fedavg": lambda: FedAvg(participation_rate=1.0),
+    "fedavgm": lambda: FedAvgM(participation_rate=1.0, beta=0.5),
+    "fedprox": lambda: FedProx(participation_rate=1.0, mu=0.01),
+    "fedadam": lambda: FedAdam(participation_rate=1.0),
+    "scaffold": lambda: Scaffold(participation_rate=1.0),
+    "adafl": lambda: AdaFLSync(adafl_cfg()),
+}
+
+ASYNC_FACTORIES = {
+    "fedasync": lambda: FedAsync(),
+    "fedbuff": lambda: FedBuff(buffer_size=2),
+    "fedat": lambda: FedAT(tiers=[0, 0, 1, 1]),
+    "adafl-async": lambda: AdaFLAsync(adafl_cfg()),
+}
+
+
+def build(tiny_train, tiny_test, tiny_model_fn):
+    parts = np.array_split(np.arange(len(tiny_train)), NUM_CLIENTS)
+    clients = [
+        Client(i, tiny_train.subset(parts[i]), tiny_model_fn, seed=200 + i)
+        for i in range(NUM_CLIENTS)
+    ]
+    return Server(tiny_model_fn, tiny_test), clients
+
+
+def sync_config():
+    return FederationConfig(
+        num_rounds=10,
+        participation_rate=1.0,
+        eval_every=5,
+        seed=1,
+        local=LocalTrainingConfig(local_epochs=1, batch_size=8, lr=0.1),
+    )
+
+
+def async_config():
+    return FederationConfig(
+        num_rounds=10,
+        participation_rate=1.0,
+        eval_every=10,
+        seed=1,
+        local=LocalTrainingConfig(local_epochs=1, batch_size=8, lr=0.1),
+        max_sim_time_s=1e9,
+        max_updates=40,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SYNC_FACTORIES))
+class TestSyncContract:
+    def test_learns_and_accounts(self, name, tiny_train, tiny_test, tiny_model_fn):
+        server, clients = build(tiny_train, tiny_test, tiny_model_fn)
+        result = SyncEngine(
+            server, clients, SYNC_FACTORIES[name](), sync_config()
+        ).run()
+        assert result.method == name
+        assert result.final_accuracy > CHANCE + 0.2, name
+        assert result.total_bytes_up > 0
+        assert result.total_bytes_down > 0
+        assert result.total_uploads == sum(r.num_uploads for r in result.records)
+        assert all(len(r.upload_sizes) == r.num_uploads for r in result.records)
+
+    def test_reproducible(self, name, tiny_train, tiny_test, tiny_model_fn):
+        def run():
+            server, clients = build(tiny_train, tiny_test, tiny_model_fn)
+            return SyncEngine(
+                server, clients, SYNC_FACTORIES[name](), sync_config()
+            ).run()
+
+        a, b = run(), run()
+        assert a.final_accuracy == b.final_accuracy, name
+        assert a.total_bytes_up == b.total_bytes_up, name
+
+
+@pytest.mark.parametrize("name", sorted(ASYNC_FACTORIES))
+class TestAsyncContract:
+    def test_learns_and_accounts(self, name, tiny_train, tiny_test, tiny_model_fn):
+        server, clients = build(tiny_train, tiny_test, tiny_model_fn)
+        result = AsyncEngine(
+            server, clients, ASYNC_FACTORIES[name](), async_config()
+        ).run()
+        assert result.method == name
+        assert result.final_accuracy > CHANCE + 0.2, name
+        assert result.total_uploads > 0
+        assert result.total_bytes_up > 0
+        times = [r.sim_time_s for r in result.records]
+        assert times == sorted(times), name
+
+    def test_reproducible(self, name, tiny_train, tiny_test, tiny_model_fn):
+        def run():
+            server, clients = build(tiny_train, tiny_test, tiny_model_fn)
+            return AsyncEngine(
+                server, clients, ASYNC_FACTORIES[name](), async_config()
+            ).run()
+
+        a, b = run(), run()
+        assert a.final_accuracy == b.final_accuracy, name
+        assert a.total_sim_time == b.total_sim_time, name

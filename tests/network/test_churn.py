@@ -1,0 +1,112 @@
+"""Tests for the availability churn model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.churn import AlwaysOn, ChurnModel
+
+
+class TestAlwaysOn:
+    def test_always_online(self):
+        model = AlwaysOn()
+        assert model.is_online(0, 0.0)
+        assert model.is_online(99, 1e9)
+        assert model.next_online(3, 42.0) == 42.0
+
+
+class TestChurnModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnModel(0)
+        with pytest.raises(ValueError):
+            ChurnModel(2, mean_on_s=0.0)
+        with pytest.raises(ValueError):
+            ChurnModel(2, start_online_prob=1.5)
+
+    def test_out_of_range_client(self):
+        model = ChurnModel(2)
+        with pytest.raises(ValueError):
+            model.is_online(5, 0.0)
+        with pytest.raises(ValueError):
+            model.is_online(0, -1.0)
+
+    def test_deterministic_given_seed(self):
+        a = ChurnModel(3, seed=7)
+        b = ChurnModel(3, seed=7)
+        for cid in range(3):
+            for t in (0.0, 100.0, 1000.0, 50.0):  # out-of-order queries
+                assert a.is_online(cid, t) == b.is_online(cid, t)
+
+    def test_query_order_independent(self):
+        a = ChurnModel(1, seed=3)
+        late_first = a.is_online(0, 5000.0)
+        b = ChurnModel(1, seed=3)
+        b.is_online(0, 1.0)  # warm up with an early query
+        assert b.is_online(0, 5000.0) == late_first
+
+    def test_state_actually_toggles(self):
+        model = ChurnModel(1, mean_on_s=10.0, mean_off_s=10.0, seed=0)
+        states = {model.is_online(0, t) for t in np.linspace(0, 500, 200)}
+        assert states == {True, False}
+
+    def test_next_online_is_online(self):
+        model = ChurnModel(4, mean_on_s=20.0, mean_off_s=20.0, seed=1)
+        for cid in range(4):
+            for t in (0.0, 33.0, 250.0):
+                resume = model.next_online(cid, t)
+                assert resume >= t
+                assert model.is_online(cid, resume)
+
+    def test_duty_cycle_follows_means(self):
+        model = ChurnModel(1, mean_on_s=90.0, mean_off_s=10.0, seed=2)
+        samples = [model.is_online(0, t) for t in np.linspace(0, 20000, 4000)]
+        online_fraction = np.mean(samples)
+        assert 0.8 < online_fraction < 0.98
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 200), t=st.floats(0.0, 1e4))
+    def test_property_next_online_idempotent(self, seed, t):
+        model = ChurnModel(2, mean_on_s=30.0, mean_off_s=30.0, seed=seed)
+        resume = model.next_online(0, t)
+        assert model.next_online(0, resume) == resume
+
+
+class TestEngineIntegration:
+    def test_offline_clients_slow_the_run(self, tiny_train, tiny_test, tiny_model_fn):
+        from repro.fl.async_engine import AsyncEngine
+        from repro.fl.baselines import FedAsync
+        from repro.fl.client import Client
+        from repro.fl.config import FederationConfig, LocalTrainingConfig
+        from repro.fl.server import Server
+
+        def run(churn):
+            parts = np.array_split(np.arange(len(tiny_train)), 4)
+            clients = [
+                Client(i, tiny_train.subset(parts[i]), tiny_model_fn, seed=80 + i)
+                for i in range(4)
+            ]
+            server = Server(tiny_model_fn, tiny_test)
+            cfg = FederationConfig(
+                num_rounds=10,
+                participation_rate=1.0,
+                eval_every=1000,
+                seed=0,
+                local=LocalTrainingConfig(local_epochs=1, batch_size=8, lr=0.1),
+                max_sim_time_s=1e9,
+                max_updates=40,
+            )
+            return AsyncEngine(
+                server,
+                clients,
+                FedAsync(),
+                cfg,
+                device_flops=np.full(4, 1e8),
+                churn=churn,
+            ).run()
+
+        always = run(None)
+        flaky = run(ChurnModel(4, mean_on_s=1.0, mean_off_s=1.0, seed=5))
+        assert flaky.total_uploads == always.total_uploads == 40
+        assert flaky.total_sim_time > always.total_sim_time

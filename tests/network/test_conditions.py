@@ -1,0 +1,87 @@
+"""Tests for per-client network schedules."""
+
+import numpy as np
+import pytest
+
+from repro.network.conditions import ClientNetwork, NetworkConditions
+from repro.network.link import LINK_PRESETS, LinkModel
+from repro.network.traces import BandwidthTrace
+
+
+class TestClientNetwork:
+    def test_static_bandwidths(self):
+        link = LinkModel(bandwidth_mbps=10.0)
+        cn = ClientNetwork(uplink=link, downlink=link)
+        assert cn.uplink_bandwidth(0.0) == 10.0
+        assert cn.downlink_bandwidth(100.0) == 10.0
+
+    def test_trace_modulates_bandwidth(self):
+        link = LinkModel(bandwidth_mbps=10.0)
+        trace = BandwidthTrace(
+            times=np.array([0.0, 10.0]),
+            bandwidth_mbps=np.array([10.0, 2.0]),
+        )
+        cn = ClientNetwork(uplink=link, downlink=link, uplink_trace=trace)
+        assert cn.uplink_bandwidth(0.0) == 10.0
+        assert cn.uplink_bandwidth(15.0) == 2.0
+        # Downlink has no trace: stays static.
+        assert cn.downlink_bandwidth(15.0) == 10.0
+
+    def test_trace_changes_transfer_time(self, rng):
+        link = LinkModel(bandwidth_mbps=10.0)
+        trace = BandwidthTrace(
+            times=np.array([0.0, 10.0]),
+            bandwidth_mbps=np.array([10.0, 1.0]),
+        )
+        cn = ClientNetwork(uplink=link, downlink=link, uplink_trace=trace)
+        fast = cn.send_update(100_000, 0.0, rng).duration_s
+        slow = cn.send_update(100_000, 15.0, rng).duration_s
+        assert slow > 5 * fast
+
+
+class TestNetworkConditions:
+    def test_uniform(self):
+        net = NetworkConditions.uniform(5, "wifi")
+        assert len(net) == 5
+        assert all(c.label == "wifi" for c in net.clients)
+
+    def test_with_stragglers_count(self):
+        net = NetworkConditions.with_stragglers(
+            10, 0.3, rng=np.random.default_rng(0)
+        )
+        bad = [c for c in net.clients if c.label == "constrained"]
+        assert len(bad) == 3
+
+    def test_with_stragglers_zero(self):
+        net = NetworkConditions.with_stragglers(10, 0.0)
+        assert all(c.label == "ethernet" for c in net.clients)
+
+    def test_with_stragglers_validates(self):
+        with pytest.raises(ValueError):
+            NetworkConditions.with_stragglers(10, 1.5)
+
+    def test_heterogeneous_round_robin(self):
+        net = NetworkConditions.heterogeneous(4, ["wifi", "lte"])
+        assert [c.label for c in net.clients] == ["wifi", "lte", "wifi", "lte"]
+
+    def test_heterogeneous_empty_presets(self):
+        with pytest.raises(ValueError):
+            NetworkConditions.heterogeneous(4, [])
+
+    def test_straggler_ids(self):
+        net = NetworkConditions.with_stragglers(
+            10, 0.2, rng=np.random.default_rng(3)
+        )
+        ids = net.straggler_ids(threshold_mbps=2.0)
+        assert len(ids) == 2
+        for i in ids:
+            assert net[i].label == "constrained"
+
+    def test_getitem(self):
+        net = NetworkConditions.uniform(3)
+        assert net[0] is net.clients[0]
+
+    def test_deterministic_straggler_choice(self):
+        a = NetworkConditions.with_stragglers(10, 0.2, rng=np.random.default_rng(5))
+        b = NetworkConditions.with_stragglers(10, 0.2, rng=np.random.default_rng(5))
+        assert [c.label for c in a.clients] == [c.label for c in b.clients]

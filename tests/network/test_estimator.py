@@ -1,0 +1,70 @@
+"""Tests for the bandwidth estimator."""
+
+import pytest
+
+from repro.network.estimator import BandwidthEstimator
+
+
+class TestColdStart:
+    def test_prior_before_observations(self):
+        est = BandwidthEstimator(prior_mbps=42.0)
+        assert est.cold
+        assert est.estimate_mbps() == 42.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            BandwidthEstimator(prior_mbps=0.0)
+
+
+class TestObserve:
+    def test_single_sample_exact(self):
+        est = BandwidthEstimator()
+        # 1 MB in 1 s = 8 Mbps.
+        est.observe(1_000_000, 1.0)
+        assert abs(est.estimate_mbps() - 8.0) < 1e-9
+        assert not est.cold
+        assert est.num_samples == 1
+
+    def test_ewma_converges_to_steady_rate(self):
+        est = BandwidthEstimator(alpha=0.5)
+        est.observe(1_000_000, 8.0)  # 1 Mbps
+        for _ in range(20):
+            est.observe(1_000_000, 0.8)  # 10 Mbps
+        assert abs(est.estimate_mbps() - 10.0) < 0.1
+
+    def test_alpha_controls_reactivity(self):
+        slow = BandwidthEstimator(alpha=0.1)
+        fast = BandwidthEstimator(alpha=0.9)
+        for est in (slow, fast):
+            est.observe(1_000_000, 1.0)  # 8 Mbps
+            est.observe(1_000_000, 0.1)  # 80 Mbps spike
+        assert fast.estimate_mbps() > slow.estimate_mbps()
+
+    def test_invalid_observation(self):
+        est = BandwidthEstimator()
+        with pytest.raises(ValueError):
+            est.observe(-1, 1.0)
+        with pytest.raises(ValueError):
+            est.observe(100, 0.0)
+
+    def test_reset(self):
+        est = BandwidthEstimator(prior_mbps=5.0)
+        est.observe(1_000_000, 1.0)
+        est.reset()
+        assert est.cold
+        assert est.estimate_mbps() == 5.0
+        assert est.num_samples == 0
+
+    def test_tracks_link_degradation(self):
+        """Estimate follows a link that halves in capacity."""
+        est = BandwidthEstimator(alpha=0.3)
+        for _ in range(10):
+            est.observe(1_000_000, 0.4)  # 20 Mbps
+        before = est.estimate_mbps()
+        for _ in range(20):
+            est.observe(1_000_000, 0.8)  # 10 Mbps
+        after = est.estimate_mbps()
+        assert before > 15.0
+        assert abs(after - 10.0) < 1.0

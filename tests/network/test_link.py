@@ -1,0 +1,91 @@
+"""Tests for LinkModel transfer-time and loss semantics."""
+
+import numpy as np
+import pytest
+
+from repro.network.link import LINK_PRESETS, LinkModel, link_preset
+
+
+class TestValidation:
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            LinkModel(bandwidth_mbps=0.0)
+
+    def test_bad_loss_rate(self):
+        with pytest.raises(ValueError):
+            LinkModel(bandwidth_mbps=1.0, loss_rate=1.0)
+
+    def test_negative_latency(self):
+        with pytest.raises(ValueError):
+            LinkModel(bandwidth_mbps=1.0, latency_ms=-1.0)
+
+
+class TestTransferTime:
+    def test_serialisation_only(self):
+        link = LinkModel(bandwidth_mbps=8.0)  # 1 MB/s
+        assert abs(link.transfer_time(1_000_000) - 1.0) < 1e-9
+
+    def test_latency_added(self):
+        link = LinkModel(bandwidth_mbps=8.0, latency_ms=500.0)
+        assert abs(link.transfer_time(1_000_000) - 1.5) < 1e-9
+
+    def test_zero_bytes_costs_latency_only(self):
+        link = LinkModel(bandwidth_mbps=1.0, latency_ms=100.0)
+        assert abs(link.transfer_time(0) - 0.1) < 1e-12
+
+    def test_negative_bytes_raises(self):
+        with pytest.raises(ValueError):
+            LinkModel(bandwidth_mbps=1.0).transfer_time(-1)
+
+    def test_jitter_varies_duration(self, rng):
+        link = LinkModel(bandwidth_mbps=8.0, latency_ms=100.0, jitter_ms=50.0)
+        times = {link.transfer_time(1000, rng) for _ in range(10)}
+        assert len(times) > 1
+
+    def test_jitter_never_negative_latency(self, rng):
+        link = LinkModel(bandwidth_mbps=1000.0, latency_ms=1.0, jitter_ms=100.0)
+        for _ in range(50):
+            assert link.transfer_time(0, rng) >= 0.0
+
+    def test_halving_bandwidth_doubles_time(self):
+        fast = LinkModel(bandwidth_mbps=10.0)
+        slow = fast.scaled(0.5)
+        assert abs(slow.transfer_time(10_000) - 2 * fast.transfer_time(10_000)) < 1e-9
+
+
+class TestTransfer:
+    def test_lossless_always_delivers(self, rng):
+        link = LinkModel(bandwidth_mbps=1.0, loss_rate=0.0)
+        assert all(link.transfer(100, rng).delivered for _ in range(20))
+
+    def test_loss_rate_statistics(self):
+        link = LinkModel(bandwidth_mbps=1.0, loss_rate=0.3)
+        rng = np.random.default_rng(0)
+        lost = sum(not link.transfer(10, rng).delivered for _ in range(2000))
+        assert 0.25 < lost / 2000 < 0.35
+
+    def test_result_records_bytes(self, rng):
+        res = LinkModel(bandwidth_mbps=1.0).transfer(1234, rng)
+        assert res.num_bytes == 1234
+
+
+class TestPresets:
+    def test_all_presets_valid(self):
+        for name, link in LINK_PRESETS.items():
+            assert link.bandwidth_mbps > 0, name
+
+    def test_constrained_is_slowest(self):
+        bws = {n: l.bandwidth_mbps for n, l in LINK_PRESETS.items()}
+        assert bws["constrained"] == min(bws.values())
+        assert bws["ethernet"] == max(bws.values())
+
+    def test_lookup(self):
+        assert link_preset("wifi") is LINK_PRESETS["wifi"]
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="known presets"):
+            link_preset("5g")
+
+    def test_scaled_validates(self):
+        with pytest.raises(ValueError):
+            LINK_PRESETS["wifi"].scaled(0.0)

@@ -1,0 +1,73 @@
+"""Hypothesis property tests for link and trace behaviour."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.link import LinkModel
+from repro.network.traces import BandwidthTrace
+
+
+class TestLinkProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        bandwidth=st.floats(0.01, 1000.0),
+        latency=st.floats(0.0, 1000.0),
+        size_a=st.integers(0, 10**8),
+        size_b=st.integers(0, 10**8),
+    )
+    def test_transfer_time_monotone_in_size(self, bandwidth, latency, size_a, size_b):
+        link = LinkModel(bandwidth_mbps=bandwidth, latency_ms=latency)
+        small, large = sorted((size_a, size_b))
+        assert link.transfer_time(small) <= link.transfer_time(large)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        bandwidth=st.floats(0.01, 1000.0),
+        factor=st.floats(0.01, 100.0),
+        size=st.integers(1, 10**7),
+    )
+    def test_scaling_bandwidth_scales_serialisation(self, bandwidth, factor, size):
+        base = LinkModel(bandwidth_mbps=bandwidth)
+        scaled = base.scaled(factor)
+        expected = base.transfer_time(size) / factor
+        assert abs(scaled.transfer_time(size) - expected) < max(1e-9, expected * 1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        bandwidth=st.floats(0.01, 100.0),
+        latency=st.floats(0.0, 100.0),
+        size=st.integers(0, 10**6),
+    )
+    def test_transfer_time_non_negative(self, bandwidth, latency, size):
+        link = LinkModel(bandwidth_mbps=bandwidth, latency_ms=latency)
+        assert link.transfer_time(size) >= 0.0
+
+
+class TestTraceProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        num_segments=st.integers(1, 20),
+        seed=st.integers(0, 1000),
+        query=st.floats(0.0, 1e5),
+    )
+    def test_lookup_always_returns_a_segment_value(self, num_segments, seed, query):
+        rng = np.random.default_rng(seed)
+        times = np.concatenate([[0.0], np.cumsum(rng.uniform(0.5, 10.0, num_segments - 1))]) \
+            if num_segments > 1 else np.array([0.0])
+        bw = rng.uniform(0.1, 100.0, num_segments)
+        trace = BandwidthTrace(times=times, bandwidth_mbps=bw)
+        value = trace.bandwidth_at(query)
+        assert value in set(bw.tolist())
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_mean_bandwidth_within_range(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 15))
+        times = np.concatenate([[0.0], np.cumsum(rng.uniform(0.5, 5.0, n - 1))]) \
+            if n > 1 else np.array([0.0])
+        bw = rng.uniform(0.1, 50.0, n)
+        trace = BandwidthTrace(times=times, bandwidth_mbps=bw)
+        mean = trace.mean_bandwidth()
+        assert bw.min() - 1e-9 <= mean <= bw.max() + 1e-9

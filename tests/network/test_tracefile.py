@@ -1,0 +1,76 @@
+"""Tests for trace CSV I/O."""
+
+import numpy as np
+import pytest
+
+from repro.network.tracefile import load_trace_csv, load_trace_dir, save_trace_csv
+from repro.network.traces import BandwidthTrace, gauss_markov_trace
+
+
+class TestRoundtrip:
+    def test_save_load_identity(self, tmp_path, rng):
+        trace = gauss_markov_trace(10.0, rng, num_steps=20)
+        path = save_trace_csv(trace, tmp_path / "trace.csv")
+        restored = load_trace_csv(path)
+        np.testing.assert_allclose(restored.times, trace.times, atol=1e-6)
+        np.testing.assert_allclose(
+            restored.bandwidth_mbps, trace.bandwidth_mbps, atol=1e-6
+        )
+
+    def test_lookup_identical_after_roundtrip(self, tmp_path, rng):
+        trace = gauss_markov_trace(5.0, rng, num_steps=10)
+        restored = load_trace_csv(save_trace_csv(trace, tmp_path / "t.csv"))
+        for t in (0.0, 13.0, 250.0):
+            assert abs(restored.bandwidth_at(t) - trace.bandwidth_at(t)) < 1e-6
+
+    def test_creates_parent_dirs(self, tmp_path):
+        trace = BandwidthTrace(np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+        path = save_trace_csv(trace, tmp_path / "a" / "b" / "t.csv")
+        assert path.exists()
+
+
+class TestLoadEdgeCases:
+    def test_headerless_file(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("0.0,5.0\n10.0,2.5\n")
+        trace = load_trace_csv(path)
+        assert trace.bandwidth_at(0.0) == 5.0
+        assert trace.bandwidth_at(15.0) == 2.5
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "commented.csv"
+        path.write_text("# ns-3 export\n0.0,5.0\n")
+        assert load_trace_csv(path).bandwidth_at(0.0) == 5.0
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no trace rows"):
+            load_trace_csv(path)
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0.0\n")
+        with pytest.raises(ValueError, match="fewer than 2"):
+            load_trace_csv(path)
+
+    def test_invalid_trace_rejected(self, tmp_path):
+        path = tmp_path / "neg.csv"
+        path.write_text("0.0,-1.0\n")
+        with pytest.raises(ValueError):
+            load_trace_csv(path)
+
+
+class TestLoadDir:
+    def test_loads_sorted(self, tmp_path, rng):
+        for i in range(3):
+            save_trace_csv(
+                BandwidthTrace(np.array([0.0, 1.0]), np.array([float(i + 1)] * 2)),
+                tmp_path / f"client_{i}.csv",
+            )
+        traces = load_trace_dir(tmp_path)
+        assert [t.bandwidth_at(0.0) for t in traces] == [1.0, 2.0, 3.0]
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no trace files"):
+            load_trace_dir(tmp_path)

@@ -1,0 +1,95 @@
+"""Tests for im2col / col2im."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.conv_utils import col2im, conv_output_size, im2col
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert conv_output_size(28, 5, 1, 0) == 24
+
+    def test_with_padding(self):
+        assert conv_output_size(14, 5, 1, 2) == 14  # same padding
+
+    def test_with_stride(self):
+        assert conv_output_size(8, 2, 2, 0) == 4
+
+    def test_collapse_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_identity_kernel_1x1(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        cols = im2col(x, 1, 1)
+        assert cols.shape == (2 * 16, 3)
+        np.testing.assert_allclose(
+            cols.reshape(2, 4, 4, 3).transpose(0, 3, 1, 2), x
+        )
+
+    def test_shape_full_kernel(self, rng):
+        x = rng.normal(size=(1, 2, 3, 3))
+        cols = im2col(x, 3, 3)
+        assert cols.shape == (1, 2 * 9)
+        np.testing.assert_allclose(cols.ravel(), x.ravel())
+
+    def test_known_window_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols = im2col(x, 2, 2)
+        # First window is the top-left 2x2 patch.
+        np.testing.assert_allclose(cols[0], [0, 1, 4, 5])
+        # Last window is the bottom-right 2x2 patch.
+        np.testing.assert_allclose(cols[-1], [10, 11, 14, 15])
+
+    def test_stride_skips_windows(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols = im2col(x, 2, 2, stride=2)
+        assert cols.shape == (4, 4)
+        np.testing.assert_allclose(cols[1], [2, 3, 6, 7])
+
+    def test_padding_zeros_border(self):
+        x = np.ones((1, 1, 2, 2))
+        cols = im2col(x, 3, 3, padding=1)
+        # Central window sees all four ones.
+        assert cols.sum() == 4 * 4  # each input pixel appears in 4 windows
+
+
+class TestCol2Im:
+    def test_adjointness(self, rng):
+        """col2im is the transpose of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        x = rng.normal(size=(2, 3, 5, 5))
+        cols = im2col(x, 3, 3, stride=1, padding=1)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        back = col2im(y, x.shape, 3, 3, stride=1, padding=1)
+        rhs = float(np.sum(x * back))
+        assert abs(lhs - rhs) < 1e-9
+
+    def test_roundtrip_counts_overlaps(self):
+        x = np.ones((1, 1, 3, 3))
+        cols = im2col(x, 2, 2)
+        back = col2im(cols, x.shape, 2, 2)
+        # Corner pixels belong to 1 window, edges to 2, center to 4.
+        expected = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=float)
+        np.testing.assert_allclose(back[0, 0], expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(1, 3),
+        c=st.integers(1, 3),
+        size=st.integers(3, 8),
+        kernel=st.integers(1, 3),
+        padding=st.integers(0, 2),
+    )
+    def test_adjointness_property(self, n, c, size, kernel, padding):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(n, c, size, size))
+        cols = im2col(x, kernel, kernel, 1, padding)
+        y = rng.normal(size=cols.shape)
+        back = col2im(y, x.shape, kernel, kernel, 1, padding)
+        assert abs(np.sum(cols * y) - np.sum(x * back)) < 1e-8

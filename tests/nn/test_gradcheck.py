@@ -1,0 +1,82 @@
+"""Tests for the gradient-checking utilities themselves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.gradcheck import check_model_gradients, max_relative_error, numerical_gradient
+from repro.nn.models import build_mlp
+from repro.nn.sequential import Sequential
+from repro.nn.layers import Flatten, Linear
+
+
+class TestNumericalGradient:
+    def test_quadratic(self):
+        x = np.array([3.0, -2.0])
+
+        def f():
+            return float(0.5 * np.sum(x**2))
+
+        grad = numerical_gradient(f, x)
+        np.testing.assert_allclose(grad, x, atol=1e-6)
+
+    def test_linear_function(self):
+        x = np.array([1.0, 2.0, 3.0])
+        w = np.array([0.5, -1.5, 2.0])
+
+        def f():
+            return float(w @ x)
+
+        np.testing.assert_allclose(numerical_gradient(f, x), w, atol=1e-7)
+
+    def test_preserves_input(self):
+        x = np.array([1.0, 2.0])
+        snapshot = x.copy()
+        numerical_gradient(lambda: float(np.sum(x**2)), x)
+        np.testing.assert_array_equal(x, snapshot)
+
+
+class TestMaxRelativeError:
+    def test_identical_is_zero(self, rng):
+        g = rng.normal(size=(4, 4))
+        assert max_relative_error(g, g.copy()) == 0.0
+
+    def test_sign_flip_is_large(self):
+        g = np.array([1.0])
+        assert max_relative_error(g, -g) > 0.9
+
+    def test_small_absolute_difference_tolerated(self):
+        a = np.array([1.0])
+        b = np.array([1.0 + 1e-10])
+        assert max_relative_error(a, b) < 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_property_symmetric(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.normal(size=5), rng.normal(size=5)
+        assert max_relative_error(a, b) == max_relative_error(b, a)
+
+
+class TestCheckModelGradients:
+    def test_correct_model_passes(self, rng):
+        model = build_mlp((1, 3, 3), 3, hidden=(4,), seed=0)
+        x = rng.normal(size=(2, 1, 3, 3))
+        y = np.array([0, 2])
+        assert check_model_gradients(model, x, y) < 1e-6
+
+    def test_detects_broken_backward(self, rng):
+        """A layer with a wrong backward must be caught."""
+
+        class BrokenLinear(Linear):
+            def backward(self, grad_out):
+                grad_in = super().backward(grad_out)
+                self.weight.grad *= 2.0  # sabotage
+                return grad_in
+
+        layer = BrokenLinear(9, 3, rng)
+        model = Sequential([Flatten(), layer], input_shape=(1, 3, 3))
+        x = rng.normal(size=(2, 1, 3, 3))
+        y = np.array([0, 1])
+        assert check_model_gradients(model, x, y) > 0.1

@@ -1,0 +1,105 @@
+"""Tests for GroupNorm."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import max_relative_error, numerical_gradient
+from repro.nn.normalization import GroupNorm
+
+
+class TestForward:
+    def test_normalises_per_group(self, rng):
+        gn = GroupNorm(2, 4)
+        x = rng.normal(loc=3.0, scale=2.0, size=(5, 4, 3, 3))
+        out = gn.forward(x, training=True)
+        grouped = out.reshape(5, 2, 2, 3, 3)
+        means = grouped.mean(axis=(2, 3, 4))
+        stds = grouped.std(axis=(2, 3, 4))
+        assert np.allclose(means, 0.0, atol=1e-10)
+        assert np.allclose(stds, 1.0, atol=1e-3)
+
+    def test_no_train_eval_gap(self, rng):
+        """Unlike BatchNorm, training and eval outputs are identical."""
+        gn = GroupNorm(2, 4)
+        x = rng.normal(size=(3, 4, 2, 2))
+        np.testing.assert_allclose(
+            gn.forward(x, training=True), gn.forward(x, training=False)
+        )
+
+    def test_per_sample_independence(self, rng):
+        """A sample's output is unaffected by the rest of the batch."""
+        gn = GroupNorm(1, 2)
+        a = rng.normal(size=(1, 2, 3, 3))
+        b = rng.normal(size=(1, 2, 3, 3))
+        solo = gn.forward(a)
+        together = gn.forward(np.concatenate([a, b]))
+        np.testing.assert_allclose(solo[0], together[0], atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroupNorm(3, 4)  # 4 not divisible by 3
+        with pytest.raises(ValueError):
+            GroupNorm(0, 4)
+        with pytest.raises(ValueError):
+            GroupNorm(2, 4, eps=0.0)
+
+    def test_wrong_channels_rejected(self, rng):
+        gn = GroupNorm(2, 4)
+        with pytest.raises(ValueError):
+            gn.forward(rng.normal(size=(2, 6, 3, 3)))
+
+
+class TestBackward:
+    def test_gradcheck_input(self, rng):
+        gn = GroupNorm(2, 4, eps=1e-3)
+        x = rng.normal(size=(2, 4, 3, 3))
+        w = rng.normal(size=(2, 4, 3, 3))
+        gn.forward(x, training=True)
+        grad_in = gn.backward(w)
+
+        def loss():
+            probe = GroupNorm(2, 4, eps=1e-3)
+            probe.gamma.data[:] = gn.gamma.data
+            probe.beta.data[:] = gn.beta.data
+            return float(np.sum(probe.forward(x, training=True) * w))
+
+        numeric = numerical_gradient(loss, x)
+        assert max_relative_error(grad_in, numeric) < 1e-5
+
+    def test_gradcheck_affine(self, rng):
+        gn = GroupNorm(2, 4, eps=1e-3)
+        gn.gamma.data[:] = rng.uniform(0.5, 1.5, 4)
+        x = rng.normal(size=(2, 4, 3, 3))
+        w = rng.normal(size=(2, 4, 3, 3))
+        gn.forward(x, training=True)
+        gn.backward(w)
+
+        def loss():
+            probe = GroupNorm(2, 4, eps=1e-3)
+            probe.gamma.data[:] = gn.gamma.data
+            probe.beta.data[:] = gn.beta.data
+            return float(np.sum(probe.forward(x, training=True) * w))
+
+        assert max_relative_error(gn.gamma.grad, numerical_gradient(loss, gn.gamma.data)) < 1e-5
+        assert max_relative_error(gn.beta.grad, numerical_gradient(loss, gn.beta.data)) < 1e-5
+
+
+class TestInModel:
+    def test_trains_in_federation_safely(self, rng):
+        """GroupNorm round-trips through the flat parameter vector."""
+        from repro.nn.layers import Conv2d, Flatten, Linear, ReLU
+        from repro.nn.sequential import Sequential
+
+        model = Sequential(
+            [
+                Conv2d(1, 4, 3, rng, padding=1),
+                GroupNorm(2, 4),
+                ReLU(),
+                Flatten(),
+                Linear(4 * 16, 3, rng),
+            ],
+            input_shape=(1, 4, 4),
+        )
+        vec = model.get_flat_params()
+        model.set_flat_params(vec * 1.5)
+        np.testing.assert_allclose(model.get_flat_params(), vec * 1.5)

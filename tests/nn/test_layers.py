@@ -1,0 +1,238 @@
+"""Gradient checks and behavioural tests for every layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import max_relative_error, numerical_gradient
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Parameter,
+    ReLU,
+    ResidualBlock,
+    Tanh,
+)
+
+GRAD_TOL = 1e-6
+
+
+def layer_gradcheck(layer, x, rng):
+    """Check d(sum of weighted outputs)/dx and d/dparams via finite differences."""
+    out = layer.forward(x, training=True)
+    w = rng.normal(size=out.shape)  # random linear functional of the output
+    grad_in = layer.backward(w)
+
+    def loss(inp=None):
+        return float(np.sum(layer.forward(x, training=False) * w))
+
+    num_grad_x = numerical_gradient(loss, x)
+    assert max_relative_error(grad_in, num_grad_x) < GRAD_TOL
+
+    for p in layer.parameters():
+        analytic = p.grad.copy()
+        num = numerical_gradient(loss, p.data)
+        assert max_relative_error(analytic, num) < GRAD_TOL, p.name
+
+
+class TestParameter:
+    def test_zero_grad(self, rng):
+        p = Parameter("w", rng.normal(size=(3, 3)))
+        p.grad += 1.0
+        p.zero_grad()
+        assert np.all(p.grad == 0.0)
+
+    def test_size(self):
+        assert Parameter("w", np.zeros((2, 5))).size == 10
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(6, 4, rng)
+        assert layer.forward(rng.normal(size=(3, 6))).shape == (3, 4)
+
+    def test_forward_matches_matmul(self, rng):
+        layer = Linear(5, 2, rng)
+        x = rng.normal(size=(4, 5))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_gradcheck(self, rng):
+        layer = Linear(4, 3, rng)
+        layer_gradcheck(layer, rng.normal(size=(2, 4)), rng)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, rng, bias=False)
+        assert len(layer.parameters()) == 1
+
+    def test_wrong_input_raises(self, rng):
+        layer = Linear(4, 3, rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(2, 5)))
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Linear(4, 3, rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(rng.normal(size=(2, 3)))
+
+    def test_flops(self, rng):
+        assert Linear(4, 3, rng).flops((4,)) == 12
+
+
+class TestConv2d:
+    def test_forward_shape(self, rng):
+        layer = Conv2d(2, 5, 3, rng)
+        assert layer.forward(rng.normal(size=(2, 2, 6, 6))).shape == (2, 5, 4, 4)
+
+    def test_same_padding_shape(self, rng):
+        layer = Conv2d(1, 4, 5, rng, padding=2)
+        assert layer.forward(rng.normal(size=(1, 1, 8, 8))).shape == (1, 4, 8, 8)
+
+    def test_matches_naive_convolution(self, rng):
+        layer = Conv2d(1, 1, 2, rng, bias=False)
+        x = rng.normal(size=(1, 1, 3, 3))
+        out = layer.forward(x)
+        k = layer.weight.data[0, 0]
+        for i in range(2):
+            for j in range(2):
+                expected = float(np.sum(x[0, 0, i : i + 2, j : j + 2] * k))
+                assert abs(out[0, 0, i, j] - expected) < 1e-12
+
+    def test_gradcheck(self, rng):
+        layer = Conv2d(2, 3, 3, rng, padding=1)
+        layer_gradcheck(layer, rng.normal(size=(2, 2, 4, 4)), rng)
+
+    def test_gradcheck_strided(self, rng):
+        layer = Conv2d(1, 2, 2, rng, stride=2)
+        layer_gradcheck(layer, rng.normal(size=(2, 1, 4, 4)), rng)
+
+    def test_output_shape_validates_channels(self, rng):
+        layer = Conv2d(3, 4, 3, rng)
+        with pytest.raises(ValueError):
+            layer.output_shape((2, 6, 6))
+
+    def test_flops(self, rng):
+        layer = Conv2d(2, 4, 3, rng)
+        # 4x4 output positions, each 2*3*3 MACs per output channel.
+        assert layer.flops((2, 6, 6)) == 2 * 9 * 4 * 16
+
+
+class TestMaxPool2d:
+    def test_forward_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2).forward(x)
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_gradcheck(self, rng):
+        layer_gradcheck(MaxPool2d(2), rng.normal(size=(2, 2, 4, 4)), rng)
+
+    def test_backward_routes_to_max_only(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        layer = MaxPool2d(2)
+        layer.forward(x, training=True)
+        grad = layer.backward(np.array([[[[10.0]]]]))
+        np.testing.assert_allclose(grad, [[[[0, 0], [0, 10.0]]]])
+
+    def test_tie_break_routes_once(self):
+        x = np.ones((1, 1, 2, 2))
+        layer = MaxPool2d(2)
+        layer.forward(x, training=True)
+        grad = layer.backward(np.array([[[[1.0]]]]))
+        assert grad.sum() == 1.0  # exactly one winner despite the tie
+
+
+class TestAvgPool2d:
+    def test_forward_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = AvgPool2d(2).forward(x)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_gradcheck(self, rng):
+        layer_gradcheck(AvgPool2d(2), rng.normal(size=(2, 3, 4, 4)), rng)
+
+
+class TestGlobalAvgPool2d:
+    def test_forward(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        np.testing.assert_allclose(
+            GlobalAvgPool2d().forward(x), x.mean(axis=(2, 3))
+        )
+
+    def test_gradcheck(self, rng):
+        layer_gradcheck(GlobalAvgPool2d(), rng.normal(size=(2, 3, 3, 3)), rng)
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        out = ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out, [0.0, 0.0, 2.0])
+
+    def test_relu_gradcheck(self, rng):
+        # Keep inputs away from the kink at 0.
+        x = rng.normal(size=(3, 4))
+        x[np.abs(x) < 0.1] = 0.5
+        layer_gradcheck(ReLU(), x, rng)
+
+    def test_tanh_gradcheck(self, rng):
+        layer_gradcheck(Tanh(), rng.normal(size=(3, 4)), rng)
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        layer = Dropout(0.5, rng)
+        x = rng.normal(size=(4, 4))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_training_zeroes_some(self):
+        layer = Dropout(0.5, np.random.default_rng(0))
+        x = np.ones((100, 100))
+        out = layer.forward(x, training=True)
+        dropped = np.mean(out == 0.0)
+        assert 0.4 < dropped < 0.6
+
+    def test_inverted_scaling_preserves_mean(self):
+        layer = Dropout(0.3, np.random.default_rng(0))
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        assert abs(out.mean() - 1.0) < 0.02
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+    def test_deterministic_given_seed(self):
+        a = Dropout(0.5, np.random.default_rng(42)).forward(np.ones((8, 8)), training=True)
+        b = Dropout(0.5, np.random.default_rng(42)).forward(np.ones((8, 8)), training=True)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFlatten:
+    def test_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = layer.forward(x, training=True)
+        assert out.shape == (2, 48)
+        back = layer.backward(out)
+        np.testing.assert_array_equal(back, x)
+
+
+class TestResidualBlock:
+    def test_preserves_shape(self, rng):
+        block = ResidualBlock(3, rng)
+        x = rng.normal(size=(2, 3, 5, 5))
+        assert block.forward(x).shape == x.shape
+
+    def test_gradcheck(self, rng):
+        block = ResidualBlock(2, rng)
+        layer_gradcheck(block, rng.normal(size=(1, 2, 4, 4)), rng)
+
+    def test_has_two_convs_of_params(self, rng):
+        block = ResidualBlock(4, rng)
+        assert len(block.parameters()) == 4  # 2 weights + 2 biases
+
+    def test_flops_positive(self, rng):
+        assert ResidualBlock(2, rng).flops((2, 4, 4)) > 0

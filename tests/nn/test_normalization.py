@@ -1,0 +1,118 @@
+"""Tests for BatchNorm2d."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import max_relative_error, numerical_gradient
+from repro.nn.normalization import BatchNorm2d
+
+
+class TestForward:
+    def test_normalises_in_training(self, rng):
+        bn = BatchNorm2d(3)
+        x = rng.normal(loc=5.0, scale=3.0, size=(8, 3, 4, 4))
+        out = bn.forward(x, training=True)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_affine_applied(self, rng):
+        bn = BatchNorm2d(2)
+        bn.gamma.data[:] = [2.0, 3.0]
+        bn.beta.data[:] = [1.0, -1.0]
+        x = rng.normal(size=(4, 2, 3, 3))
+        out = bn.forward(x, training=True)
+        assert abs(out[:, 0].mean() - 1.0) < 1e-10
+        assert abs(out[:, 1].mean() + 1.0) < 1e-10
+
+    def test_running_stats_converge(self, rng):
+        bn = BatchNorm2d(1, momentum=0.5)
+        for _ in range(50):
+            bn.forward(rng.normal(loc=2.0, size=(16, 1, 4, 4)), training=True)
+        assert abs(bn.running_mean[0] - 2.0) < 0.3
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(1)
+        for _ in range(20):
+            bn.forward(rng.normal(loc=1.0, size=(16, 1, 4, 4)), training=True)
+        x = rng.normal(loc=1.0, size=(4, 1, 4, 4))
+        out_eval = bn.forward(x, training=False)
+        # Eval-mode output uses fixed statistics, no per-batch centering.
+        assert not np.allclose(out_eval.mean(), 0.0, atol=1e-6)
+
+    def test_shape_validation(self, rng):
+        bn = BatchNorm2d(3)
+        with pytest.raises(ValueError):
+            bn.forward(rng.normal(size=(2, 4, 3, 3)))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(0)
+        with pytest.raises(ValueError):
+            BatchNorm2d(2, momentum=0.0)
+        with pytest.raises(ValueError):
+            BatchNorm2d(2, eps=0.0)
+
+
+class TestBackward:
+    def test_gradcheck_input(self, rng):
+        bn = BatchNorm2d(2, eps=1e-3)
+        x = rng.normal(size=(3, 2, 3, 3))
+        w = rng.normal(size=(3, 2, 3, 3))
+        bn.forward(x, training=True)
+        grad_in = bn.backward(w)
+
+        def loss():
+            fresh = BatchNorm2d(2, eps=1e-3)
+            fresh.gamma.data[:] = bn.gamma.data
+            fresh.beta.data[:] = bn.beta.data
+            return float(np.sum(fresh.forward(x, training=True) * w))
+
+        numeric = numerical_gradient(loss, x)
+        assert max_relative_error(grad_in, numeric) < 1e-5
+
+    def test_gradcheck_gamma_beta(self, rng):
+        bn = BatchNorm2d(2, eps=1e-3)
+        bn.gamma.data[:] = rng.uniform(0.5, 1.5, 2)
+        x = rng.normal(size=(3, 2, 3, 3))
+        w = rng.normal(size=(3, 2, 3, 3))
+        bn.forward(x, training=True)
+        bn.backward(w)
+
+        def loss():
+            probe = BatchNorm2d(2, eps=1e-3)
+            probe.gamma.data[:] = bn.gamma.data
+            probe.beta.data[:] = bn.beta.data
+            return float(np.sum(probe.forward(x, training=True) * w))
+
+        num_gamma = numerical_gradient(loss, bn.gamma.data)
+        num_beta = numerical_gradient(loss, bn.beta.data)
+        assert max_relative_error(bn.gamma.grad, num_gamma) < 1e-5
+        assert max_relative_error(bn.beta.grad, num_beta) < 1e-5
+
+    def test_trainable_params_exposed(self):
+        bn = BatchNorm2d(4)
+        names = [p.name for p in bn.parameters()]
+        assert len(names) == 2
+        # Running stats are buffers, not parameters.
+        assert bn.running_mean.shape == (4,)
+
+
+class TestInSequential:
+    def test_composes_with_conv(self, rng):
+        from repro.nn.layers import Conv2d, Flatten, Linear, ReLU
+        from repro.nn.sequential import Sequential
+
+        model = Sequential(
+            [
+                Conv2d(1, 3, 3, rng, padding=1),
+                BatchNorm2d(3),
+                ReLU(),
+                Flatten(),
+                Linear(3 * 16, 2, rng),
+            ],
+            input_shape=(1, 4, 4),
+        )
+        out = model.forward(rng.normal(size=(5, 1, 4, 4)), training=True)
+        assert out.shape == (5, 2)
+        # gamma/beta count toward the flat parameter vector.
+        assert model.num_params == (3 * 9 + 3) + (3 + 3) + (48 * 2 + 2)

@@ -1,0 +1,112 @@
+"""Tests for optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD, Adam, AdamVector
+
+
+def quadratic_param(start=5.0):
+    """A single scalar parameter with loss 0.5*x^2 (gradient = x)."""
+    return Parameter("x", np.array([start]))
+
+
+class TestSGD:
+    def test_single_step(self):
+        p = quadratic_param()
+        p.grad[:] = p.data
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [4.5])
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            p.zero_grad()
+            p.grad[:] = p.data
+            opt.step()
+        assert abs(p.data[0]) < 1e-6
+
+    def test_momentum_accelerates(self):
+        plain, heavy = quadratic_param(), quadratic_param()
+        opt_p = SGD([plain], lr=0.01)
+        opt_h = SGD([heavy], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            plain.grad[:] = plain.data
+            heavy.grad[:] = heavy.data
+            opt_p.step()
+            opt_h.step()
+        assert abs(heavy.data[0]) < abs(plain.data[0])
+
+    def test_weight_decay_shrinks(self):
+        p = quadratic_param()
+        p.grad[:] = 0.0
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [5.0 - 0.1 * 0.5 * 5.0])
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, momentum=1.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_zero_grad(self):
+        p = quadratic_param()
+        p.grad[:] = 3.0
+        SGD([p], lr=0.1).zero_grad()
+        assert np.all(p.grad == 0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.1)
+        for _ in range(400):
+            p.zero_grad()
+            p.grad[:] = p.data
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, the first Adam step is ~lr in the
+        # gradient direction regardless of gradient magnitude.
+        p = quadratic_param(1.0)
+        p.grad[:] = 1e-4
+        Adam([p], lr=0.01).step()
+        assert abs((1.0 - p.data[0]) - 0.01) < 1e-3
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], beta1=1.0)
+
+
+class TestAdamVector:
+    def test_step_moves_against_gradient(self):
+        opt = AdamVector(dim=3, lr=0.1)
+        params = np.array([1.0, -1.0, 0.5])
+        grad = np.array([1.0, -1.0, 1.0])
+        new = opt.step(params, grad)
+        assert np.all((new - params) * grad < 0)
+
+    def test_converges_on_quadratic(self):
+        opt = AdamVector(dim=2, lr=0.2)
+        x = np.array([3.0, -4.0])
+        for _ in range(300):
+            x = opt.step(x, x)
+        assert np.linalg.norm(x) < 1e-2
+
+    def test_shape_mismatch_raises(self):
+        opt = AdamVector(dim=3)
+        with pytest.raises(ValueError):
+            opt.step(np.zeros(2), np.zeros(2))
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            AdamVector(dim=0)

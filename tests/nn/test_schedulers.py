@@ -1,0 +1,86 @@
+"""Tests for LR schedulers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD
+from repro.nn.schedulers import CosineAnnealingLR, StepLR, WarmupLR, clip_grad_norm
+
+
+def make_opt(lr=1.0):
+    return SGD([Parameter("x", np.zeros(3))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_at_boundaries(self):
+        sched = StepLR(make_opt(1.0), step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_updates_optimizer(self):
+        opt = make_opt(1.0)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        assert opt.lr == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=1, gamma=0.0)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        sched = CosineAnnealingLR(make_opt(1.0), t_max=10, min_lr=0.1)
+        assert abs(sched.lr_at(0) - 1.0) < 1e-12
+        assert abs(sched.lr_at(10) - 0.1) < 1e-12
+
+    def test_monotone_decreasing(self):
+        sched = CosineAnnealingLR(make_opt(1.0), t_max=20)
+        lrs = [sched.lr_at(t) for t in range(21)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_clamps_beyond_t_max(self):
+        sched = CosineAnnealingLR(make_opt(1.0), t_max=5, min_lr=0.2)
+        assert sched.lr_at(100) == sched.lr_at(5)
+
+
+class TestWarmup:
+    def test_linear_ramp(self):
+        sched = WarmupLR(make_opt(1.0), warmup_steps=4)
+        lrs = [sched.step() for _ in range(5)]
+        np.testing.assert_allclose(lrs, [0.25, 0.5, 0.75, 1.0, 1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmupLR(make_opt(), warmup_steps=0)
+
+
+class TestClipGradNorm:
+    def test_clips_large(self):
+        p = Parameter("x", np.zeros(4))
+        p.grad[:] = [3.0, 4.0, 0.0, 0.0]  # norm 5
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert abs(pre - 5.0) < 1e-12
+        assert abs(np.linalg.norm(p.grad) - 1.0) < 1e-12
+
+    def test_leaves_small(self):
+        p = Parameter("x", np.zeros(2))
+        p.grad[:] = [0.3, 0.4]
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_multi_param_global_norm(self):
+        a = Parameter("a", np.zeros(1))
+        b = Parameter("b", np.zeros(1))
+        a.grad[:] = 3.0
+        b.grad[:] = 4.0
+        clip_grad_norm([a, b], max_norm=1.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert abs(total - 1.0) < 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)

@@ -1,0 +1,97 @@
+"""Tests for the Sequential container and flat-parameter plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, SoftmaxCrossEntropy, Sequential
+from repro.nn.layers import Flatten, Linear, ReLU
+from repro.nn.models import build_mlp
+
+
+class TestConstruction:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Sequential([], (4,))
+
+    def test_output_shape_propagates(self, rng):
+        model = Sequential(
+            [Flatten(), Linear(36, 8, rng), ReLU(), Linear(8, 3, rng)],
+            input_shape=(1, 6, 6),
+        )
+        assert model.output_shape == (3,)
+
+    def test_bad_wiring_fails_eagerly(self, rng):
+        with pytest.raises(ValueError):
+            Sequential([Flatten(), Linear(10, 8, rng)], input_shape=(1, 6, 6))
+
+
+class TestFlatParams:
+    def test_roundtrip(self, tiny_model):
+        vec = tiny_model.get_flat_params()
+        assert vec.shape == (tiny_model.num_params,)
+        tiny_model.set_flat_params(vec * 2.0)
+        np.testing.assert_allclose(tiny_model.get_flat_params(), vec * 2.0)
+
+    def test_set_wrong_size_raises(self, tiny_model):
+        with pytest.raises(ValueError):
+            tiny_model.set_flat_params(np.zeros(3))
+
+    def test_set_does_not_alias(self, tiny_model):
+        vec = np.ones(tiny_model.num_params)
+        tiny_model.set_flat_params(vec)
+        vec[0] = 99.0
+        assert tiny_model.get_flat_params()[0] == 1.0
+
+    def test_grads_roundtrip(self, tiny_model, rng, tiny_shape):
+        x = rng.normal(size=(4, *tiny_shape))
+        y = rng.integers(0, 4, 4)
+        loss_fn = SoftmaxCrossEntropy()
+        tiny_model.zero_grad()
+        loss_fn.forward(tiny_model.forward(x, training=True), y)
+        tiny_model.backward(loss_fn.backward())
+        grads = tiny_model.get_flat_grads()
+        assert grads.shape == (tiny_model.num_params,)
+        assert np.linalg.norm(grads) > 0
+        tiny_model.set_flat_grads(grads * 3.0)
+        np.testing.assert_allclose(tiny_model.get_flat_grads(), grads * 3.0)
+
+    def test_identical_seeds_identical_params(self, tiny_model_fn):
+        a = tiny_model_fn().get_flat_params()
+        b = tiny_model_fn().get_flat_params()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestTraining:
+    def test_loss_decreases(self, tiny_model, tiny_train, rng):
+        loss_fn = SoftmaxCrossEntropy()
+        opt = SGD(tiny_model.parameters(), lr=0.1)
+        losses = []
+        for _ in range(20):
+            tiny_model.zero_grad()
+            loss = loss_fn.forward(
+                tiny_model.forward(tiny_train.x, training=True), tiny_train.y
+            )
+            tiny_model.backward(loss_fn.backward())
+            opt.step()
+            losses.append(loss)
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_predict_shape(self, tiny_model, tiny_test):
+        preds = tiny_model.predict(tiny_test.x)
+        assert preds.shape == (len(tiny_test),)
+        assert preds.min() >= 0
+        assert preds.max() < 4
+
+
+class TestFlops:
+    def test_mlp_flops(self):
+        model = build_mlp((1, 4, 4), 3, hidden=(8,), seed=0)
+        assert model.flops_per_sample() == 16 * 8 + 8 * 3
+
+    def test_zero_grad_clears(self, tiny_model, rng, tiny_shape):
+        loss_fn = SoftmaxCrossEntropy()
+        x = rng.normal(size=(2, *tiny_shape))
+        loss_fn.forward(tiny_model.forward(x, training=True), np.array([0, 1]))
+        tiny_model.backward(loss_fn.backward())
+        tiny_model.zero_grad()
+        assert np.all(tiny_model.get_flat_grads() == 0.0)

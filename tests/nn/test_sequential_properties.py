@@ -1,0 +1,55 @@
+"""Hypothesis property tests on the Sequential flat-parameter contract."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.models import build_mlp
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    hidden=st.integers(2, 16),
+    classes=st.integers(2, 6),
+)
+def test_flat_roundtrip_is_identity(seed, hidden, classes):
+    model = build_mlp((1, 4, 4), classes, hidden=(hidden,), seed=seed)
+    vec = model.get_flat_params()
+    model.set_flat_params(vec)
+    np.testing.assert_array_equal(model.get_flat_params(), vec)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000), scale=st.floats(-3.0, 3.0))
+def test_set_then_get_reflects_any_vector(seed, scale):
+    model = build_mlp((1, 3, 3), 3, hidden=(5,), seed=0)
+    rng = np.random.default_rng(seed)
+    target = rng.normal(scale=abs(scale) + 0.1, size=model.num_params)
+    model.set_flat_params(target)
+    np.testing.assert_allclose(model.get_flat_params(), target)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_forward_deterministic_given_params(seed):
+    rng = np.random.default_rng(seed)
+    model_a = build_mlp((1, 3, 3), 3, hidden=(4,), seed=1)
+    model_b = build_mlp((1, 3, 3), 3, hidden=(4,), seed=2)
+    model_b.set_flat_params(model_a.get_flat_params())
+    x = rng.normal(size=(4, 1, 3, 3))
+    np.testing.assert_allclose(model_a.forward(x), model_b.forward(x))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 500), ratio_a=st.floats(2.0, 50.0), ratio_b=st.floats(2.0, 50.0))
+def test_dgc_bytes_monotone_in_ratio(seed, ratio_a, ratio_b):
+    """Higher compression ratio never yields a larger payload."""
+    from repro.compression.dgc import DGCCompressor
+
+    rng = np.random.default_rng(seed)
+    grad = rng.normal(size=200)
+    low, high = sorted((ratio_a, ratio_b))
+    size_low = DGCCompressor(200, clip_norm=None).compress(grad, ratio=low).num_bytes
+    size_high = DGCCompressor(200, clip_norm=None).compress(grad, ratio=high).num_bytes
+    assert size_high <= size_low

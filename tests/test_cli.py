@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["--scale", "bench", "table1"])
+        assert args.scale == "bench"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "huge", "table1"])
+
+    def test_quickrun_defaults(self):
+        args = build_parser().parse_args(["quickrun"])
+        assert args.method == "adafl"
+        assert args.dataset == "mnist"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quickrun", "--method", "fedsgd"])
+
+
+class TestQuickrun:
+    def test_runs_and_prints(self, capsys):
+        code = main(
+            [
+                "--scale",
+                "fast",
+                "quickrun",
+                "--method",
+                "fedavg",
+                "--rounds",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final accuracy" in out
+        assert "client updates" in out
+
+    def test_adafl_runs(self, capsys):
+        code = main(["--scale", "fast", "quickrun", "--rounds", "3"])
+        assert code == 0
+        assert "uplink volume" in capsys.readouterr().out
+
+    def test_writes_run_json(self, tmp_path, capsys):
+        out_file = tmp_path / "run.json"
+        main(
+            [
+                "--scale",
+                "fast",
+                "quickrun",
+                "--method",
+                "fedavg",
+                "--rounds",
+                "2",
+                "--out",
+                str(out_file),
+            ]
+        )
+        capsys.readouterr()
+        payload = json.loads(out_file.read_text())
+        assert payload["method"] == "fedavg"
+        assert len(payload["records"]) == 2
+
+
+class TestOverheadCommand:
+    def test_runs(self, capsys):
+        code = main(["--scale", "fast", "overhead"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "utility scoring overhead" in out
