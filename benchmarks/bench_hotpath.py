@@ -1,0 +1,205 @@
+"""Hot-path microbenchmarks with a machine-readable JSON artifact.
+
+Unlike the paper-artifact benchmarks in this directory (which go
+through pytest-benchmark), this file is a plain script: it times the
+four hottest code paths in the training inner loop and writes
+``BENCH_hotpath.json`` at the repo root, so the perf trajectory is
+diffable across PRs and ``scripts/check_bench.py`` can gate on
+regressions.
+
+Sections
+--------
+``flat_roundtrip``
+    ``get_flat_params`` / ``set_flat_params`` / ``get_flat_grads`` /
+    ``set_flat_grads`` on the paper-geometry MNIST CNN (~431k params).
+``local_train``
+    One ``Client.local_train`` round (FedProx + SCAFFOLD active, so
+    the per-minibatch flat-gradient corrections are exercised).
+``dgc_roundtrip``
+    ``DGCCompressor.compress`` + ``decompress`` at ratio 100 on a
+    model-sized gradient.
+``conv_fwd_bwd``
+    Forward + backward of the MNIST CNN's second convolution
+    (im2col/col2im dominated).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py          # write baseline
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --print  # stdout only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.compression.dgc import DGCCompressor
+from repro.data.synthetic import make_image_classification
+from repro.fl.client import Client
+from repro.fl.config import LocalTrainingConfig
+from repro.nn.layers import Conv2d
+from repro.nn.models import build_mnist_cnn
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_hotpath.json"
+SCHEMA_VERSION = 1
+
+
+def _time_section(fn, iters: int, warmup: int = 2) -> dict:
+    """Per-iteration wall-clock stats for ``fn`` (seconds)."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(iters):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return {
+        "iters": iters,
+        "mean_s": float(np.mean(samples)),
+        "min_s": float(np.min(samples)),
+    }
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+def bench_flat_roundtrip(iters: int) -> dict:
+    """Flat-parameter round-trips on the paper's ~431k-param CNN."""
+    model = build_mnist_cnn(
+        input_shape=(1, 28, 28), hidden=500, same_padding=False, seed=0
+    )
+    d = model.num_params
+    target_params = model.get_flat_params() * 1.001
+    target_grads = np.full(d, 0.5)
+
+    def step() -> None:
+        model.get_flat_params()
+        model.set_flat_params(target_params)
+        model.get_flat_grads()
+        model.set_flat_grads(target_grads)
+
+    stats = _time_section(step, iters)
+    stats["meta"] = {"d": d, "ops_per_iter": 4}
+    return stats
+
+
+def bench_local_train(iters: int) -> dict:
+    """One local-train round with FedProx + SCAFFOLD corrections live."""
+    shape = (1, 14, 14)
+    train, _ = make_image_classification(
+        n_train=256, n_test=8, num_classes=10, image_shape=shape, seed=3
+    )
+
+    def model_fn():
+        return build_mnist_cnn(input_shape=shape, seed=0)
+
+    client = Client(0, train, model_fn, seed=1)
+    global_params = model_fn().get_flat_params().copy()
+    server_control = np.zeros_like(global_params)
+    config = LocalTrainingConfig(
+        local_epochs=1, batch_size=32, lr=0.01, momentum=0.9, prox_mu=0.01
+    )
+
+    def step() -> None:
+        client.local_train(
+            global_params, config, server_control=server_control
+        )
+
+    stats = _time_section(step, iters, warmup=1)
+    stats["meta"] = {
+        "d": client.model_dim,
+        "samples": len(train),
+        "batch_size": config.batch_size,
+    }
+    return stats
+
+
+def bench_dgc_roundtrip(iters: int) -> dict:
+    """DGC compress + decompress on a model-sized gradient."""
+    d = 431_080
+    rng = np.random.default_rng(0)
+    grad = rng.normal(size=d)
+    comp = DGCCompressor(d, ratio=100.0)
+
+    def step() -> None:
+        payload = comp.compress(grad)
+        comp.decompress(payload)
+
+    stats = _time_section(step, iters)
+    stats["meta"] = {"d": d, "ratio": 100.0}
+    return stats
+
+
+def bench_conv_fwd_bwd(iters: int) -> dict:
+    """im2col convolution forward + backward, conv2-of-MNIST-CNN shape."""
+    rng = np.random.default_rng(0)
+    conv = Conv2d(20, 50, 5, rng, padding=2)
+    x = rng.normal(size=(32, 20, 14, 14))
+    grad_out = rng.normal(size=(32, 50, 14, 14))
+
+    def step() -> None:
+        conv.forward(x, training=True)
+        conv.backward(grad_out)
+
+    stats = _time_section(step, iters)
+    stats["meta"] = {"batch": 32, "in_c": 20, "out_c": 50, "kernel": 5}
+    return stats
+
+
+SECTIONS = {
+    "flat_roundtrip": (bench_flat_roundtrip, 50),
+    "local_train": (bench_local_train, 5),
+    "dgc_roundtrip": (bench_dgc_roundtrip, 20),
+    "conv_fwd_bwd": (bench_conv_fwd_bwd, 20),
+}
+
+
+def run_suite(iters_scale: float = 1.0) -> dict:
+    """Run every section and return the JSON-serialisable result."""
+    sections = {}
+    for name, (fn, iters) in SECTIONS.items():
+        scaled = max(1, int(round(iters * iters_scale)))
+        sections[name] = fn(scaled)
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "hotpath",
+        "sections": sections,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--print", action="store_true", dest="print_only",
+        help="print JSON to stdout instead of writing --out",
+    )
+    parser.add_argument(
+        "--iters-scale", type=float, default=1.0,
+        help="multiply every section's iteration count (e.g. 0.2 for a smoke run)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_suite(args.iters_scale)
+    text = json.dumps(result, indent=2, sort_keys=True) + "\n"
+    if args.print_only:
+        print(text, end="")
+    else:
+        args.out.write_text(text)
+        print(f"wrote {args.out}")
+        for name, stats in result["sections"].items():
+            print(f"  {name:>16}: mean {stats['mean_s'] * 1e3:8.3f} ms"
+                  f"  min {stats['min_s'] * 1e3:8.3f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -96,7 +96,11 @@ class DGCCompressor(Compressor):
 
         k = max(1, int(round(self.dim / effective_ratio)))
         idx = topk_indices(self._residual, k)
-        values = self._residual[idx].copy()
+        # One gather straight into the float32 wire payload: fancy
+        # indexing + astype already yield an array independent of the
+        # residual buffer, so payload mutation can never corrupt
+        # compressor state.
+        values = self._residual[idx].astype(np.float32)
 
         # Transmitted coordinates leave both buffers (DGC Algorithm 1).
         self._residual[idx] = 0.0
@@ -109,7 +113,7 @@ class DGCCompressor(Compressor):
             num_bytes=sparse_payload_bytes(self.dim, idx.size),
             data={
                 "indices": idx.astype(np.uint32),
-                "values": values.astype(np.float32),
+                "values": values,
                 "ratio": effective_ratio,
             },
         )

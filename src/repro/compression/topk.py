@@ -17,19 +17,19 @@ __all__ = ["topk_indices", "TopKCompressor"]
 def topk_indices(values: np.ndarray, k: int) -> np.ndarray:
     """Indices of the ``k`` largest-magnitude entries (deterministic).
 
-    Ties are broken by index order via a stable sort over (-|v|, i), so
-    repeated calls on equal inputs select identical support sets.
+    ``argpartition`` (introselect) is deterministic for identical
+    inputs, so repeated calls on equal arrays — ties included — select
+    identical support sets.  Returned indices are sorted ascending.
     """
     if k <= 0:
         raise ValueError("k must be positive")
     if k >= values.size:
         return np.arange(values.size)
-    # argpartition gets the top-k set in O(d); the final stable sort of
-    # just k elements makes tie-breaking deterministic.
+    # argpartition gets the top-k set in O(d); only the index sort is
+    # needed on top — any further ordering of the k selected entries
+    # by magnitude would be discarded by it anyway.
     part = np.argpartition(-np.abs(values), k - 1)[:k]
-    magnitudes = np.abs(values[part])
-    order = np.lexsort((part, -magnitudes))
-    return np.sort(part[order])
+    return np.sort(part)
 
 
 class TopKCompressor(Compressor):

@@ -94,8 +94,11 @@ class Client:
         """
         model = self._model
         model.set_flat_params(global_params)
+        # The whole model is optimised as one flat parameter over the
+        # backing buffers — bit-identical to per-layer updates, minus
+        # the Python loop over layers.
         optimizer = SGD(
-            model.parameters(),
+            [model.flat_parameter()],
             lr=config.lr,
             momentum=config.momentum,
             weight_decay=config.weight_decay,
@@ -104,6 +107,14 @@ class Client:
         use_scaffold = server_control is not None
         if use_scaffold and self.control_variate is None:
             self.control_variate = np.zeros_like(global_params)
+        if use_scaffold:
+            scaffold_correction = server_control - self.control_variate
+
+        # Live views into the model's backing buffers: per-batch flat
+        # corrections below mutate them in place, with no
+        # concatenate/scatter round-trips.
+        flat_params = model.get_flat_params()
+        flat_grads = model.get_flat_grads()
 
         losses: list[float] = []
         steps = 0
@@ -121,18 +132,16 @@ class Client:
 
                 if config.prox_mu > 0.0:
                     # FedProx: grad += mu * (w - w_global), applied flat.
-                    prox = config.prox_mu * (model.get_flat_params() - global_params)
-                    model.set_flat_grads(model.get_flat_grads() + prox)
+                    flat_grads += config.prox_mu * (flat_params - global_params)
                 if use_scaffold:
-                    correction = server_control - self.control_variate
-                    model.set_flat_grads(model.get_flat_grads() + correction)
+                    flat_grads += scaffold_correction
 
                 optimizer.step()
                 losses.append(loss)
                 steps += 1
                 samples_seen += xb.shape[0]
 
-        local_params = model.get_flat_params()
+        local_params = flat_params
         delta = local_params - global_params
         self.last_delta = delta
 
@@ -191,7 +200,16 @@ class Client:
         samples = per_epoch * config.local_epochs
         return _TRAIN_FLOP_FACTOR * self._model.flops_per_sample() * samples
 
-    def evaluate(self, global_params: np.ndarray, dataset: Dataset) -> float:
-        """Accuracy of ``global_params`` on an arbitrary dataset."""
+    def evaluate(
+        self, global_params: np.ndarray, dataset: Dataset, batch_size: int = 256
+    ) -> float:
+        """Accuracy of ``global_params`` on an arbitrary dataset.
+
+        Evaluation is chunked (``batch_size``) so conv models never
+        materialise a whole-dataset im2col expansion; per-sample
+        predictions are independent, so results are identical to a
+        single full-dataset forward.
+        """
         self._model.set_flat_params(global_params)
-        return float((self._model.predict(dataset.x) == dataset.y).mean())
+        preds = self._model.predict(dataset.x, batch_size=batch_size)
+        return float((preds == dataset.y).mean())

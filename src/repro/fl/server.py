@@ -30,7 +30,9 @@ class Server:
         self._model = model_fn()
         self.test_set = test_set
         self.eval_batch = eval_batch
-        self.params = self._model.get_flat_params()
+        # get_flat_params returns the model's live backing buffer;
+        # the server's vector must be an independent snapshot.
+        self.params = self._model.get_flat_params().copy()
         self.global_delta: np.ndarray | None = None  # g_hat of Eq. 6
         self.version = 0  # bumps on every global model change
         self._loss_fn = SoftmaxCrossEntropy()

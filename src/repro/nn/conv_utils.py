@@ -5,13 +5,21 @@ multiplication over an *im2col* expansion of the input.  On a CPU this
 is the standard way to get BLAS-speed convolutions out of numpy, and it
 keeps the backward pass a plain transposed matmul plus a *col2im*
 scatter.
+
+Both helpers accept an optional :class:`ConvWorkspace`.  The im2col
+expansion and the col2im scatter target are the two largest
+allocations in the training inner loop; a workspace caches them keyed
+on the call geometry, so steady-state training (fixed batch shape)
+performs zero large allocations per batch.  Workspace-backed calls
+return views into the workspace: the result is only valid until the
+next call that reuses the same workspace.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["conv_output_size", "im2col", "col2im"]
+__all__ = ["conv_output_size", "im2col", "col2im", "ConvWorkspace"]
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -25,31 +33,100 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return out
 
 
+class ConvWorkspace:
+    """Reusable im2col/col2im scratch buffers for one call geometry.
+
+    Holds the four big intermediates of an im2col convolution:
+
+    * ``gather``   — (N, C, kh, kw, out_h, out_w) window gather,
+    * ``cols``     — (N*out_h*out_w, C*kh*kw) column matrix,
+    * ``pad_in``   — zero-padded input copy (forward, padding > 0),
+    * ``pad_out``  — col2im scatter target.
+
+    Buffers are (re)allocated whenever the geometry key changes and
+    reused verbatim otherwise, so a layer training on a fixed batch
+    shape touches the allocator only once.  ``pad_in`` keeps its zero
+    border across calls: only the interior is rewritten.
+    """
+
+    __slots__ = ("_key", "_gather", "_cols", "_pad_in", "_pad_out")
+
+    def __init__(self) -> None:
+        self._key: tuple | None = None
+        self._gather: np.ndarray | None = None
+        self._cols: np.ndarray | None = None
+        self._pad_in: np.ndarray | None = None
+        self._pad_out: np.ndarray | None = None
+
+    def _prepare(
+        self,
+        x_shape: tuple[int, int, int, int],
+        kernel_h: int,
+        kernel_w: int,
+        stride: int,
+        padding: int,
+        dtype: np.dtype,
+    ) -> tuple[int, int]:
+        """Ensure buffers exist for this geometry; return (out_h, out_w)."""
+        n, c, h, w = x_shape
+        out_h = conv_output_size(h, kernel_h, stride, padding)
+        out_w = conv_output_size(w, kernel_w, stride, padding)
+        key = (x_shape, kernel_h, kernel_w, stride, padding, np.dtype(dtype))
+        if key != self._key:
+            self._key = key
+            self._gather = np.empty(
+                (n, c, kernel_h, kernel_w, out_h, out_w), dtype=dtype
+            )
+            self._cols = np.empty(
+                (n * out_h * out_w, c * kernel_h * kernel_w), dtype=dtype
+            )
+            padded_shape = (n, c, h + 2 * padding, w + 2 * padding)
+            self._pad_in = np.zeros(padded_shape, dtype=dtype) if padding > 0 else None
+            self._pad_out = np.empty(padded_shape, dtype=dtype)
+        return out_h, out_w
+
+
 def im2col(
     x: np.ndarray,
     kernel_h: int,
     kernel_w: int,
     stride: int = 1,
     padding: int = 0,
+    workspace: ConvWorkspace | None = None,
 ) -> np.ndarray:
     """Expand ``x`` of shape (N, C, H, W) into convolution columns.
 
     Returns an array of shape ``(N * out_h * out_w, C * kernel_h *
     kernel_w)`` where each row is one receptive field, laid out so that
     ``cols @ weights.reshape(out_c, -1).T`` computes the convolution.
+
+    With a ``workspace`` the returned array is the workspace's cached
+    column buffer (valid until the next same-workspace call); without
+    one, fresh arrays are allocated as before.
     """
     n, c, h, w = x.shape
-    out_h = conv_output_size(h, kernel_h, stride, padding)
-    out_w = conv_output_size(w, kernel_w, stride, padding)
 
-    if padding > 0:
-        x = np.pad(
-            x,
-            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
-            mode="constant",
+    if workspace is not None:
+        out_h, out_w = workspace._prepare(
+            x.shape, kernel_h, kernel_w, stride, padding, x.dtype
         )
+        if padding > 0:
+            # The border was zeroed at allocation and is never written
+            # afterwards; only the interior needs refreshing.
+            workspace._pad_in[:, :, padding:-padding, padding:-padding] = x
+            x = workspace._pad_in
+        cols = workspace._gather
+    else:
+        out_h = conv_output_size(h, kernel_h, stride, padding)
+        out_w = conv_output_size(w, kernel_w, stride, padding)
+        if padding > 0:
+            x = np.pad(
+                x,
+                ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+                mode="constant",
+            )
+        cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
 
-    cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
     for i in range(kernel_h):
         i_max = i + stride * out_h
         for j in range(kernel_w):
@@ -57,10 +134,12 @@ def im2col(
             cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
 
     # (N, out_h, out_w, C, kh, kw) -> rows of receptive fields.
-    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(
-        n * out_h * out_w, c * kernel_h * kernel_w
-    )
-    return cols
+    rows = cols.transpose(0, 4, 5, 1, 2, 3)
+    if workspace is not None:
+        out = workspace._cols
+        np.copyto(out.reshape(n, out_h, out_w, c, kernel_h, kernel_w), rows)
+        return out
+    return rows.reshape(n * out_h * out_w, c * kernel_h * kernel_w)
 
 
 def col2im(
@@ -70,21 +149,33 @@ def col2im(
     kernel_w: int,
     stride: int = 1,
     padding: int = 0,
+    workspace: ConvWorkspace | None = None,
 ) -> np.ndarray:
     """Inverse of :func:`im2col`: scatter-add columns back to an image.
 
     Overlapping receptive fields accumulate, which is exactly the
     gradient of the im2col gather — so this implements the backward
     pass of convolution with respect to its input.
+
+    With a ``workspace`` the result is (a view into) the workspace's
+    cached scatter buffer, valid until the next same-workspace call.
     """
     n, c, h, w = x_shape
-    out_h = conv_output_size(h, kernel_h, stride, padding)
-    out_w = conv_output_size(w, kernel_w, stride, padding)
+
+    if workspace is not None:
+        out_h, out_w = workspace._prepare(
+            x_shape, kernel_h, kernel_w, stride, padding, cols.dtype
+        )
+        padded = workspace._pad_out
+        padded.fill(0.0)
+    else:
+        out_h = conv_output_size(h, kernel_h, stride, padding)
+        out_w = conv_output_size(w, kernel_w, stride, padding)
+        padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
 
     cols = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w)
     cols = cols.transpose(0, 3, 4, 5, 1, 2)
 
-    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
     for i in range(kernel_h):
         i_max = i + stride * out_h
         for j in range(kernel_w):

@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import initializers
-from repro.nn.conv_utils import col2im, conv_output_size, im2col
+from repro.nn.conv_utils import ConvWorkspace, col2im, conv_output_size, im2col
 
 __all__ = [
     "Parameter",
@@ -51,6 +51,21 @@ class Parameter:
         self.name = name
         self.data = np.asarray(data, dtype=np.float64)
         self.grad = np.zeros_like(self.data)
+
+    @classmethod
+    def from_views(cls, name: str, data: np.ndarray, grad: np.ndarray) -> "Parameter":
+        """Wrap existing arrays without copying or reallocating the grad.
+
+        Used by :class:`repro.nn.sequential.Sequential` to expose its
+        backing buffers as a single flat parameter.
+        """
+        if data.shape != grad.shape:
+            raise ValueError("data and grad shapes must match")
+        obj = cls.__new__(cls)
+        obj.name = name
+        obj.data = data
+        obj.grad = grad
+        return obj
 
     @property
     def size(self) -> int:
@@ -183,6 +198,11 @@ class Conv2d(Layer):
         self.bias = Parameter(f"{name}.bias", initializers.zeros((out_channels,))) if bias else None
         self._cols: np.ndarray | None = None
         self._x_shape: tuple[int, int, int, int] | None = None
+        # Separate train/eval workspaces: training forward caches the
+        # column buffer for backward, so an interleaved evaluation pass
+        # must not overwrite it.
+        self._ws_train = ConvWorkspace()
+        self._ws_eval = ConvWorkspace()
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.in_channels:
@@ -193,7 +213,7 @@ class Conv2d(Layer):
         k, s, p = self.kernel_size, self.stride, self.padding
         out_h = conv_output_size(h, k, s, p)
         out_w = conv_output_size(w, k, s, p)
-        cols = im2col(x, k, k, s, p)
+        cols = im2col(x, k, k, s, p, self._ws_train if training else self._ws_eval)
         if training:
             self._cols = cols
             self._x_shape = x.shape
@@ -221,6 +241,7 @@ class Conv2d(Layer):
             self.kernel_size,
             self.stride,
             self.padding,
+            self._ws_train,
         )
         self._cols = None
         self._x_shape = None
@@ -256,6 +277,10 @@ class MaxPool2d(Layer):
         self.stride = stride if stride is not None else kernel_size
         self._mask: np.ndarray | None = None
         self._x_shape: tuple[int, int, int, int] | None = None
+        # Backward only needs the boolean mask (cached separately), so
+        # one workspace safely serves train forward, eval forward, and
+        # the col2im scatter in backward.
+        self._ws = ConvWorkspace()
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         n, c, h, w = x.shape
@@ -265,7 +290,7 @@ class MaxPool2d(Layer):
         # Treat channels as extra batch entries so im2col windows stay
         # single-channel.
         reshaped = x.reshape(n * c, 1, h, w)
-        cols = im2col(reshaped, k, k, s, 0)
+        cols = im2col(reshaped, k, k, s, 0, self._ws)
         out = cols.max(axis=1)
         if training:
             mask = cols == out[:, None]
@@ -291,6 +316,7 @@ class MaxPool2d(Layer):
             self.kernel_size,
             self.stride,
             0,
+            self._ws,
         )
         self._mask = None
         self._x_shape = None
@@ -312,13 +338,14 @@ class AvgPool2d(Layer):
         self.kernel_size = kernel_size
         self.stride = stride if stride is not None else kernel_size
         self._x_shape: tuple[int, int, int, int] | None = None
+        self._ws = ConvWorkspace()
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         n, c, h, w = x.shape
         k, s = self.kernel_size, self.stride
         out_h = conv_output_size(h, k, s, 0)
         out_w = conv_output_size(w, k, s, 0)
-        cols = im2col(x.reshape(n * c, 1, h, w), k, k, s, 0)
+        cols = im2col(x.reshape(n * c, 1, h, w), k, k, s, 0, self._ws)
         out = cols.mean(axis=1)
         if training:
             self._x_shape = (n, c, h, w)
@@ -337,6 +364,7 @@ class AvgPool2d(Layer):
             self.kernel_size,
             self.stride,
             0,
+            self._ws,
         )
         self._x_shape = None
         return grad_in.reshape(n, c, h, w)

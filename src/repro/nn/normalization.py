@@ -51,12 +51,14 @@ class BatchNorm2d(Layer):
         if training:
             mean = x.mean(axis=(0, 2, 3))
             var = x.var(axis=(0, 2, 3))
-            self.running_mean = (
-                (1.0 - self.momentum) * self.running_mean + self.momentum * mean
-            )
-            self.running_var = (
-                (1.0 - self.momentum) * self.running_var + self.momentum * var
-            )
+            # In-place EMA (same evaluation order as the rebinding
+            # form → bit-identical); these buffers stay layer-local
+            # and must never become views into a flat parameter
+            # buffer (the FedBN convention).
+            self.running_mean *= 1.0 - self.momentum
+            self.running_mean += self.momentum * mean
+            self.running_var *= 1.0 - self.momentum
+            self.running_var += self.momentum * var
         else:
             mean = self.running_mean
             var = self.running_var

@@ -142,8 +142,13 @@ class AdamVector:
         if params.shape != self._m.shape or pseudo_grad.shape != self._m.shape:
             raise ValueError("shape mismatch with optimiser state")
         self._t += 1
-        self._m = self.beta1 * self._m + (1.0 - self.beta1) * pseudo_grad
-        self._v = self.beta2 * self._v + (1.0 - self.beta2) * pseudo_grad**2
+        # In-place moment updates (same evaluation order as the
+        # rebinding form, so results stay bit-identical) avoid two
+        # O(d) allocations per server step.
+        self._m *= self.beta1
+        self._m += (1.0 - self.beta1) * pseudo_grad
+        self._v *= self.beta2
+        self._v += (1.0 - self.beta2) * pseudo_grad**2
         m_hat = self._m / (1.0 - self.beta1**self._t)
         v_hat = self._v / (1.0 - self.beta2**self._t)
         return params - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

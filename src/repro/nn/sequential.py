@@ -1,9 +1,20 @@
-"""Sequential model container with flat-parameter-vector utilities.
+"""Sequential model container with a zero-copy flat-parameter engine.
 
 Federated learning treats a model as one flat vector `w ∈ R^d`
-(Eq. 1 of the paper), so :class:`Sequential` provides lossless
-round-trips between its layer parameters and a single 1-D array:
-``get_flat_params`` / ``set_flat_params`` / ``get_flat_grads``.
+(Eq. 1 of the paper), so :class:`Sequential` owns that vector
+directly: at construction it allocates one contiguous float64 backing
+buffer for parameters and one for gradients, and rebinds every
+``Parameter.data`` / ``Parameter.grad`` to a reshaped *view* into
+them.  ``get_flat_params`` / ``get_flat_grads`` therefore return the
+backing buffers in O(1) with no copy, and ``set_flat_params`` /
+``set_flat_grads`` are a single vectorised assignment.
+
+Aliasing contract (see docs/architecture.md, "Parameter memory
+model"): the arrays returned by the getters ARE the live model
+storage — mutating them in place mutates the model, which is exactly
+what the FedProx/SCAFFOLD per-minibatch corrections exploit.  Callers
+that need a snapshot must ``.copy()``.  The setters always copy the
+incoming vector, so foreign arrays are never aliased.
 """
 
 from __future__ import annotations
@@ -32,6 +43,26 @@ class Sequential:
             shape = layer.output_shape(shape)
         self.output_shape = shape
 
+        # Zero-copy flat-parameter engine: move every parameter into
+        # one contiguous backing buffer (and its gradient into a
+        # second), keeping each Parameter as a reshaped view.
+        self._params: list[Parameter] = []
+        for layer in self.layers:
+            self._params.extend(layer.parameters())
+        d = sum(p.size for p in self._params)
+        self._param_buf = np.empty(d, dtype=np.float64)
+        self._grad_buf = np.zeros(d, dtype=np.float64)
+        offset = 0
+        for p in self._params:
+            end = offset + p.size
+            self._param_buf[offset:end] = p.data.ravel()
+            p.data = self._param_buf[offset:end].reshape(p.data.shape)
+            p.grad = self._grad_buf[offset:end].reshape(p.data.shape)
+            offset = end
+        self._flat_param = Parameter.from_views(
+            "flat", self._param_buf, self._grad_buf
+        )
+
     # ------------------------------------------------------------------
     # Forward / backward
     # ------------------------------------------------------------------
@@ -43,73 +74,96 @@ class Sequential:
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        """Backpropagate through all layers, accumulating parameter grads."""
+        """Backpropagate through all layers, accumulating parameter grads.
+
+        The returned input gradient may be a view into a layer's
+        internal workspace; it is only valid until the next
+        forward/backward call through the model.
+        """
         grad = grad_out
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
         return grad
 
-    def predict(self, x: np.ndarray) -> np.ndarray:
-        """Class predictions (argmax over the final axis)."""
-        return np.argmax(self.forward(x, training=False), axis=-1)
+    def predict(self, x: np.ndarray, batch_size: int | None = None) -> np.ndarray:
+        """Class predictions (argmax over the final axis).
+
+        ``batch_size`` evaluates in chunks, bounding the im2col
+        working-set for conv models; results are identical to the
+        single-pass default because rows are independent.
+        """
+        if batch_size is None or x.shape[0] <= batch_size:
+            return np.argmax(self.forward(x, training=False), axis=-1)
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive or None")
+        preds = np.empty(x.shape[0], dtype=np.int64)
+        for start in range(0, x.shape[0], batch_size):
+            stop = start + batch_size
+            preds[start:stop] = np.argmax(
+                self.forward(x[start:stop], training=False), axis=-1
+            )
+        return preds
 
     # ------------------------------------------------------------------
     # Parameter plumbing
     # ------------------------------------------------------------------
     def parameters(self) -> list[Parameter]:
-        params: list[Parameter] = []
-        for layer in self.layers:
-            params.extend(layer.parameters())
-        return params
+        return list(self._params)
+
+    def flat_parameter(self) -> Parameter:
+        """The whole model as one :class:`Parameter` over the backing buffers.
+
+        Optimising ``[model.flat_parameter()]`` is mathematically (and
+        bit-for-bit) identical to optimising ``model.parameters()``
+        with the same elementwise rule, but runs one vectorised update
+        instead of a Python loop over layers.
+        """
+        return self._flat_param
 
     def zero_grad(self) -> None:
-        for layer in self.layers:
-            layer.zero_grad()
+        self._grad_buf.fill(0.0)
 
     @property
     def num_params(self) -> int:
         """Total scalar parameter count ``d``."""
-        return sum(p.size for p in self.parameters())
+        return self._param_buf.size
 
     def get_flat_params(self) -> np.ndarray:
-        """Concatenate all parameters into one 1-D float64 vector."""
-        params = self.parameters()
-        if not params:
-            return np.zeros(0, dtype=np.float64)
-        return np.concatenate([p.data.ravel() for p in params])
+        """The contiguous parameter backing buffer (O(1), no copy).
+
+        This is live storage shared with every ``Parameter.data``;
+        callers needing a snapshot must copy.
+        """
+        return self._param_buf
 
     def set_flat_params(self, vector: np.ndarray) -> None:
-        """Load a flat vector back into the layer parameters."""
+        """Copy a flat vector into the parameter backing buffer."""
         vector = np.asarray(vector, dtype=np.float64)
         if vector.ndim != 1 or vector.size != self.num_params:
             raise ValueError(
                 f"expected flat vector of size {self.num_params}, got shape {vector.shape}"
             )
-        offset = 0
-        for p in self.parameters():
-            chunk = vector[offset : offset + p.size]
-            p.data[...] = chunk.reshape(p.data.shape)
-            offset += p.size
+        if vector is not self._param_buf:
+            self._param_buf[...] = vector
 
     def get_flat_grads(self) -> np.ndarray:
-        """Concatenate all parameter gradients into one 1-D vector."""
-        params = self.parameters()
-        if not params:
-            return np.zeros(0, dtype=np.float64)
-        return np.concatenate([p.grad.ravel() for p in params])
+        """The contiguous gradient backing buffer (O(1), no copy).
+
+        Shares memory with every ``Parameter.grad``; in-place updates
+        (``grads += correction``) are the supported way to apply flat
+        gradient corrections.
+        """
+        return self._grad_buf
 
     def set_flat_grads(self, vector: np.ndarray) -> None:
-        """Load a flat vector into the gradient buffers (used by SCAFFOLD)."""
+        """Copy a flat vector into the gradient backing buffer."""
         vector = np.asarray(vector, dtype=np.float64)
         if vector.ndim != 1 or vector.size != self.num_params:
             raise ValueError(
                 f"expected flat vector of size {self.num_params}, got shape {vector.shape}"
             )
-        offset = 0
-        for p in self.parameters():
-            chunk = vector[offset : offset + p.size]
-            p.grad[...] = chunk.reshape(p.data.shape)
-            offset += p.size
+        if vector is not self._grad_buf:
+            self._grad_buf[...] = vector
 
     # ------------------------------------------------------------------
     # Cost accounting

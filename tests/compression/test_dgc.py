@@ -34,6 +34,21 @@ class TestBasics:
         with pytest.raises(ValueError):
             DGCCompressor(10, clip_norm=0.0)
 
+    def test_payload_mutation_cannot_corrupt_compressor_state(self, rng):
+        # The payload is handed to network/fault simulation code that
+        # may rewrite it; values must be an independent array, never a
+        # window into the residual buffer.
+        comp = DGCCompressor(100, ratio=10.0, clip_norm=None)
+        comp.compress(rng.normal(size=100))  # build up a residual
+        payload = comp.compress(rng.normal(size=100))
+        assert not np.shares_memory(payload.data["values"], comp._residual)
+        assert not np.shares_memory(payload.data["values"], comp._velocity)
+        residual_before = comp._residual.copy()
+        velocity_before = comp._velocity.copy()
+        payload.data["values"][...] = 1e9
+        np.testing.assert_array_equal(comp._residual, residual_before)
+        np.testing.assert_array_equal(comp._velocity, velocity_before)
+
 
 class TestErrorFeedback:
     def test_residual_conservation_without_momentum(self, rng):

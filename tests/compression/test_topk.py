@@ -24,6 +24,24 @@ class TestTopKIndices:
         b = topk_indices(v.copy(), 3)
         np.testing.assert_array_equal(a, b)
 
+    def test_deterministic_on_boundary_ties(self):
+        # A tie exactly at the k-th magnitude: the selected support set
+        # must be identical across repeated calls on equal inputs, and
+        # must always contain the strictly-larger entries.
+        v = np.array([2.0, -1.0, 1.0, -1.0, 1.0, 3.0, -1.0])
+        runs = [topk_indices(v.copy(), 4) for _ in range(5)]
+        for r in runs[1:]:
+            np.testing.assert_array_equal(runs[0], r)
+        assert {0, 5} <= set(runs[0].tolist())
+        assert np.all(np.diff(runs[0]) > 0)  # sorted, unique
+
+    def test_deterministic_all_tied(self):
+        v = np.full(50, -0.5)
+        runs = [topk_indices(v.copy(), 7) for _ in range(5)]
+        for r in runs[1:]:
+            np.testing.assert_array_equal(runs[0], r)
+        assert runs[0].size == 7
+
     def test_bad_k(self):
         with pytest.raises(ValueError):
             topk_indices(np.ones(3), 0)

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.nn.conv_utils import col2im, conv_output_size, im2col
+from repro.nn.conv_utils import ConvWorkspace, col2im, conv_output_size, im2col
 
 
 class TestConvOutputSize:
@@ -93,3 +93,97 @@ class TestCol2Im:
         y = rng.normal(size=cols.shape)
         back = col2im(y, x.shape, kernel, kernel, 1, padding)
         assert abs(np.sum(cols * y) - np.sum(x * back)) < 1e-8
+
+
+class TestConvWorkspace:
+    @pytest.mark.parametrize("padding", [0, 1, 2])
+    def test_im2col_matches_allocating_path(self, rng, padding):
+        ws = ConvWorkspace()
+        x = rng.normal(size=(2, 3, 6, 6))
+        np.testing.assert_array_equal(
+            im2col(x, 3, 3, 1, padding, ws), im2col(x, 3, 3, 1, padding)
+        )
+
+    @pytest.mark.parametrize("padding", [0, 1, 2])
+    def test_col2im_matches_allocating_path(self, rng, padding):
+        ws = ConvWorkspace()
+        x_shape = (2, 3, 6, 6)
+        cols_shape = im2col(np.zeros(x_shape), 3, 3, 1, padding).shape
+        y = rng.normal(size=cols_shape)
+        np.testing.assert_array_equal(
+            col2im(y, x_shape, 3, 3, 1, padding, ws),
+            col2im(y, x_shape, 3, 3, 1, padding),
+        )
+
+    def test_buffers_reused_across_same_shape_calls(self, rng):
+        ws = ConvWorkspace()
+        x = rng.normal(size=(2, 3, 6, 6))
+        first = im2col(x, 3, 3, 1, 1, ws)
+        second = im2col(rng.normal(size=x.shape), 3, 3, 1, 1, ws)
+        assert first is second  # steady state: zero new allocations
+
+    def test_shape_change_reallocates_and_stays_correct(self, rng):
+        ws = ConvWorkspace()
+        a = rng.normal(size=(2, 3, 6, 6))
+        b = rng.normal(size=(4, 3, 8, 8))
+        im2col(a, 3, 3, 1, 1, ws)
+        np.testing.assert_array_equal(im2col(b, 3, 3, 1, 1, ws), im2col(b, 3, 3, 1, 1))
+        # Back to the first geometry: correct after the realloc churn.
+        np.testing.assert_array_equal(im2col(a, 3, 3, 1, 1, ws), im2col(a, 3, 3, 1, 1))
+
+    def test_pad_border_stays_zero_across_reuse(self, rng):
+        # The padded-input border is zeroed only at allocation; reuse
+        # must not leak previous batches into the border.
+        ws = ConvWorkspace()
+        for _ in range(3):
+            x = rng.normal(size=(1, 2, 4, 4))
+            np.testing.assert_array_equal(
+                im2col(x, 3, 3, 1, 2, ws), im2col(x, 3, 3, 1, 2)
+            )
+
+    def test_workspace_steady_state_in_training_loop(self, rng):
+        """Conv2d forward/backward with workspaces == fresh-allocation math."""
+        from repro.nn.layers import Conv2d
+
+        conv_ws = Conv2d(3, 4, 3, np.random.default_rng(0), padding=1)
+        conv_ref = Conv2d(3, 4, 3, np.random.default_rng(0), padding=1)
+        for step in range(3):
+            x = rng.normal(size=(2, 3, 6, 6))
+            grad_out = rng.normal(size=(2, 4, 6, 6))
+            out = conv_ws.forward(x, training=True)
+            grad_in = conv_ws.backward(grad_out)
+
+            cols = im2col(x, 3, 3, 1, 1)
+            w_mat = conv_ref.weight.data.reshape(4, -1)
+            ref_out = (cols @ w_mat.T + conv_ref.bias.data).reshape(
+                2, 6, 6, 4
+            ).transpose(0, 3, 1, 2)
+            np.testing.assert_array_equal(out, ref_out)
+
+            grad_mat = grad_out.transpose(0, 2, 3, 1).reshape(-1, 4)
+            ref_grad_in = col2im(grad_mat @ w_mat, x.shape, 3, 3, 1, 1)
+            np.testing.assert_array_equal(grad_in, ref_grad_in)
+            conv_ref.weight.grad += (grad_mat.T @ cols).reshape(
+                conv_ref.weight.data.shape
+            )
+            np.testing.assert_array_equal(conv_ws.weight.grad, conv_ref.weight.grad)
+
+    def test_eval_forward_between_train_forward_and_backward(self, rng):
+        # An evaluation pass (same shape) must not clobber the column
+        # buffer a pending backward depends on — hence the separate
+        # train/eval workspaces in Conv2d.
+        from repro.nn.layers import Conv2d
+
+        conv = Conv2d(2, 3, 3, np.random.default_rng(1), padding=1)
+        x_train = rng.normal(size=(2, 2, 5, 5))
+        grad_out = rng.normal(size=(2, 3, 5, 5))
+
+        conv.forward(x_train, training=True)
+        conv.forward(rng.normal(size=x_train.shape), training=False)
+        conv.backward(grad_out)
+        got = conv.weight.grad.copy()
+
+        conv.zero_grad()
+        conv.forward(x_train, training=True)
+        conv.backward(grad_out)
+        np.testing.assert_array_equal(got, conv.weight.grad)

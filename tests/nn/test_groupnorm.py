@@ -100,6 +100,6 @@ class TestInModel:
             ],
             input_shape=(1, 4, 4),
         )
-        vec = model.get_flat_params()
+        vec = model.get_flat_params().copy()
         model.set_flat_params(vec * 1.5)
         np.testing.assert_allclose(model.get_flat_params(), vec * 1.5)

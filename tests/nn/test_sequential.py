@@ -27,10 +27,18 @@ class TestConstruction:
 
 class TestFlatParams:
     def test_roundtrip(self, tiny_model):
-        vec = tiny_model.get_flat_params()
+        # get_flat_params returns the live backing buffer, so snapshot
+        # before overwriting the model.
+        vec = tiny_model.get_flat_params().copy()
         assert vec.shape == (tiny_model.num_params,)
         tiny_model.set_flat_params(vec * 2.0)
         np.testing.assert_allclose(tiny_model.get_flat_params(), vec * 2.0)
+
+    def test_get_is_zero_copy(self, tiny_model):
+        vec = tiny_model.get_flat_params()
+        assert vec is tiny_model.get_flat_params()
+        for p in tiny_model.parameters():
+            assert np.shares_memory(vec, p.data)
 
     def test_set_wrong_size_raises(self, tiny_model):
         with pytest.raises(ValueError):
@@ -49,7 +57,7 @@ class TestFlatParams:
         tiny_model.zero_grad()
         loss_fn.forward(tiny_model.forward(x, training=True), y)
         tiny_model.backward(loss_fn.backward())
-        grads = tiny_model.get_flat_grads()
+        grads = tiny_model.get_flat_grads().copy()
         assert grads.shape == (tiny_model.num_params,)
         assert np.linalg.norm(grads) > 0
         tiny_model.set_flat_grads(grads * 3.0)
