@@ -11,6 +11,8 @@ Examples::
     python -m repro overhead
     python -m repro quickrun --dataset mnist --distribution shard \
         --method adafl --rounds 20 --out run.json
+    python -m repro quickrun --engine async --method fedbuff --trace run.jsonl
+    python -m repro trace run.jsonl
 """
 
 from __future__ import annotations
@@ -25,10 +27,10 @@ from repro.experiments.empirical import run_fig1
 from repro.experiments.overhead import run_overhead_study
 from repro.experiments.presets import get_scale
 from repro.experiments.reporting import format_bytes, format_series, format_table
-from repro.experiments.runner import FederationSpec, run_sync
+from repro.experiments.runner import FederationSpec, run_async, run_sync
 from repro.experiments.scalability import run_scalability
 from repro.experiments.tables import render_table, run_table1, run_table2
-from repro.fl.baselines import SYNC_BASELINES
+from repro.fl.baselines import ASYNC_BASELINES, SYNC_BASELINES
 from repro.fl.persist import save_run_result
 
 __all__ = ["main", "build_parser"]
@@ -56,13 +58,25 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", default="report.html")
     report.add_argument("--artifacts", default=None, help="benchmarks/results dir to embed")
 
-    quick = sub.add_parser("quickrun", help="one synchronous federated run")
+    quick = sub.add_parser("quickrun", help="one federated run (sync or async)")
     quick.add_argument("--dataset", default="mnist", choices=("mnist", "cifar10", "cifar100"))
     quick.add_argument("--model", default="mnist_cnn")
     quick.add_argument("--distribution", default="iid", choices=("iid", "shard", "dirichlet", "label_skew", "quantity_skew"))
-    quick.add_argument("--method", default="adafl", choices=("adafl", *sorted(SYNC_BASELINES)))
+    quick.add_argument(
+        "--method",
+        default="adafl",
+        choices=("adafl", *sorted(SYNC_BASELINES), *sorted(ASYNC_BASELINES)),
+    )
+    quick.add_argument("--engine", default="sync", choices=("sync", "async"))
     quick.add_argument("--rounds", type=int, default=None)
     quick.add_argument("--out", default=None, help="write run JSON here")
+    quick.add_argument("--trace", default=None, help="record the event trace as JSONL here")
+
+    tr = sub.add_parser("trace", help="summarize a recorded JSONL event trace")
+    tr.add_argument("path", help="trace file written by --trace / JsonlSink")
+    tr.add_argument(
+        "--client", type=int, default=None, help="also print this client's event timeline"
+    )
     return parser
 
 
@@ -130,22 +144,68 @@ def _cmd_quickrun(args, scale) -> str:
         scale=scale,
         seed=args.seed,
     )
-    if args.method == "adafl":
-        strategy = AdaFLSync(default_adafl_config(scale))
-    else:
-        strategy = SYNC_BASELINES[args.method]()
-    result = run_sync(spec, strategy)
+    trace = None
+    if args.trace:
+        from repro.sim import EventTrace, JsonlSink
+
+        trace = EventTrace([JsonlSink(args.trace)])
+    try:
+        if args.engine == "async":
+            if args.method == "adafl":
+                from repro.core.adafl import AdaFLAsync
+
+                strategy = AdaFLAsync(default_adafl_config(scale, async_mode=True))
+            elif args.method in ASYNC_BASELINES:
+                strategy = ASYNC_BASELINES[args.method]()
+            else:
+                raise SystemExit(
+                    f"method {args.method!r} is synchronous; use --engine sync"
+                )
+            # Same total update budget a full-participation sync run
+            # would have, so --rounds bounds async runs too.
+            budget = scale.num_rounds * scale.num_clients
+            result = run_async(spec, strategy, max_updates=budget, trace=trace)
+        else:
+            if args.method in ASYNC_BASELINES:
+                raise SystemExit(
+                    f"method {args.method!r} is asynchronous; use --engine async"
+                )
+            if args.method == "adafl":
+                strategy = AdaFLSync(default_adafl_config(scale))
+            else:
+                strategy = SYNC_BASELINES[args.method]()
+            result = run_sync(spec, strategy, trace=trace)
+    finally:
+        if trace is not None:
+            trace.close()
     if args.out:
         save_run_result(result, args.out)
     rounds, accs = result.accuracy_curve()
-    return "\n".join(
-        [
-            format_series(args.method, rounds, accs),
-            f"final accuracy: {result.final_accuracy:.3f}",
-            f"client updates: {result.total_uploads}",
-            f"uplink volume : {format_bytes(result.total_bytes_up)}",
-        ]
-    )
+    lines = [
+        format_series(args.method, rounds, accs),
+        f"final accuracy: {result.final_accuracy:.3f}",
+        f"client updates: {result.total_uploads}",
+        f"uplink volume : {format_bytes(result.total_bytes_up)}",
+    ]
+    if args.trace:
+        lines.append(f"trace written : {args.trace}")
+    return "\n".join(lines)
+
+
+def _cmd_trace(args) -> str:
+    from repro.sim import format_summary, load_trace, summarize_trace
+
+    events = load_trace(args.path)
+    out = [format_summary(summarize_trace(events))]
+    if args.client is not None:
+        out.append("")
+        out.append(f"timeline for client {args.client}:")
+        for ev in events:
+            if ev.client != args.client:
+                continue
+            extra = " ".join(f"{k}={ev.data[k]}" for k in sorted(ev.data))
+            out.append(f"  t={ev.t:>10.3f}  {ev.type:<14} {extra}".rstrip())
+    return "\n".join(out)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -178,6 +238,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {path}")
     elif args.command == "quickrun":
         print(_cmd_quickrun(args, scale))
+    elif args.command == "trace":
+        print(_cmd_trace(args))
     else:  # pragma: no cover - argparse enforces choices
         raise AssertionError(args.command)
     return 0

@@ -26,6 +26,7 @@ from repro.fl.server import Server
 from repro.fl.strategy import AsyncStrategy, SyncStrategy
 from repro.fl.sync_engine import SyncEngine
 from repro.network.conditions import NetworkConditions
+from repro.sim import EventTrace
 from repro.nn.models import build_mlp, build_mnist_cnn, build_resnet_mini, build_vgg_mini
 from repro.nn.sequential import Sequential
 
@@ -180,8 +181,15 @@ def run_sync(
     network: NetworkConditions | None = None,
     faults: FaultInjector | None = None,
     device_flops: np.ndarray | None = None,
+    churn=None,
+    trace: EventTrace | None = None,
 ) -> RunResult:
-    """Build a federation and run it synchronously."""
+    """Build a federation and run it synchronously.
+
+    ``churn`` is an availability model (``repro.network.churn``);
+    ``trace`` is an :class:`~repro.sim.EventTrace` with caller-attached
+    sinks (e.g. a JSONL writer) to record the run's event stream.
+    """
     fed = build_federation(spec)
     engine = SyncEngine(
         fed.server,
@@ -191,6 +199,8 @@ def run_sync(
         network=network,
         faults=faults,
         device_flops=device_flops,
+        churn=churn,
+        trace=trace,
     )
     return engine.run()
 
@@ -202,12 +212,16 @@ def run_async(
     device_flops: np.ndarray | None = None,
     max_updates: int | None = None,
     max_sim_time_s: float | None = None,
+    churn=None,
+    faults: FaultInjector | None = None,
+    trace: EventTrace | None = None,
 ) -> RunResult:
     """Build a federation and run it asynchronously.
 
     ``max_updates`` caps the number of delivered client updates;
     ``max_sim_time_s`` overrides the scale's simulated-time budget
     (the paper's Table II compares methods over an equal time budget).
+    ``churn``/``faults``/``trace`` mirror :func:`run_sync`.
     """
     fed = build_federation(spec)
     engine = AsyncEngine(
@@ -217,5 +231,8 @@ def run_async(
         _federation_config(spec, max_updates=max_updates, max_sim_time_s=max_sim_time_s),
         network=network,
         device_flops=device_flops,
+        churn=churn,
+        faults=faults,
+        trace=trace,
     )
     return engine.run()

@@ -1,4 +1,4 @@
-"""Asynchronous FL engine (discrete-event).
+"""Asynchronous FL engine — a reactive protocol on :class:`repro.sim.SimKernel`.
 
 Implements the asynchronous protocol of §III-A: every client loops
 ``download -> local train -> upload`` independently; the server reacts
@@ -7,6 +7,13 @@ staleness-discounted weight, FedBuff buffers ``K`` of them).  Client
 heterogeneity — the 3x-slower stragglers of the empirical study — is
 expressed through per-client compute rates, and all transfer times
 come from the per-client :class:`~repro.network.conditions.ClientNetwork`.
+
+The engine's main loop drains the kernel's event queue up to the
+simulation horizon; availability churn defers work while a device is
+offline, dropout faults park it until the next model version, and
+data-loss faults destroy delivered uploads in transit.  Every
+occurrence is published on the trace bus, and results are read back
+from the attached :class:`~repro.fl.metrics.MetricsReducer`.
 
 Staleness is measured in server model versions: an update trained from
 version ``v`` arriving when the server is at ``V`` has staleness
@@ -22,17 +29,33 @@ import numpy as np
 from repro.compression.base import dense_bytes
 from repro.fl.client import Client, ClientUpdate
 from repro.fl.config import FederationConfig
-from repro.fl.metrics import RoundRecord, RunResult
+from repro.fl.faults import FaultInjector
+from repro.fl.metrics import MetricsReducer, RunResult
 from repro.fl.server import Server
 from repro.fl.strategy import AsyncStrategy
 from repro.network.conditions import NetworkConditions
-from repro.network.events import EventQueue
+from repro.sim import (
+    AGGREGATED,
+    DROPPED,
+    EVALUATED,
+    EventTrace,
+    HALTED,
+    RUN_END,
+    RUN_START,
+    SimKernel,
+    WOKEN,
+)
 
-__all__ = ["AsyncEngine"]
+__all__ = ["AsyncEngine", "DOWNLINK_RETRY_BACKOFF"]
 
-_DEFAULT_DEVICE_FLOPS = 2e9
+# After a lost model broadcast the client backs off for this fraction
+# of the failed attempt's duration before re-requesting, so the retry
+# lands at ``(1 + backoff) * duration`` after the original dispatch.
+# Each retry re-rolls the link and is charged its own bytes.
+DOWNLINK_RETRY_BACKOFF = 1.0
 
 _MODEL_ARRIVAL = "model_arrival"
+_MODEL_RETRY = "model_retry"
 _UPDATE_ARRIVAL = "update_arrival"
 
 
@@ -58,102 +81,139 @@ class AsyncEngine:
         network: NetworkConditions | None = None,
         device_flops: np.ndarray | None = None,
         churn=None,
+        faults: FaultInjector | None = None,
+        trace: EventTrace | None = None,
     ):
         if not clients:
             raise ValueError("need at least one client")
-        if network is not None and len(network) != len(clients):
-            raise ValueError("network must describe exactly one endpoint per client")
-        if device_flops is not None and len(device_flops) != len(clients):
-            raise ValueError("device_flops must have one entry per client")
         self.server = server
         self.clients = clients
         self.strategy = strategy
         self.config = config
-        self.network = network
-        self.device_flops = (
-            np.asarray(device_flops, dtype=np.float64)
-            if device_flops is not None
-            else np.full(len(clients), _DEFAULT_DEVICE_FLOPS)
-        )
-        if np.any(self.device_flops <= 0):
-            raise ValueError("device compute rates must be positive")
-        self._rng = np.random.default_rng(config.seed)
-        self._queue = EventQueue()
-        self._halted: list[int] = []
-        self._bytes_down_pending = 0
-        self._total_updates = 0
+        self.faults = faults if faults is not None else FaultInjector()
         # Availability churn (repro.network.churn); None = always on.
         self._churn = churn
+        self._kernel = SimKernel(
+            seed=config.seed,
+            num_clients=len(clients),
+            network=network,
+            device_flops=device_flops,
+            trace=trace,
+        )
+        self.network = self._kernel.network
+        self.device_flops = self._kernel.device_flops
+        self._rng = self._kernel.rng
+        self._trace = self._kernel.trace
+        self._reducer = self._trace.add_sink(MetricsReducer())
+        self._halted: list[int] = []
+        self._total_updates = 0
+
+    @property
+    def sim_time_s(self) -> float:
+        """Simulated seconds elapsed (the kernel clock)."""
+        return self._kernel.now
+
+    @property
+    def trace(self) -> EventTrace:
+        """The engine's telemetry bus (attach sinks before ``run``)."""
+        return self._trace
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Simulate until ``max_sim_time_s`` (or ``max_updates``) and report."""
         self.strategy.prepare(self.server, self.clients)
-        result = RunResult(
+        local_cfg = self.strategy.local_config(self.config.local)
+        self._trace.emit(
+            RUN_START,
+            self._kernel.now,
+            mode="async",
             method=self.strategy.name,
             num_clients=len(self.clients),
             model_bytes=dense_bytes(self.server.dim),
         )
-        local_cfg = self.strategy.local_config(self.config.local)
 
         for client in self.clients:
             self._dispatch_model(client.client_id)
 
-        while True:
-            if not self._queue:
-                if self._halted and self._queue.now <= self.config.max_sim_time_s:
+        horizon = self.config.max_sim_time_s
+        done = False
+        while not done:
+            for event in self._kernel.queue.drain_until(horizon):
+                if event.kind == _MODEL_ARRIVAL:
+                    self._on_model_arrival(event.payload, local_cfg)
+                elif event.kind == _MODEL_RETRY:
+                    self._dispatch_model(
+                        event.payload["cid"], forced=event.payload["forced"]
+                    )
+                elif event.kind == _UPDATE_ARRIVAL:
+                    self._on_update_arrival(event.payload)
+                    if (
+                        self.config.max_updates is not None
+                        and self._total_updates >= self.config.max_updates
+                    ):
+                        done = True
+                        break
+                else:  # pragma: no cover - defensive
+                    raise RuntimeError(f"unknown event kind {event.kind!r}")
+            else:
+                # Drained: either the queue is empty, or its head lies
+                # beyond the simulation horizon.
+                if self._kernel.queue:
+                    break
+                if self._halted and self._kernel.now <= horizon:
                     # Every in-flight client has halted: without a
                     # fresh update no global version change will ever
                     # wake them.  Force-train the longest-waiting one
                     # so the federation keeps making progress.
                     cid = self._halted.pop(0)
+                    self._trace.emit(WOKEN, self._kernel.now, cid, cause="forced")
                     self._dispatch_model(cid, forced=True)
                     continue
                 break
-            if self._queue.peek().time > self.config.max_sim_time_s:
-                break
-            event = self._queue.pop()
-            if event.kind == _MODEL_ARRIVAL:
-                self._on_model_arrival(event.payload, local_cfg)
-            elif event.kind == _UPDATE_ARRIVAL:
-                self._on_update_arrival(event.payload, result)
-                if (
-                    self.config.max_updates is not None
-                    and self._total_updates >= self.config.max_updates
-                ):
-                    break
-            else:  # pragma: no cover - defensive
-                raise RuntimeError(f"unknown event kind {event.kind!r}")
-        return result
+
+        self._trace.emit(RUN_END, self._kernel.now, updates=self._total_updates)
+        return self._reducer.result()
 
     # ------------------------------------------------------------------
     def _dispatch_model(self, cid: int, forced: bool = False) -> None:
         """Send the current global model to a client."""
         nbytes = self.strategy.downlink_bytes(self.server)
-        self._bytes_down_pending += nbytes
-        now = self._queue.now
+        now = self._kernel.now
         payload = {"cid": cid, "forced": forced}
-        if self.network is None:
-            self._queue.push(now, _MODEL_ARRIVAL, payload)
+        leg = self._kernel.downlink(cid, nbytes, now)
+        if not leg.delivered:
+            # Lost broadcast: back off, then retry from scratch.  The
+            # failed attempt was already charged by the kernel.
+            self._trace.emit(
+                DROPPED, now + leg.duration_s, cid, reason="downlink_lost"
+            )
+            retry_at = now + (1.0 + DOWNLINK_RETRY_BACKOFF) * leg.duration_s
+            self._kernel.queue.push(retry_at, _MODEL_RETRY, payload)
             return
-        res = self.network[cid].receive_model(nbytes, now, self._rng)
-        if not res.delivered:
-            # Lost broadcast: the client retries after the same duration.
-            retry = now + 2.0 * res.duration_s
-            self._bytes_down_pending += nbytes
-            self._queue.push(retry, _MODEL_ARRIVAL, payload)
-            return
-        self._queue.push(now + res.duration_s, _MODEL_ARRIVAL, payload)
+        self._kernel.queue.push(now + leg.duration_s, _MODEL_ARRIVAL, payload)
 
     def _on_model_arrival(self, payload: dict, local_cfg) -> None:
         cid = payload["cid"]
         client = self.clients[cid]
-        now = self._queue.now
+        now = self._kernel.now
+        if payload.pop("resumed", False):
+            self._trace.emit(WOKEN, now, cid, cause="online")
         if self._churn is not None and not self._churn.is_online(cid, now):
             # Device is offline: the work resumes (with a fresh model)
             # once it comes back.
             resume = self._churn.next_online(cid, now)
-            self._queue.push(resume, _MODEL_ARRIVAL, payload)
+            self._trace.emit(HALTED, now, cid, cause="churn", until=resume)
+            payload["resumed"] = True
+            self._kernel.queue.push(resume, _MODEL_ARRIVAL, payload)
+            return
+        if not payload["forced"] and not self.faults.available(
+            cid, self.server.version
+        ):
+            # Dropout fault: the device is dark; park it until the next
+            # global model version, like a strategy halt.
+            self._trace.emit(HALTED, now, cid, cause="fault")
+            client.halted = True
+            self._halted.append(cid)
             return
         if not payload["forced"] and not self.strategy.should_train(
             client, self.server, now
@@ -161,6 +221,7 @@ class AsyncEngine:
             # AdaFL halting: park the client until the next global
             # model version (paper §V, Q3 — halted clients save the
             # training *and* communication cost).
+            self._trace.emit(HALTED, now, cid, cause="strategy")
             client.halted = True
             self._halted.append(cid)
             return
@@ -169,58 +230,62 @@ class AsyncEngine:
             self.server.params, local_cfg, round_index=self.server.version
         )
         update.extras["base_params"] = self.server.params.copy()
-        compute_s = update.flops / self.device_flops[cid]
+        compute_s = self._kernel.compute(cid, update.flops, now)
         delta, nbytes = self.strategy.process_upload(client, update, now + compute_s)
 
-        if self.network is None:
-            up_s, delivered = 0.0, True
-        else:
-            res = self.network[cid].send_update(nbytes, now + compute_s, self._rng)
-            up_s, delivered = res.duration_s, res.delivered
-
-        arrival = now + compute_s + up_s
+        leg = self._kernel.uplink(cid, nbytes, now + compute_s)
+        arrival = now + compute_s + leg.duration_s
+        delivered = leg.delivered
+        if not delivered:
+            self._trace.emit(DROPPED, arrival, cid, reason="uplink_lost")
+        elif self.faults.upload_lost(cid, self._rng):
+            # Data-loss fault: the update made it across the link but
+            # is destroyed in transit.
+            delivered = False
+            self._trace.emit(DROPPED, arrival, cid, reason="fault")
         self.strategy.on_upload_result(client, delivered, now + compute_s)
         if delivered:
-            payload = _InFlight(
+            inflight = _InFlight(
                 update=update,
                 delta=delta,
                 num_bytes=nbytes,
                 base_version=update.round_index,
             )
-            self._queue.push(arrival, _UPDATE_ARRIVAL, payload)
+            self._kernel.queue.push(arrival, _UPDATE_ARRIVAL, inflight)
         else:
             # Update lost in transit: client fetches a fresh model and
             # goes again (wasted compute, exactly as on real links).
-            self._queue.push(arrival, _MODEL_ARRIVAL, {"cid": cid, "forced": False})
+            self._kernel.queue.push(
+                arrival, _MODEL_ARRIVAL, {"cid": cid, "forced": False}
+            )
 
-    def _on_update_arrival(self, payload: _InFlight, result: RunResult) -> None:
+    def _on_update_arrival(self, payload: _InFlight) -> None:
+        now = self._kernel.now
         staleness = max(0, self.server.version - payload.base_version)
         changed = self.strategy.on_update(
             self.server, payload.update, payload.delta, staleness
         )
         self._total_updates += 1
-
-        record = RoundRecord(
-            round_index=self._total_updates - 1,
-            sim_time_s=self._queue.now,
-            num_uploads=1,
-            bytes_up=payload.num_bytes,
-            bytes_down=self._bytes_down_pending,
-            participants=[payload.update.client_id],
-            upload_sizes=[payload.num_bytes],
+        cid = payload.update.client_id
+        self._trace.emit(
+            AGGREGATED,
+            now,
+            cid,
+            update=self._total_updates - 1,
+            staleness=staleness,
+            applied=bool(changed),
+            nbytes=payload.num_bytes,
         )
-        self._bytes_down_pending = 0
         if self._total_updates % self.config.eval_every == 0:
             accuracy, loss = self.server.evaluate()
-            record.accuracy = accuracy
-            record.loss = loss
-        result.records.append(record)
+            self._trace.emit(EVALUATED, now, accuracy=accuracy, loss=loss)
 
         # The uploading client immediately receives the latest model.
-        self._dispatch_model(payload.update.client_id)
+        self._dispatch_model(cid)
         # A model change wakes any halted clients (they were waiting
         # for "the next global update").
         if changed and self._halted:
             woken, self._halted = self._halted, []
-            for cid in woken:
-                self._dispatch_model(cid)
+            for wid in woken:
+                self._trace.emit(WOKEN, now, wid, cause="version")
+                self._dispatch_model(wid)

@@ -5,15 +5,35 @@ accuracy over rounds/time, client-to-server update count, bytes moved,
 and per-update payload sizes.  :class:`RunResult` carries all of them
 and derives the Table I/II columns (update frequency, cost reduction,
 gradient size range, compression ratio range).
+
+Records are no longer assembled ad hoc inside the engines: both
+engines emit a typed event stream (:mod:`repro.sim.trace`) and
+:class:`MetricsReducer` — a trace sink — folds it back into
+:class:`RoundRecord`/:class:`RunResult`.  The same reducer replays a
+recorded JSONL trace (:func:`run_result_from_trace`), so a trace file
+is a complete, lossless account of a run's metrics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
-__all__ = ["RoundRecord", "RunResult"]
+from repro.sim.trace import (
+    AGGREGATED,
+    COUNTED_DROP_REASONS,
+    DOWNLINK_END,
+    DROPPED,
+    EVALUATED,
+    RUN_START,
+    TraceEvent,
+    TraceSink,
+    UPLINK_END,
+)
+
+__all__ = ["RoundRecord", "RunResult", "MetricsReducer", "run_result_from_trace"]
 
 
 @dataclass
@@ -167,3 +187,101 @@ class RunResult:
             if r.accuracy is not None and r.accuracy >= target:
                 return r.round_index
         return None
+
+
+class MetricsReducer(TraceSink):
+    """Folds the engine event stream into :class:`RoundRecord` objects.
+
+    The reducer is the *only* producer of round records: the engines
+    attach one to their trace bus and read records back from it, so a
+    run's metrics are by construction a pure function of its trace.
+
+    Accounting rules (matching the engines' historical semantics):
+
+    * ``downlink_end`` always charges its bytes — a lost broadcast
+      still consumed the link, and retries are charged per attempt;
+    * ``uplink_end`` with ``ok`` parks the payload size; it only counts
+      toward ``bytes_up``/``upload_sizes`` if a later ``aggregated``
+      event lists the client as a participant (a deadline or fault drop
+      after a successful transfer discards it);
+    * ``dropped`` increments ``dropped_uploads`` only for
+      :data:`~repro.sim.trace.COUNTED_DROP_REASONS` — ``offline``
+      clients never entered the round;
+    * ``aggregated`` closes one record: with a ``participants`` list it
+      is a synchronous barrier, otherwise one absorbed async update;
+    * ``evaluated`` attaches accuracy/loss to the last closed record.
+    """
+
+    def __init__(self) -> None:
+        self.header: dict = {}
+        self.records: list[RoundRecord] = []
+        self._bytes_down = 0
+        self._dropped = 0
+        self._pending: dict[int, int] = {}
+
+    # -- TraceSink -----------------------------------------------------
+    def emit(self, event: TraceEvent) -> None:
+        etype = event.type
+        if etype == DOWNLINK_END:
+            self._bytes_down += int(event.data.get("nbytes", 0))
+        elif etype == UPLINK_END:
+            if event.data.get("ok", True) and event.client is not None:
+                self._pending[event.client] = int(event.data.get("nbytes", 0))
+        elif etype == DROPPED:
+            if event.data.get("reason") in COUNTED_DROP_REASONS:
+                self._dropped += 1
+        elif etype == AGGREGATED:
+            self._close_record(event)
+        elif etype == EVALUATED:
+            if self.records:
+                self.records[-1].accuracy = event.data.get("accuracy")
+                self.records[-1].loss = event.data.get("loss")
+        elif etype == RUN_START:
+            self.header = dict(event.data)
+
+    def _close_record(self, event: TraceEvent) -> None:
+        data = event.data
+        if "participants" in data:
+            # Synchronous barrier: commit parked uploads in aggregation
+            # order (preserves the engine's upload_sizes ordering).
+            participants = [int(c) for c in data["participants"]]
+            sizes = [self._pending[c] for c in participants]
+            round_index = int(data.get("round", len(self.records)))
+        else:
+            # Asynchronous: one absorbed update from one client.
+            participants = [] if event.client is None else [int(event.client)]
+            sizes = [int(data["nbytes"])] if "nbytes" in data else []
+            round_index = int(data.get("update", len(self.records)))
+        self.records.append(
+            RoundRecord(
+                round_index=round_index,
+                sim_time_s=event.t,
+                num_uploads=len(participants),
+                bytes_up=sum(sizes),
+                bytes_down=self._bytes_down,
+                participants=participants,
+                upload_sizes=sizes,
+                dropped_uploads=self._dropped,
+            )
+        )
+        self._bytes_down = 0
+        self._dropped = 0
+        self._pending = {}
+
+    # -- results -------------------------------------------------------
+    def result(self) -> RunResult:
+        """The :class:`RunResult` reduced so far."""
+        return RunResult(
+            method=str(self.header.get("method", "")),
+            num_clients=int(self.header.get("num_clients", 0)),
+            records=list(self.records),
+            model_bytes=int(self.header.get("model_bytes", 0)),
+        )
+
+
+def run_result_from_trace(events: Iterable[TraceEvent]) -> RunResult:
+    """Replay a recorded trace (e.g. from ``load_trace``) into a result."""
+    reducer = MetricsReducer()
+    for event in events:
+        reducer.emit(event)
+    return reducer.result()

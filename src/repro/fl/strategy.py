@@ -23,6 +23,7 @@ from repro.fl.server import Server
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.conditions import NetworkConditions
+    from repro.sim.trace import EventTrace
 
 __all__ = ["RoundContext", "SyncStrategy", "AsyncStrategy", "weighted_average"]
 
@@ -37,6 +38,7 @@ class RoundContext:
     clients: list[Client]
     network: "NetworkConditions | None" = None
     local_config: LocalTrainingConfig | None = None
+    trace: "EventTrace | None" = None  # the engine's telemetry bus
 
 
 def weighted_average(updates: list[ClientUpdate]) -> np.ndarray:

@@ -1,12 +1,18 @@
-"""Synchronous FL engine.
+"""Synchronous FL engine — a barrier protocol on :class:`repro.sim.SimKernel`.
 
 Implements the round structure of §III-A: every round the strategy
 selects participants, each participant downloads the global model,
 trains locally, and uploads its (possibly compressed) delta; the
 server waits for all transfers, so the round takes
 ``max_i (download_i + compute_i + upload_i)`` seconds (Eq. 3).
-Network loss and injected faults turn uploads into *dropped* updates —
-the server aggregates whatever arrived.
+Network loss, injected faults, and availability churn turn uploads
+into *dropped* updates — the server aggregates whatever arrived.
+
+All clocking, RNG streams, and transfer/compute accounting live in the
+shared :class:`~repro.sim.SimKernel`; the engine emits the typed event
+stream (:mod:`repro.sim.trace`) and reads its round records back from
+the attached :class:`~repro.fl.metrics.MetricsReducer`, so metrics are
+a pure reduction over the trace.
 
 The engine is strategy-agnostic: FedAvg and AdaFL run through exactly
 the same loop, differing only in the :class:`~repro.fl.strategy.SyncStrategy`
@@ -21,14 +27,22 @@ from repro.compression.base import dense_bytes
 from repro.fl.client import Client
 from repro.fl.config import FederationConfig
 from repro.fl.faults import FaultInjector
-from repro.fl.metrics import RoundRecord, RunResult
+from repro.fl.metrics import MetricsReducer, RunResult
 from repro.fl.server import Server
 from repro.fl.strategy import RoundContext, SyncStrategy
 from repro.network.conditions import NetworkConditions
+from repro.sim import (
+    AGGREGATED,
+    DROPPED,
+    EVALUATED,
+    EventTrace,
+    RUN_END,
+    RUN_START,
+    SELECTED,
+    SimKernel,
+)
 
 __all__ = ["SyncEngine"]
-
-_DEFAULT_DEVICE_FLOPS = 2e9  # workstation-class sustained FLOP/s
 
 
 class SyncEngine:
@@ -43,28 +57,39 @@ class SyncEngine:
         network: NetworkConditions | None = None,
         faults: FaultInjector | None = None,
         device_flops: np.ndarray | None = None,
+        churn=None,
+        trace: EventTrace | None = None,
     ):
         if not clients:
             raise ValueError("need at least one client")
-        if network is not None and len(network) != len(clients):
-            raise ValueError("network must describe exactly one endpoint per client")
-        if device_flops is not None and len(device_flops) != len(clients):
-            raise ValueError("device_flops must have one entry per client")
         self.server = server
         self.clients = clients
         self.strategy = strategy
         self.config = config
-        self.network = network
         self.faults = faults if faults is not None else FaultInjector()
-        self.device_flops = (
-            np.asarray(device_flops, dtype=np.float64)
-            if device_flops is not None
-            else np.full(len(clients), _DEFAULT_DEVICE_FLOPS)
+        self._churn = churn
+        self._kernel = SimKernel(
+            seed=config.seed,
+            num_clients=len(clients),
+            network=network,
+            device_flops=device_flops,
+            trace=trace,
         )
-        if np.any(self.device_flops <= 0):
-            raise ValueError("device compute rates must be positive")
-        self._rng = np.random.default_rng(config.seed)
-        self.sim_time_s = 0.0
+        self.network = self._kernel.network
+        self.device_flops = self._kernel.device_flops
+        self._rng = self._kernel.rng
+        self._trace = self._kernel.trace
+        self._reducer = self._trace.add_sink(MetricsReducer())
+
+    @property
+    def sim_time_s(self) -> float:
+        """Simulated seconds elapsed (the kernel clock)."""
+        return self._kernel.now
+
+    @property
+    def trace(self) -> EventTrace:
+        """The engine's telemetry bus (attach sinks before ``run``)."""
+        return self._trace
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
@@ -90,77 +115,95 @@ class SyncEngine:
         """
         self.strategy.prepare(self.server, self.clients)
         local_cfg = self.strategy.local_config(self.config.local)
+        self._trace.emit(
+            RUN_START,
+            self.sim_time_s,
+            mode="sync",
+            method=self.strategy.name,
+            num_clients=len(self.clients),
+            model_bytes=dense_bytes(self.server.dim),
+        )
         for round_index in range(self.config.num_rounds):
             record = self._run_round(round_index, local_cfg)
             if (round_index + 1) % self.config.eval_every == 0:
                 accuracy, loss = self.server.evaluate()
-                record.accuracy = accuracy
-                record.loss = loss
+                self._trace.emit(
+                    EVALUATED, self.sim_time_s, accuracy=accuracy, loss=loss
+                )
             yield record
+        self._trace.emit(RUN_END, self.sim_time_s, rounds=self.config.num_rounds)
 
     # ------------------------------------------------------------------
-    def _run_round(self, round_index: int, local_cfg) -> RoundRecord:
+    def _run_round(self, round_index: int, local_cfg):
+        t0 = self.sim_time_s
         context = RoundContext(
             round_index=round_index,
-            sim_time_s=self.sim_time_s,
+            sim_time_s=t0,
             server=self.server,
             clients=self.clients,
             network=self.network,
             local_config=local_cfg,
+            trace=self._trace,
         )
-        available = [
-            c.client_id
-            for c in self.clients
-            if self.faults.available(c.client_id, round_index)
-        ]
+        available = []
+        for c in self.clients:
+            cid = c.client_id
+            if self._churn is not None and not self._churn.is_online(cid, t0):
+                self._trace.emit(DROPPED, t0, cid, reason="offline", cause="churn")
+                continue
+            if not self.faults.available(cid, round_index):
+                self._trace.emit(DROPPED, t0, cid, reason="offline", cause="fault")
+                continue
+            available.append(cid)
         selected = self.strategy.select(available, self._rng, context)
+        self._trace.emit(
+            SELECTED, t0, round=round_index, clients=list(selected), available=available
+        )
 
         delivered = []
-        bytes_up = 0
-        bytes_down = 0
-        upload_sizes: list[int] = []
-        dropped = 0
         durations: list[float] = [0.0]
+        deadline = self.config.round_deadline_s
 
         model_bytes = self.strategy.downlink_bytes(self.server)
         for cid in selected:
             client = self.clients[cid]
-            down_s, down_ok = self._transfer_down(cid, model_bytes)
-            bytes_down += model_bytes
-            if not down_ok:
+            down = self._kernel.downlink(cid, model_bytes, t0)
+            if not down.delivered:
                 # Client never received the round's model: silent dropout.
-                dropped += 1
-                durations.append(down_s)
+                self._trace.emit(
+                    DROPPED, t0 + down.duration_s, cid, reason="downlink_lost"
+                )
+                durations.append(down.duration_s)
                 continue
 
             kwargs = self.strategy.client_train_kwargs(client)
             update = client.local_train(
                 self.server.params, local_cfg, round_index=round_index, **kwargs
             )
-            compute_s = update.flops / self.device_flops[cid]
+            compute_s = self._kernel.compute(cid, update.flops, t0 + down.duration_s)
 
             delta, up_bytes = self.strategy.process_upload(client, update, context)
-            up_s, up_ok = self._transfer_up(cid, up_bytes, down_s + compute_s)
-            total_s = down_s + compute_s + up_s
+            up = self._kernel.uplink(
+                cid, up_bytes, t0 + down.duration_s + compute_s
+            )
+            total_s = down.duration_s + compute_s + up.duration_s
 
-            deadline = self.config.round_deadline_s
             if deadline is not None and total_s > deadline:
                 # §III-A max-wait-time policy: the server closes the
                 # round at the deadline and discards the late update.
                 durations.append(deadline)
-                dropped += 1
+                self._trace.emit(DROPPED, t0 + deadline, cid, reason="deadline")
                 self.strategy.on_upload_result(client, False, context)
                 continue
             durations.append(total_s)
 
-            if not up_ok or self.faults.upload_lost(cid, self._rng):
-                dropped += 1
+            if not up.delivered or self.faults.upload_lost(cid, self._rng):
+                reason = "uplink_lost" if not up.delivered else "fault"
+                self._trace.emit(DROPPED, t0 + total_s, cid, reason=reason)
                 self.strategy.on_upload_result(client, False, context)
                 continue
             self.strategy.on_upload_result(client, True, context)
 
-            bytes_up += up_bytes
-            upload_sizes.append(up_bytes)
             update.delta = delta  # server sees the decompressed delta
             delivered.append(update)
 
@@ -168,32 +211,13 @@ class SyncEngine:
         # Synchronous barrier: the round lasts as long as its slowest
         # participant (Eq. 3), capped by the server's deadline if set.
         round_time = max(durations)
-        if self.config.round_deadline_s is not None:
-            round_time = min(round_time, self.config.round_deadline_s)
-        self.sim_time_s += round_time
-
-        return RoundRecord(
-            round_index=round_index,
-            sim_time_s=self.sim_time_s,
-            num_uploads=len(delivered),
-            bytes_up=bytes_up,
-            bytes_down=bytes_down,
+        if deadline is not None:
+            round_time = min(round_time, deadline)
+        self._kernel.advance_to(t0 + round_time)
+        self._trace.emit(
+            AGGREGATED,
+            self.sim_time_s,
+            round=round_index,
             participants=[u.client_id for u in delivered],
-            upload_sizes=upload_sizes,
-            dropped_uploads=dropped,
         )
-
-    # ------------------------------------------------------------------
-    def _transfer_down(self, cid: int, num_bytes: int) -> tuple[float, bool]:
-        if self.network is None:
-            return 0.0, True
-        res = self.network[cid].receive_model(num_bytes, self.sim_time_s, self._rng)
-        return res.duration_s, res.delivered
-
-    def _transfer_up(self, cid: int, num_bytes: int, offset_s: float) -> tuple[float, bool]:
-        if self.network is None:
-            return 0.0, True
-        res = self.network[cid].send_update(
-            num_bytes, self.sim_time_s + offset_s, self._rng
-        )
-        return res.duration_s, res.delivered
+        return self._reducer.records[-1]

@@ -1,0 +1,224 @@
+"""Trace analysis: per-client timelines, drops, straggler attribution.
+
+Two entry points:
+
+* :class:`SummarySink` — a *streaming* reducer attached as a trace sink;
+  it accumulates the summary while a run executes, without retaining
+  events.
+* :func:`summarize_trace` — folds an already-recorded event sequence
+  (e.g. from :func:`load_trace` on a JSONL file) through the same sink.
+
+Both produce a :class:`TraceSummary`; :func:`format_summary` renders it
+as the table the ``repro trace`` CLI subcommand prints.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.sim.trace import (
+    AGGREGATED,
+    DOWNLINK_END,
+    DOWNLINK_START,
+    DROPPED,
+    EVALUATED,
+    HALTED,
+    RUN_START,
+    TRAIN_END,
+    TRAIN_START,
+    TraceEvent,
+    TraceSink,
+    UPLINK_END,
+    UPLINK_START,
+    WOKEN,
+)
+
+__all__ = [
+    "ClientTimeline",
+    "TraceSummary",
+    "SummarySink",
+    "load_trace",
+    "summarize_trace",
+    "format_summary",
+]
+
+# Leg kinds keyed by their START event type; END events close them.
+_LEG_OF_START = {DOWNLINK_START: "down", TRAIN_START: "compute", UPLINK_START: "up"}
+_LEG_OF_END = {DOWNLINK_END: "down", TRAIN_END: "compute", UPLINK_END: "up"}
+
+
+@dataclass
+class ClientTimeline:
+    """Where one client's simulated time and bytes went."""
+
+    client: int
+    down_s: float = 0.0
+    compute_s: float = 0.0
+    up_s: float = 0.0
+    bytes_down: int = 0
+    bytes_up: int = 0
+    uploads: int = 0  # deliveries absorbed by an aggregation
+    drops: Counter = field(default_factory=Counter)  # reason -> count
+    halts: int = 0
+    slowest_rounds: int = 0  # sync rounds where this client set the barrier
+
+    @property
+    def busy_s(self) -> float:
+        return self.down_s + self.compute_s + self.up_s
+
+    def idle_s(self, duration_s: float) -> float:
+        """Time not spent transferring or training over ``duration_s``."""
+        return max(0.0, duration_s - self.busy_s)
+
+
+@dataclass
+class TraceSummary:
+    """The streaming-reducer output: a whole-run digest."""
+
+    header: dict = field(default_factory=dict)  # run_start payload
+    duration_s: float = 0.0
+    num_events: int = 0
+    rounds: int = 0  # AGGREGATED count (sync rounds / async updates)
+    evaluations: int = 0
+    drop_reasons: Counter = field(default_factory=Counter)
+    clients: dict[int, ClientTimeline] = field(default_factory=dict)
+
+    def timeline(self, client: int) -> ClientTimeline:
+        tl = self.clients.get(client)
+        if tl is None:
+            tl = ClientTimeline(client=client)
+            self.clients[client] = tl
+        return tl
+
+
+class SummarySink(TraceSink):
+    """Streaming summary reducer — O(clients) state, O(1) per event."""
+
+    def __init__(self) -> None:
+        self.summary = TraceSummary()
+        # open transfer/compute legs: (client, kind) -> start time
+        self._open: dict[tuple[int, str], float] = {}
+        # per-round end times for straggler attribution: client -> t_end
+        self._round_ends: dict[int, float] = {}
+
+    def emit(self, event: TraceEvent) -> None:
+        s = self.summary
+        s.num_events += 1
+        if event.t > s.duration_s:
+            s.duration_s = event.t
+        etype = event.type
+
+        if etype == RUN_START:
+            s.header = dict(event.data)
+            return
+        if etype == AGGREGATED:
+            s.rounds += 1
+            absorbed = event.data.get("participants")
+            if absorbed is None:
+                absorbed = [event.client] if event.client is not None else []
+            for c in absorbed:
+                s.timeline(int(c)).uploads += 1
+            self._attribute_straggler(event)
+            return
+        if etype == EVALUATED:
+            s.evaluations += 1
+            return
+
+        cid = event.client
+        if cid is None:
+            return
+        tl = s.timeline(cid)
+
+        if etype in _LEG_OF_START:
+            self._open[(cid, _LEG_OF_START[etype])] = event.t
+        elif etype in _LEG_OF_END:
+            kind = _LEG_OF_END[etype]
+            start = self._open.pop((cid, kind), event.t)
+            elapsed = event.t - start
+            if kind == "down":
+                tl.down_s += elapsed
+                tl.bytes_down += int(event.data.get("nbytes", 0))
+            elif kind == "compute":
+                tl.compute_s += elapsed
+            else:
+                tl.up_s += elapsed
+                if event.data.get("ok", True):
+                    tl.bytes_up += int(event.data.get("nbytes", 0))
+            if kind == "up" and event.data.get("ok", True):
+                self._round_ends[cid] = max(self._round_ends.get(cid, 0.0), event.t)
+        elif etype == DROPPED:
+            reason = event.data.get("reason", "unknown")
+            tl.drops[reason] += 1
+            s.drop_reasons[reason] += 1
+        elif etype == HALTED:
+            tl.halts += 1
+
+    def _attribute_straggler(self, event: TraceEvent) -> None:
+        """Credit the client whose delivery closed latest before this
+        aggregation — the one that set the sync barrier."""
+        participants = event.data.get("participants")
+        ends = self._round_ends
+        self._round_ends = {}
+        if not ends or participants is None or len(participants) < 2:
+            return  # async per-update aggregations have a single uploader
+        # Deterministic tie-break: lowest client id among the latest.
+        slowest = min(c for c, t in ends.items() if t == max(ends.values()))
+        self.summary.timeline(slowest).slowest_rounds += 1
+
+
+def load_trace(path) -> list[TraceEvent]:
+    """Read a JSONL trace file back into events."""
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_json(line))
+    return events
+
+
+def summarize_trace(events: Iterable[TraceEvent]) -> TraceSummary:
+    """Fold recorded events through the streaming reducer."""
+    sink = SummarySink()
+    for event in events:
+        sink.emit(event)
+    return sink.summary
+
+
+def format_summary(summary: TraceSummary) -> str:
+    """Render a :class:`TraceSummary` as the ``repro trace`` report."""
+    lines = []
+    header = summary.header
+    if header:
+        desc = " ".join(f"{k}={header[k]}" for k in sorted(header))
+        lines.append(f"run: {desc}")
+    lines.append(
+        f"events: {summary.num_events}  duration: {summary.duration_s:.2f}s  "
+        f"aggregations: {summary.rounds}  evaluations: {summary.evaluations}"
+    )
+    if summary.drop_reasons:
+        parts = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(summary.drop_reasons.items())
+        )
+        lines.append(f"drops: {parts}")
+    else:
+        lines.append("drops: none")
+    lines.append("")
+    lines.append(
+        f"{'client':>6} {'down_s':>9} {'compute_s':>10} {'up_s':>9} {'idle_s':>9} "
+        f"{'MB_down':>8} {'MB_up':>7} {'uploads':>7} {'drops':>5} {'halts':>5} "
+        f"{'slowest':>7}"
+    )
+    for cid in sorted(summary.clients):
+        tl = summary.clients[cid]
+        lines.append(
+            f"{cid:>6} {tl.down_s:>9.2f} {tl.compute_s:>10.2f} {tl.up_s:>9.2f} "
+            f"{tl.idle_s(summary.duration_s):>9.2f} "
+            f"{tl.bytes_down / 1e6:>8.2f} {tl.bytes_up / 1e6:>7.2f} "
+            f"{tl.uploads:>7} {sum(tl.drops.values()):>5} {tl.halts:>5} "
+            f"{tl.slowest_rounds:>7}"
+        )
+    return "\n".join(lines)

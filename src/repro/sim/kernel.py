@@ -1,0 +1,146 @@
+"""The shared simulation kernel both FL engines run on.
+
+:class:`SimKernel` owns the four things the old engines each kept a
+private, subtly divergent copy of:
+
+* the **clock** — an :class:`~repro.sim.events.EventQueue` whose ``now``
+  is the single source of simulated time (reactive protocols schedule
+  events on it; barrier protocols move it with :meth:`advance_to`);
+* the **RNG streams** — one root generator (consumed in engine
+  execution order, which keeps runs reproducible and lets the rewritten
+  engines match the pre-kernel trajectories bit-for-bit) plus derived
+  per-client streams for features that must not perturb the root
+  sequence;
+* the **network/compute accounting** — :meth:`downlink`,
+  :meth:`uplink`, and :meth:`compute` are the only places transfer and
+  training time come from, and each emits its START/END trace events;
+* the **telemetry bus** — an :class:`~repro.sim.trace.EventTrace`
+  shared by the engine and any caller-attached sinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.events import EventQueue
+from repro.sim.trace import (
+    DOWNLINK_END,
+    DOWNLINK_START,
+    EventTrace,
+    TRAIN_END,
+    TRAIN_START,
+    UPLINK_END,
+    UPLINK_START,
+)
+
+__all__ = ["SimKernel", "LegResult", "DEFAULT_DEVICE_FLOPS"]
+
+DEFAULT_DEVICE_FLOPS = 2e9  # workstation-class sustained FLOP/s
+
+
+@dataclass(frozen=True)
+class LegResult:
+    """Outcome of one transfer leg (a downlink or uplink attempt)."""
+
+    duration_s: float
+    delivered: bool
+    num_bytes: int
+
+
+class SimKernel:
+    """Deterministic clock + event queue + RNG streams + accounting."""
+
+    def __init__(
+        self,
+        seed: int,
+        num_clients: int,
+        network=None,
+        device_flops: np.ndarray | None = None,
+        trace: EventTrace | None = None,
+    ):
+        if num_clients <= 0:
+            raise ValueError("need at least one client")
+        if network is not None and len(network) != num_clients:
+            raise ValueError("network must describe exactly one endpoint per client")
+        if device_flops is not None and len(device_flops) != num_clients:
+            raise ValueError("device_flops must have one entry per client")
+        self.num_clients = num_clients
+        self.network = network
+        self.device_flops = (
+            np.asarray(device_flops, dtype=np.float64)
+            if device_flops is not None
+            else np.full(num_clients, DEFAULT_DEVICE_FLOPS)
+        )
+        if np.any(self.device_flops <= 0):
+            raise ValueError("device compute rates must be positive")
+        self.queue = EventQueue()
+        self.trace = trace if trace is not None else EventTrace()
+        self.rng = np.random.default_rng(seed)
+        self._seed = seed
+        self._client_rngs: dict[int, np.random.Generator] = {}
+
+    # -- time ----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self.queue.now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward directly (barrier protocols)."""
+        if t < self.queue.now:
+            raise ValueError(
+                f"cannot move clock backwards from {self.queue.now} to {t}"
+            )
+        self.queue.now = t
+
+    # -- randomness ----------------------------------------------------
+    def client_rng(self, client_id: int) -> np.random.Generator:
+        """A per-client stream, independent of the root ``rng``.
+
+        Derived from ``(seed, client_id)``, so draws on one client's
+        stream never shift another client's (or the root's) sequence —
+        the property the single shared generator cannot offer.
+        """
+        if not 0 <= client_id < self.num_clients:
+            raise ValueError(f"client_id {client_id} out of range")
+        stream = self._client_rngs.get(client_id)
+        if stream is None:
+            stream = np.random.default_rng((self._seed, client_id))
+            self._client_rngs[client_id] = stream
+        return stream
+
+    # -- accounting ----------------------------------------------------
+    def downlink(self, client_id: int, num_bytes: int, start_t: float) -> LegResult:
+        """One server-to-client model broadcast attempt."""
+        self.trace.emit(DOWNLINK_START, start_t, client_id, nbytes=num_bytes)
+        if self.network is None:
+            duration, delivered = 0.0, True
+        else:
+            res = self.network[client_id].receive_model(num_bytes, start_t, self.rng)
+            duration, delivered = res.duration_s, res.delivered
+        self.trace.emit(
+            DOWNLINK_END, start_t + duration, client_id, nbytes=num_bytes, ok=delivered
+        )
+        return LegResult(duration_s=duration, delivered=delivered, num_bytes=num_bytes)
+
+    def uplink(self, client_id: int, num_bytes: int, start_t: float) -> LegResult:
+        """One client-to-server update upload attempt."""
+        self.trace.emit(UPLINK_START, start_t, client_id, nbytes=num_bytes)
+        if self.network is None:
+            duration, delivered = 0.0, True
+        else:
+            res = self.network[client_id].send_update(num_bytes, start_t, self.rng)
+            duration, delivered = res.duration_s, res.delivered
+        self.trace.emit(
+            UPLINK_END, start_t + duration, client_id, nbytes=num_bytes, ok=delivered
+        )
+        return LegResult(duration_s=duration, delivered=delivered, num_bytes=num_bytes)
+
+    def compute(self, client_id: int, flops: int, start_t: float) -> float:
+        """Seconds of local training at the client's compute rate."""
+        duration = flops / self.device_flops[client_id]
+        self.trace.emit(TRAIN_START, start_t, client_id)
+        self.trace.emit(TRAIN_END, start_t + duration, client_id, flops=flops)
+        return duration

@@ -1,0 +1,116 @@
+"""Trace analysis: summaries, timelines, straggler attribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    AGGREGATED,
+    DOWNLINK_END,
+    DOWNLINK_START,
+    DROPPED,
+    EventTrace,
+    HALTED,
+    JsonlSink,
+    RUN_START,
+    SummarySink,
+    TRAIN_END,
+    TRAIN_START,
+    format_summary,
+    load_trace,
+    summarize_trace,
+    UPLINK_END,
+    UPLINK_START,
+)
+
+
+def _sync_round_events(trace: EventTrace) -> None:
+    """One hand-built sync round: clients 0 (fast) and 1 (slow)."""
+    trace.emit(RUN_START, 0.0, mode="sync", method="demo", num_clients=3)
+    for cid, down_s, train_s, up_s in ((0, 1.0, 2.0, 1.0), (1, 2.0, 4.0, 2.0)):
+        t = 0.0
+        trace.emit(DOWNLINK_START, t, cid, nbytes=100)
+        trace.emit(DOWNLINK_END, t + down_s, cid, nbytes=100, ok=True)
+        trace.emit(TRAIN_START, t + down_s, cid)
+        trace.emit(TRAIN_END, t + down_s + train_s, cid)
+        trace.emit(UPLINK_START, t + down_s + train_s, cid, nbytes=50)
+        trace.emit(
+            UPLINK_END, t + down_s + train_s + up_s, cid, nbytes=50, ok=True
+        )
+    trace.emit(DROPPED, 4.0, 2, reason="deadline")
+    trace.emit(HALTED, 4.0, 2, cause="strategy")
+    trace.emit(AGGREGATED, 8.0, round=0, participants=[0, 1])
+
+
+class TestSummarySink:
+    def test_per_client_time_split(self):
+        sink = SummarySink()
+        _sync_round_events(EventTrace([sink]))
+        summary = sink.summary
+        tl0 = summary.clients[0]
+        assert tl0.down_s == pytest.approx(1.0)
+        assert tl0.compute_s == pytest.approx(2.0)
+        assert tl0.up_s == pytest.approx(1.0)
+        assert tl0.busy_s == pytest.approx(4.0)
+        assert tl0.idle_s(summary.duration_s) == pytest.approx(4.0)
+        assert summary.clients[1].busy_s == pytest.approx(8.0)
+
+    def test_bytes_uploads_and_drops(self):
+        sink = SummarySink()
+        _sync_round_events(EventTrace([sink]))
+        summary = sink.summary
+        assert summary.clients[0].bytes_down == 100
+        assert summary.clients[0].bytes_up == 50
+        assert summary.clients[0].uploads == 1
+        assert summary.clients[1].uploads == 1
+        assert summary.drop_reasons == {"deadline": 1}
+        assert summary.clients[2].drops == {"deadline": 1}
+        assert summary.clients[2].halts == 1
+
+    def test_header_and_counts(self):
+        sink = SummarySink()
+        _sync_round_events(EventTrace([sink]))
+        summary = sink.summary
+        assert summary.header["method"] == "demo"
+        assert summary.rounds == 1
+        assert summary.duration_s == pytest.approx(8.0)
+
+    def test_straggler_attribution(self):
+        # Client 1's delivery lands last (t=8 vs t=4): it set the barrier.
+        sink = SummarySink()
+        _sync_round_events(EventTrace([sink]))
+        assert sink.summary.clients[1].slowest_rounds == 1
+        assert sink.summary.clients[0].slowest_rounds == 0
+
+    def test_async_aggregation_credits_single_uploader(self):
+        sink = SummarySink()
+        trace = EventTrace([sink])
+        trace.emit(UPLINK_START, 0.0, 2, nbytes=10)
+        trace.emit(UPLINK_END, 1.0, 2, nbytes=10, ok=True)
+        trace.emit(AGGREGATED, 1.0, 2, update=0, staleness=0)
+        assert sink.summary.clients[2].uploads == 1
+        # Single-uploader aggregations carry no straggler information.
+        assert sink.summary.clients[2].slowest_rounds == 0
+
+
+class TestSummarizeAndFormat:
+    def test_summarize_trace_equals_streaming(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        streaming = SummarySink()
+        _sync_round_events(EventTrace([streaming, JsonlSink(path)]))
+        replayed = summarize_trace(load_trace(path))
+        assert replayed.num_events == streaming.summary.num_events
+        assert replayed.drop_reasons == streaming.summary.drop_reasons
+        for cid, tl in streaming.summary.clients.items():
+            assert replayed.clients[cid].busy_s == pytest.approx(tl.busy_s)
+            assert replayed.clients[cid].slowest_rounds == tl.slowest_rounds
+
+    def test_format_summary_reports_split_and_drops(self):
+        sink = SummarySink()
+        _sync_round_events(EventTrace([sink]))
+        text = format_summary(sink.summary)
+        assert "method=demo" in text
+        assert "drops: deadline=1" in text
+        assert "compute_s" in text and "idle_s" in text
+        # One row per client seen in the trace.
+        assert len(text.splitlines()) >= 5

@@ -1,0 +1,180 @@
+"""SimKernel: clock, RNG streams, and transfer/compute accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.conditions import ClientNetwork, NetworkConditions
+from repro.network.link import LinkModel
+from repro.sim import (
+    DOWNLINK_END,
+    DOWNLINK_START,
+    EventTrace,
+    RingBufferSink,
+    SimKernel,
+    TRAIN_END,
+    TRAIN_START,
+    UPLINK_END,
+    UPLINK_START,
+)
+
+
+def _net(num_clients: int, loss: float = 0.0) -> NetworkConditions:
+    link = lambda: LinkModel(bandwidth_mbps=8.0, latency_ms=10.0, loss_rate=loss)
+    return NetworkConditions(
+        clients=[ClientNetwork(uplink=link(), downlink=link()) for _ in range(num_clients)]
+    )
+
+
+def _traced_kernel(**kwargs) -> tuple[SimKernel, RingBufferSink]:
+    sink = RingBufferSink()
+    kernel = SimKernel(trace=EventTrace([sink]), **kwargs)
+    return kernel, sink
+
+
+class TestValidation:
+    def test_needs_clients(self):
+        with pytest.raises(ValueError, match="at least one client"):
+            SimKernel(seed=0, num_clients=0)
+
+    def test_network_length_mismatch(self):
+        with pytest.raises(ValueError, match="one endpoint per client"):
+            SimKernel(seed=0, num_clients=3, network=_net(2))
+
+    def test_device_flops_length_mismatch(self):
+        with pytest.raises(ValueError, match="one entry per client"):
+            SimKernel(seed=0, num_clients=3, device_flops=np.ones(2))
+
+    def test_device_flops_positive(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            SimKernel(seed=0, num_clients=2, device_flops=np.array([1e9, 0.0]))
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimKernel(seed=0, num_clients=1).now == 0.0
+
+    def test_advance(self):
+        kernel = SimKernel(seed=0, num_clients=1)
+        kernel.advance_to(3.5)
+        assert kernel.now == 3.5
+        assert kernel.queue.now == 3.5
+
+    def test_cannot_rewind(self):
+        kernel = SimKernel(seed=0, num_clients=1)
+        kernel.advance_to(2.0)
+        with pytest.raises(ValueError, match="backwards"):
+            kernel.advance_to(1.0)
+
+    def test_queue_pop_moves_clock(self):
+        kernel = SimKernel(seed=0, num_clients=1)
+        kernel.queue.push(1.5, "x")
+        kernel.queue.pop()
+        assert kernel.now == 1.5
+
+
+class TestRngStreams:
+    def test_root_stream_matches_seed(self):
+        kernel = SimKernel(seed=42, num_clients=2)
+        expected = np.random.default_rng(42)
+        assert kernel.rng.random() == expected.random()
+
+    def test_client_streams_deterministic(self):
+        a = SimKernel(seed=7, num_clients=3).client_rng(1)
+        b = SimKernel(seed=7, num_clients=3).client_rng(1)
+        assert a.random() == b.random()
+
+    def test_client_streams_independent(self):
+        kernel = SimKernel(seed=7, num_clients=3)
+        before = SimKernel(seed=7, num_clients=3).client_rng(2).random()
+        kernel.client_rng(1).random()  # draws on 1 must not shift 2
+        kernel.rng.random()  # nor draws on the root stream
+        assert kernel.client_rng(2).random() == before
+
+    def test_client_stream_cached(self):
+        kernel = SimKernel(seed=7, num_clients=2)
+        assert kernel.client_rng(0) is kernel.client_rng(0)
+
+    def test_client_rng_range_check(self):
+        kernel = SimKernel(seed=7, num_clients=2)
+        with pytest.raises(ValueError, match="out of range"):
+            kernel.client_rng(2)
+
+
+class TestTransferLegs:
+    def test_no_network_is_instant(self):
+        kernel, sink = _traced_kernel(seed=0, num_clients=2)
+        down = kernel.downlink(0, 1000, 0.0)
+        up = kernel.uplink(1, 500, 2.0)
+        assert down.duration_s == 0.0 and down.delivered and down.num_bytes == 1000
+        assert up.duration_s == 0.0 and up.delivered and up.num_bytes == 500
+        types = [e.type for e in sink.events()]
+        assert types == [DOWNLINK_START, DOWNLINK_END, UPLINK_START, UPLINK_END]
+
+    def test_network_durations_and_events(self):
+        kernel, sink = _traced_kernel(seed=0, num_clients=2, network=_net(2))
+        leg = kernel.downlink(1, 10_000, 1.0)
+        assert leg.delivered and leg.duration_s > 0.0
+        start, end = sink.events()
+        assert (start.type, end.type) == (DOWNLINK_START, DOWNLINK_END)
+        assert start.client == end.client == 1
+        assert start.t == 1.0
+        assert end.t == pytest.approx(1.0 + leg.duration_s)
+        assert end.data["nbytes"] == 10_000 and end.data["ok"] is True
+
+    def test_lost_leg_still_charges_bytes(self):
+        # seed 0's first uniform draw is ~0.637, below the 0.99 loss
+        # threshold, so this attempt is deterministically lost.
+        kernel, sink = _traced_kernel(seed=0, num_clients=1, network=_net(1, loss=0.99))
+        leg = kernel.uplink(0, 2_000, 0.0)
+        assert not leg.delivered
+        end = sink.events()[-1]
+        assert end.type == UPLINK_END
+        assert end.data == {"nbytes": 2_000, "ok": False}
+
+    def test_transfers_consume_root_stream(self):
+        kernel = SimKernel(seed=3, num_clients=1, network=_net(1, loss=0.5))
+        mirror = np.random.default_rng(3)
+        kernel.downlink(0, 1000, 0.0)
+        mirror.random()  # the loss roll
+        assert kernel.rng.random() == mirror.random()
+
+
+class TestCompute:
+    def test_duration_from_device_rate(self):
+        kernel, sink = _traced_kernel(
+            seed=0, num_clients=2, device_flops=np.array([1e9, 2e9])
+        )
+        assert kernel.compute(0, 5e8, 0.0) == pytest.approx(0.5)
+        assert kernel.compute(1, 5e8, 1.0) == pytest.approx(0.25)
+        types = [e.type for e in sink.events()]
+        assert types == [TRAIN_START, TRAIN_END, TRAIN_START, TRAIN_END]
+        assert sink.events()[3].t == pytest.approx(1.25)
+
+    def test_default_rate(self):
+        kernel = SimKernel(seed=0, num_clients=1)
+        assert kernel.compute(0, 2e9, 0.0) == pytest.approx(1.0)
+
+
+class TestDrainUntil:
+    def test_yields_in_order_up_to_deadline(self):
+        kernel = SimKernel(seed=0, num_clients=1)
+        kernel.queue.push(1.0, "a")
+        kernel.queue.push(3.0, "b")
+        kernel.queue.push(2.0, "c")
+        kinds = [e.kind for e in kernel.queue.drain_until(2.5)]
+        assert kinds == ["a", "c"]
+        assert len(kernel.queue) == 1
+
+    def test_reexamines_heap_after_each_yield(self):
+        # Events pushed while handling one event drain in the same pass
+        # — the property the async engine's main loop relies on.
+        kernel = SimKernel(seed=0, num_clients=1)
+        kernel.queue.push(1.0, "first")
+        seen = []
+        for event in kernel.queue.drain_until(10.0):
+            seen.append(event.kind)
+            if event.kind == "first":
+                kernel.queue.push(2.0, "chained")
+        assert seen == ["first", "chained"]

@@ -1,0 +1,122 @@
+"""EventTrace bus, sinks, and canonical serialisation."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    AGGREGATED,
+    COUNTED_DROP_REASONS,
+    DROP_REASONS,
+    DROPPED,
+    EVENT_TYPES,
+    EventTrace,
+    JsonlSink,
+    RingBufferSink,
+    SELECTED,
+    TraceEvent,
+)
+
+
+class TestEventTrace:
+    def test_emit_requires_known_type(self):
+        trace = EventTrace([RingBufferSink()])
+        with pytest.raises(ValueError, match="unknown trace event type"):
+            trace.emit("not_a_type", 0.0)
+
+    def test_no_sinks_is_noop(self):
+        trace = EventTrace()
+        assert not trace.enabled
+        trace.emit(SELECTED, 0.0, clients=[1])  # must not raise
+
+    def test_seq_monotonic_across_sinks(self):
+        a, b = RingBufferSink(), RingBufferSink()
+        trace = EventTrace([a])
+        trace.add_sink(b)
+        trace.emit(SELECTED, 0.0)
+        trace.emit(AGGREGATED, 1.0)
+        assert [e.seq for e in a.events()] == [0, 1]
+        assert [e.seq for e in b.events()] == [0, 1]
+
+    def test_timestamps_normalised_to_float(self):
+        sink = RingBufferSink()
+        EventTrace([sink]).emit(SELECTED, np.float64(2.5))
+        assert type(sink.events()[0].t) is float
+
+    def test_context_manager_closes_sinks(self):
+        closed = []
+
+        class Sink(RingBufferSink):
+            def close(self):
+                closed.append(True)
+
+        with EventTrace([Sink()]) as trace:
+            trace.emit(SELECTED, 0.0)
+        assert closed == [True]
+
+
+class TestRingBufferSink:
+    def test_capacity_eviction(self):
+        sink = RingBufferSink(capacity=2)
+        trace = EventTrace([sink])
+        for i in range(4):
+            trace.emit(SELECTED, float(i))
+        assert len(sink) == 2
+        assert [e.t for e in sink.events()] == [2.0, 3.0]
+
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_writes_canonical_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with EventTrace([JsonlSink(path)]) as trace:
+            trace.emit(SELECTED, 1.0, clients=[2, 0])
+            trace.emit(DROPPED, 2.5, 3, reason="deadline")
+        lines = path.read_text().splitlines()
+        assert lines == [
+            '{"data":{"clients":[2,0]},"seq":0,"t":1.0,"type":"selected"}',
+            '{"client":3,"data":{"reason":"deadline"},"seq":1,"t":2.5,"type":"dropped"}',
+        ]
+
+    def test_file_object_left_open(self):
+        buf = io.StringIO()
+        with EventTrace([JsonlSink(buf)]) as trace:
+            trace.emit(SELECTED, 0.0)
+        assert not buf.closed
+        assert buf.getvalue().count("\n") == 1
+
+
+class TestTraceEvent:
+    def test_json_round_trip(self):
+        event = TraceEvent(seq=7, t=1.25, type=DROPPED, client=2, data={"reason": "fault"})
+        assert TraceEvent.from_json(event.to_json()) == event
+
+    def test_round_trip_without_optional_fields(self):
+        event = TraceEvent(seq=0, t=0.0, type=AGGREGATED)
+        back = TraceEvent.from_json(event.to_json())
+        assert back.client is None and back.data == {}
+
+    def test_numpy_scalars_serialisable(self):
+        event = TraceEvent(
+            seq=0, t=0.0, type=AGGREGATED,
+            data={"nbytes": np.int64(9), "acc": np.float32(0.5)},
+        )
+        back = TraceEvent.from_json(event.to_json())
+        assert back.data["nbytes"] == 9
+        assert back.data["acc"] == pytest.approx(0.5)
+
+
+class TestTaxonomy:
+    def test_counted_reasons_are_drop_reasons(self):
+        assert COUNTED_DROP_REASONS < set(DROP_REASONS)
+        assert "offline" not in COUNTED_DROP_REASONS
+
+    def test_every_constant_in_event_types(self):
+        assert SELECTED in EVENT_TYPES and DROPPED in EVENT_TYPES
+        assert len(EVENT_TYPES) == 14
