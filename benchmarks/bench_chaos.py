@@ -1,0 +1,36 @@
+"""Chaos study (extension beyond the paper's §III failure modes).
+
+Runs the composable fault matrix — client crashes, payload corruption
+with and without server-side validation, stale/duplicate uploads,
+server outages — and renders the resilience report.  Expected shape:
+the unguarded corruption run collapses to chance accuracy (one NaN
+upload poisons every later aggregate), while validation + trimmed-mean
+stays within a few points of the fault-free baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.chaos import format_chaos_report, run_chaos_study
+
+
+def test_chaos_study(benchmark, scale, bench_seed, claims, report_artifact):
+    outcomes = benchmark.pedantic(
+        run_chaos_study,
+        kwargs=dict(scale=scale, seed=bench_seed, engine="sync"),
+        rounds=1,
+        iterations=1,
+    )
+    report_artifact("chaos-report", format_chaos_report(outcomes))
+
+    by_name = {o.scenario: o for o in outcomes}
+    assert by_name["corrupt-guarded"].rejected_uploads > 0
+    if not claims:
+        return
+    baseline = by_name["baseline"].final_accuracy
+    guarded = by_name["corrupt-guarded"].final_accuracy
+    unguarded = by_name["corrupt-unguarded"].final_accuracy
+    assert abs(guarded - baseline) <= 0.05
+    # The unguarded server diverged: chance accuracy or outright NaN.
+    assert not np.isfinite(unguarded) or unguarded <= baseline - 0.05

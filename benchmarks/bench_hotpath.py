@@ -250,12 +250,81 @@ def bench_engine_loop(iters: int) -> dict:
     return stats
 
 
+def bench_resilience(iters: int) -> dict:
+    """Update-validation screening cost on the aggregation hot path.
+
+    Times a fleet-scale aggregation round (sample-weighted average of
+    40 model-sized deltas) and, separately, the deferred validation
+    screen the engine adds per round: one non-finite reduction over
+    the aggregate (``UpdateValidator.screen_aggregate``).  As with the
+    tracing overhead in ``engine_loop``, the added work is measured
+    directly rather than differenced, and the combined ratio is
+    asserted to stay under the 5% budget.  ``meta`` also records the
+    per-update prescreen cost and a trimmed-mean fallback round for
+    reference — neither is on the default path.
+    """
+    from repro.fl.client import ClientUpdate
+    from repro.fl.strategy import weighted_average
+    from repro.fl.validation import UpdateValidator, ValidationConfig, trimmed_mean
+
+    d = 431_080
+    n = 40  # a fleet-scale round's delivered updates
+    rng = np.random.default_rng(0)
+    updates = [
+        ClientUpdate(
+            client_id=i,
+            round_index=0,
+            num_samples=int(rng.integers(50, 200)),
+            delta=rng.normal(size=d),
+            train_loss=0.0,
+            flops=0,
+        )
+        for i in range(n)
+    ]
+    validator = UpdateValidator(ValidationConfig())
+
+    stats = _time_section(lambda: weighted_average(updates), iters)
+
+    aggregate = weighted_average(updates)
+    screen_reps = 50
+
+    def screen_loop() -> None:
+        for _ in range(screen_reps):
+            validator.screen_aggregate(aggregate)
+
+    screen_s = _time_section(screen_loop, 5)["min_s"] / screen_reps
+    overhead = 1.0 + screen_s / stats["min_s"]
+    assert overhead < 1.05, (
+        f"validation screening overhead {overhead:.3f}x exceeds the 5% budget"
+    )
+
+    prescreen_s = (
+        _time_section(
+            lambda: [validator.screen(u.delta) for u in updates], max(1, iters // 4)
+        )["min_s"]
+        / n
+    )
+    trimmed_s = _time_section(
+        lambda: trimmed_mean([u.delta for u in updates[:10]]), max(1, iters // 4)
+    )["min_s"]
+    stats["meta"] = {
+        "d": d,
+        "updates_per_round": n,
+        "screen_aggregate_ms": screen_s * 1e3,
+        "screening_overhead_ratio": overhead,
+        "prescreen_per_update_ms": prescreen_s * 1e3,
+        "trimmed_mean_10_ms": trimmed_s * 1e3,
+    }
+    return stats
+
+
 SECTIONS = {
     "flat_roundtrip": (bench_flat_roundtrip, 50),
     "local_train": (bench_local_train, 5),
     "dgc_roundtrip": (bench_dgc_roundtrip, 20),
     "conv_fwd_bwd": (bench_conv_fwd_bwd, 20),
     "engine_loop": (bench_engine_loop, 8),
+    "resilience": (bench_resilience, 10),
 }
 
 

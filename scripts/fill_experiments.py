@@ -51,6 +51,7 @@ MARKERS: dict[str, list[str]] = {
     "SENSITIVITY": ["network-sensitivity.txt"],
     "FEDAT": ["fedat-extension.txt"],
     "COMPRESSION": ["compression-sizes.txt"],
+    "CHAOS": ["chaos-report.txt"],
 }
 
 _BLOCK = re.compile(

@@ -71,12 +71,29 @@ def build_parser() -> argparse.ArgumentParser:
     quick.add_argument("--rounds", type=int, default=None)
     quick.add_argument("--out", default=None, help="write run JSON here")
     quick.add_argument("--trace", default=None, help="record the event trace as JSONL here")
+    quick.add_argument(
+        "--snapshot", default=None,
+        help="write crash-safe run snapshots here (resume with `repro resume`)",
+    )
+    quick.add_argument(
+        "--snapshot-every", type=int, default=1,
+        help="snapshot period in rounds (sync) or updates (async)",
+    )
 
     tr = sub.add_parser("trace", help="summarize a recorded JSONL event trace")
     tr.add_argument("path", help="trace file written by --trace / JsonlSink")
     tr.add_argument(
         "--client", type=int, default=None, help="also print this client's event timeline"
     )
+
+    chaos = sub.add_parser("chaos", help="fault-matrix smoke study + resilience report")
+    chaos.add_argument("--engine", default="sync", choices=("sync", "async"))
+    chaos.add_argument("--dataset", default="mnist", choices=("mnist", "cifar10", "cifar100"))
+
+    resume = sub.add_parser("resume", help="finish a snapshotted run (crash recovery)")
+    resume.add_argument("--snapshot", required=True, help="snapshot file written by a run")
+    resume.add_argument("--out", default=None, help="write the completed run JSON here")
+    resume.add_argument("--trace", default=None, help="record post-resume events as JSONL here")
     return parser
 
 
@@ -164,7 +181,10 @@ def _cmd_quickrun(args, scale) -> str:
             # Same total update budget a full-participation sync run
             # would have, so --rounds bounds async runs too.
             budget = scale.num_rounds * scale.num_clients
-            result = run_async(spec, strategy, max_updates=budget, trace=trace)
+            result = run_async(
+                spec, strategy, max_updates=budget, trace=trace,
+                snapshot_path=args.snapshot, snapshot_every=args.snapshot_every,
+            )
         else:
             if args.method in ASYNC_BASELINES:
                 raise SystemExit(
@@ -174,7 +194,10 @@ def _cmd_quickrun(args, scale) -> str:
                 strategy = AdaFLSync(default_adafl_config(scale))
             else:
                 strategy = SYNC_BASELINES[args.method]()
-            result = run_sync(spec, strategy, trace=trace)
+            result = run_sync(
+                spec, strategy, trace=trace,
+                snapshot_path=args.snapshot, snapshot_every=args.snapshot_every,
+            )
     finally:
         if trace is not None:
             trace.close()
@@ -189,6 +212,43 @@ def _cmd_quickrun(args, scale) -> str:
     ]
     if args.trace:
         lines.append(f"trace written : {args.trace}")
+    return "\n".join(lines)
+
+
+def _cmd_chaos(args, scale) -> str:
+    from repro.experiments.chaos import format_chaos_report, run_chaos_study
+
+    outcomes = run_chaos_study(
+        scale=scale, seed=args.seed, engine=args.engine, dataset=args.dataset
+    )
+    return format_chaos_report(outcomes)
+
+
+def _cmd_resume(args) -> str:
+    from repro.experiments.reporting import format_bytes, format_series
+    from repro.fl.snapshot import load_snapshot
+
+    trace = None
+    if args.trace:
+        from repro.sim import EventTrace, JsonlSink
+
+        trace = EventTrace([JsonlSink(args.trace)])
+    try:
+        engine = load_snapshot(args.snapshot, trace=trace)
+        result = engine.resume()
+    finally:
+        if trace is not None:
+            trace.close()
+    if args.out:
+        save_run_result(result, args.out)
+    rounds, accs = result.accuracy_curve()
+    lines = [
+        f"resumed {result.method} from {args.snapshot}",
+        format_series(result.method, rounds, accs),
+        f"final accuracy: {result.final_accuracy:.3f}",
+        f"client updates: {result.total_uploads}",
+        f"uplink volume : {format_bytes(result.total_bytes_up)}",
+    ]
     return "\n".join(lines)
 
 
@@ -240,6 +300,10 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_quickrun(args, scale))
     elif args.command == "trace":
         print(_cmd_trace(args))
+    elif args.command == "chaos":
+        print(_cmd_chaos(args, scale))
+    elif args.command == "resume":
+        print(_cmd_resume(args))
     else:  # pragma: no cover - argparse enforces choices
         raise AssertionError(args.command)
     return 0

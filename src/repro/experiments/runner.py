@@ -156,6 +156,9 @@ def _federation_config(
     spec: FederationSpec,
     max_updates: int | None = None,
     max_sim_time_s: float | None = None,
+    validation=None,
+    downlink_retry=None,
+    uplink_retry=None,
 ) -> FederationConfig:
     return FederationConfig(
         num_rounds=spec.scale.num_rounds,
@@ -172,6 +175,9 @@ def _federation_config(
             max_sim_time_s if max_sim_time_s is not None else spec.scale.max_sim_time_s
         ),
         max_updates=max_updates,
+        validation=validation,
+        downlink_retry=downlink_retry,
+        uplink_retry=uplink_retry,
     )
 
 
@@ -182,25 +188,44 @@ def run_sync(
     faults: FaultInjector | None = None,
     device_flops: np.ndarray | None = None,
     churn=None,
+    chaos=None,
+    validation=None,
+    downlink_retry=None,
+    uplink_retry=None,
     trace: EventTrace | None = None,
+    snapshot_path=None,
+    snapshot_every: int | None = None,
 ) -> RunResult:
     """Build a federation and run it synchronously.
 
     ``churn`` is an availability model (``repro.network.churn``);
-    ``trace`` is an :class:`~repro.sim.EventTrace` with caller-attached
-    sinks (e.g. a JSONL writer) to record the run's event stream.
+    ``chaos`` a :class:`~repro.sim.FaultPlan`, ``validation`` a
+    :class:`~repro.fl.validation.ValidationConfig`, and
+    ``downlink_retry``/``uplink_retry`` per-leg
+    :class:`~repro.sim.RetryPolicy` overrides; ``snapshot_path`` makes
+    the run crash-safe (see :mod:`repro.fl.snapshot`).  ``trace`` is an
+    :class:`~repro.sim.EventTrace` with caller-attached sinks (e.g. a
+    JSONL writer) to record the run's event stream.
     """
     fed = build_federation(spec)
     engine = SyncEngine(
         fed.server,
         fed.clients,
         strategy,
-        _federation_config(spec),
+        _federation_config(
+            spec,
+            validation=validation,
+            downlink_retry=downlink_retry,
+            uplink_retry=uplink_retry,
+        ),
         network=network,
         faults=faults,
         device_flops=device_flops,
         churn=churn,
+        chaos=chaos,
         trace=trace,
+        snapshot_path=snapshot_path,
+        snapshot_every=snapshot_every,
     )
     return engine.run()
 
@@ -214,25 +239,42 @@ def run_async(
     max_sim_time_s: float | None = None,
     churn=None,
     faults: FaultInjector | None = None,
+    chaos=None,
+    validation=None,
+    downlink_retry=None,
+    uplink_retry=None,
     trace: EventTrace | None = None,
+    snapshot_path=None,
+    snapshot_every: int | None = None,
 ) -> RunResult:
     """Build a federation and run it asynchronously.
 
     ``max_updates`` caps the number of delivered client updates;
     ``max_sim_time_s`` overrides the scale's simulated-time budget
     (the paper's Table II compares methods over an equal time budget).
-    ``churn``/``faults``/``trace`` mirror :func:`run_sync`.
+    ``churn``/``faults``/``chaos``/``validation``/retry/``trace``/
+    snapshot parameters mirror :func:`run_sync`.
     """
     fed = build_federation(spec)
     engine = AsyncEngine(
         fed.server,
         fed.clients,
         strategy,
-        _federation_config(spec, max_updates=max_updates, max_sim_time_s=max_sim_time_s),
+        _federation_config(
+            spec,
+            max_updates=max_updates,
+            max_sim_time_s=max_sim_time_s,
+            validation=validation,
+            downlink_retry=downlink_retry,
+            uplink_retry=uplink_retry,
+        ),
         network=network,
         device_flops=device_flops,
         churn=churn,
         faults=faults,
+        chaos=chaos,
         trace=trace,
+        snapshot_path=snapshot_path,
+        snapshot_every=snapshot_every,
     )
     return engine.run()

@@ -24,8 +24,10 @@ from repro.fl.persist import (
     save_run_result,
 )
 from repro.fl.server import Server
+from repro.fl.snapshot import load_snapshot, save_snapshot
 from repro.fl.strategy import AsyncStrategy, RoundContext, SyncStrategy, weighted_average
 from repro.fl.sync_engine import SyncEngine
+from repro.fl.validation import UpdateValidator, ValidationConfig, trimmed_mean
 
 __all__ = [
     "Client",
@@ -57,4 +59,9 @@ __all__ = [
     "ASYNC_BASELINES",
     "SyncEngine",
     "AsyncEngine",
+    "ValidationConfig",
+    "UpdateValidator",
+    "trimmed_mean",
+    "save_snapshot",
+    "load_snapshot",
 ]

@@ -15,6 +15,19 @@ data-loss faults destroy delivered uploads in transit.  Every
 occurrence is published on the trace bus, and results are read back
 from the attached :class:`~repro.fl.metrics.MetricsReducer`.
 
+Chaos extensions (all off by default; the legacy event sequence and
+trajectories stay bit-identical): a :class:`~repro.sim.FaultPlan`
+crashes devices (losing in-progress training), corrupts uploaded
+payloads, delays/duplicates uploads, and takes the server itself
+offline; ``config.downlink_retry`` / ``config.uplink_retry`` replace
+the hard-coded retry behaviour with :class:`~repro.sim.RetryPolicy`
+schedules (the default downlink policy reproduces the historical
+constant backoff exactly, but is now *capped* — a client whose model
+broadcast fails ``max_attempts`` times is terminally dropped instead
+of retrying forever); ``config.validation`` screens updates at the
+server before they touch the model.  ``snapshot_path`` makes the run
+crash-safe (see :mod:`repro.fl.snapshot`).
+
 Staleness is measured in server model versions: an update trained from
 version ``v`` arriving when the server is at ``V`` has staleness
 ``V - v``, exactly the quantity Eq. 4/5 gate on.
@@ -33,13 +46,16 @@ from repro.fl.faults import FaultInjector
 from repro.fl.metrics import MetricsReducer, RunResult
 from repro.fl.server import Server
 from repro.fl.strategy import AsyncStrategy
+from repro.fl.validation import UpdateValidator
 from repro.network.conditions import NetworkConditions
 from repro.sim import (
     AGGREGATED,
     DROPPED,
     EVALUATED,
     EventTrace,
+    FaultPlan,
     HALTED,
+    RetryPolicy,
     RUN_END,
     RUN_START,
     SimKernel,
@@ -53,6 +69,13 @@ __all__ = ["AsyncEngine", "DOWNLINK_RETRY_BACKOFF"]
 # lands at ``(1 + backoff) * duration`` after the original dispatch.
 # Each retry re-rolls the link and is charged its own bytes.
 DOWNLINK_RETRY_BACKOFF = 1.0
+
+# The historical downlink schedule as a policy: constant backoff, one
+# drop event per failed attempt — but now capped so a dead link cannot
+# spin a client forever.
+_DEFAULT_DOWNLINK_RETRY = RetryPolicy(
+    max_attempts=8, backoff_frac=DOWNLINK_RETRY_BACKOFF, multiplier=1.0
+)
 
 _MODEL_ARRIVAL = "model_arrival"
 _MODEL_RETRY = "model_retry"
@@ -82,7 +105,11 @@ class AsyncEngine:
         device_flops: np.ndarray | None = None,
         churn=None,
         faults: FaultInjector | None = None,
+        chaos: FaultPlan | None = None,
         trace: EventTrace | None = None,
+        snapshot_path=None,
+        snapshot_every: int | None = None,
+        on_snapshot=None,
     ):
         if not clients:
             raise ValueError("need at least one client")
@@ -93,6 +120,14 @@ class AsyncEngine:
         self.faults = faults if faults is not None else FaultInjector()
         # Availability churn (repro.network.churn); None = always on.
         self._churn = churn
+        self._chaos = chaos
+        if chaos is not None:
+            chaos.bind(config.seed, len(clients))
+        self._validator = (
+            UpdateValidator(config.validation) if config.validation is not None else None
+        )
+        self._dl_policy = config.downlink_retry or _DEFAULT_DOWNLINK_RETRY
+        self._ul_policy = config.uplink_retry or RetryPolicy.single()
         self._kernel = SimKernel(
             seed=config.seed,
             num_clients=len(clients),
@@ -107,6 +142,10 @@ class AsyncEngine:
         self._reducer = self._trace.add_sink(MetricsReducer())
         self._halted: list[int] = []
         self._total_updates = 0
+        self.snapshot_path = snapshot_path
+        self.snapshot_every = snapshot_every if snapshot_every is not None else 1
+        self._on_snapshot = on_snapshot
+        self._last_snapshot_at = -1
 
     @property
     def sim_time_s(self) -> float:
@@ -121,32 +160,54 @@ class AsyncEngine:
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Simulate until ``max_sim_time_s`` (or ``max_updates``) and report."""
-        self.strategy.prepare(self.server, self.clients)
-        local_cfg = self.strategy.local_config(self.config.local)
-        self._trace.emit(
-            RUN_START,
-            self._kernel.now,
-            mode="async",
-            method=self.strategy.name,
-            num_clients=len(self.clients),
-            model_bytes=dense_bytes(self.server.dim),
-        )
+        return self._run(resume=False)
 
-        for client in self.clients:
-            self._dispatch_model(client.client_id)
+    def resume(self) -> RunResult:
+        """Finish a snapshotted run; the result covers the *whole* run."""
+        return self._run(resume=True)
+
+    def _run(self, resume: bool) -> RunResult:
+        local_cfg = self.strategy.local_config(self.config.local)
+        if not resume:
+            self.strategy.prepare(self.server, self.clients)
+            self._trace.emit(
+                RUN_START,
+                self._kernel.now,
+                mode="async",
+                method=self.strategy.name,
+                num_clients=len(self.clients),
+                model_bytes=dense_bytes(self.server.dim),
+            )
+            for client in self.clients:
+                self._dispatch_model(client.client_id)
 
         horizon = self.config.max_sim_time_s
-        done = False
+        # A snapshot can land exactly at the update budget (the run
+        # finished right after writing it); resuming such a run must
+        # not process the still-queued in-flight arrivals.
+        done = (
+            self.config.max_updates is not None
+            and self._total_updates >= self.config.max_updates
+        )
         while not done:
             for event in self._kernel.queue.drain_until(horizon):
                 if event.kind == _MODEL_ARRIVAL:
                     self._on_model_arrival(event.payload, local_cfg)
                 elif event.kind == _MODEL_RETRY:
                     self._dispatch_model(
-                        event.payload["cid"], forced=event.payload["forced"]
+                        event.payload["cid"],
+                        forced=event.payload["forced"],
+                        attempt=event.payload.get("attempt", 1),
                     )
                 elif event.kind == _UPDATE_ARRIVAL:
                     self._on_update_arrival(event.payload)
+                    if (
+                        self.snapshot_path is not None
+                        and self._total_updates > 0
+                        and self._total_updates % self.snapshot_every == 0
+                        and self._total_updates != self._last_snapshot_at
+                    ):
+                        self._write_snapshot()
                     if (
                         self.config.max_updates is not None
                         and self._total_updates >= self.config.max_updates
@@ -175,19 +236,101 @@ class AsyncEngine:
         return self._reducer.result()
 
     # ------------------------------------------------------------------
-    def _dispatch_model(self, cid: int, forced: bool = False) -> None:
+    # Snapshots
+    # ------------------------------------------------------------------
+    def _write_snapshot(self) -> None:
+        from repro.fl.snapshot import save_snapshot
+
+        save_snapshot(self, self.snapshot_path)
+        self._last_snapshot_at = self._total_updates
+        if self._on_snapshot is not None:
+            self._on_snapshot(self)
+
+    def snapshot_state(self) -> dict:
+        """Everything needed to rebuild this engine mid-run (pickle-safe)."""
+        from repro.fl.snapshot import kernel_state
+
+        return {
+            "mode": "async",
+            "server": self.server,
+            "clients": self.clients,
+            "strategy": self.strategy,
+            "config": self.config,
+            "faults": self.faults,
+            "chaos": self._chaos,
+            "churn": self._churn,
+            "network": self.network,
+            "device_flops": self.device_flops,
+            "validator": self._validator,
+            "kernel": kernel_state(self._kernel),
+            "trace_seq": self._trace._seq,
+            "reducer": self._reducer,
+            "extra": {
+                "halted": list(self._halted),
+                "total_updates": self._total_updates,
+                "last_snapshot_at": self._last_snapshot_at,
+            },
+        }
+
+    def restore_extra(self, extra: dict) -> None:
+        """Engine-specific state counterpart of ``snapshot_state``."""
+        self._halted = list(extra["halted"])
+        self._total_updates = int(extra["total_updates"])
+        self._last_snapshot_at = int(extra["last_snapshot_at"])
+
+    # ------------------------------------------------------------------
+    def _retry_rng(self, cid: int, policy: RetryPolicy):
+        """Jitter stream for retries; None keeps the schedule exact."""
+        if policy.jitter_frac <= 0.0:
+            return None
+        return self._kernel.stream("retry", cid)
+
+    def _dispatch_model(self, cid: int, forced: bool = False, attempt: int = 1) -> None:
         """Send the current global model to a client."""
-        nbytes = self.strategy.downlink_bytes(self.server)
         now = self._kernel.now
+        outage = self._chaos.outage if self._chaos is not None else None
+        if outage is not None and outage.is_down(now):
+            # The server cannot broadcast while it is dark; the client
+            # re-requests as soon as it comes back.
+            resume = outage.next_up(now)
+            self._trace.emit(HALTED, now, cid, cause="server_down", until=resume)
+            self._kernel.queue.push(
+                resume, _MODEL_RETRY, {"cid": cid, "forced": forced, "attempt": attempt}
+            )
+            return
+        nbytes = self.strategy.downlink_bytes(self.server)
         payload = {"cid": cid, "forced": forced}
         leg = self._kernel.downlink(cid, nbytes, now)
         if not leg.delivered:
             # Lost broadcast: back off, then retry from scratch.  The
             # failed attempt was already charged by the kernel.
+            if self._dl_policy.exhausted(attempt):
+                # Out of attempts: the client never receives a model
+                # and sits the rest of the run out (terminal drop).
+                self._trace.emit(
+                    DROPPED,
+                    now + leg.duration_s,
+                    cid,
+                    reason="downlink_lost",
+                    terminal=True,
+                    attempts=attempt,
+                )
+                return
             self._trace.emit(
-                DROPPED, now + leg.duration_s, cid, reason="downlink_lost"
+                DROPPED,
+                now + leg.duration_s,
+                cid,
+                reason="downlink_lost",
+                attempt=attempt,
             )
-            retry_at = now + (1.0 + DOWNLINK_RETRY_BACKOFF) * leg.duration_s
+            retry_at = (
+                now
+                + leg.duration_s
+                + self._dl_policy.backoff_s(
+                    attempt, leg.duration_s, self._retry_rng(cid, self._dl_policy)
+                )
+            )
+            payload["attempt"] = attempt + 1
             self._kernel.queue.push(retry_at, _MODEL_RETRY, payload)
             return
         self._kernel.queue.push(now + leg.duration_s, _MODEL_ARRIVAL, payload)
@@ -198,6 +341,8 @@ class AsyncEngine:
         now = self._kernel.now
         if payload.pop("resumed", False):
             self._trace.emit(WOKEN, now, cid, cause="online")
+        if payload.pop("restarted", False):
+            self._trace.emit(WOKEN, now, cid, cause="restart")
         if self._churn is not None and not self._churn.is_online(cid, now):
             # Device is offline: the work resumes (with a fresh model)
             # once it comes back.
@@ -205,6 +350,15 @@ class AsyncEngine:
             self._trace.emit(HALTED, now, cid, cause="churn", until=resume)
             payload["resumed"] = True
             self._kernel.queue.push(resume, _MODEL_ARRIVAL, payload)
+            return
+        crash = self._chaos.crash if self._chaos is not None else None
+        if crash is not None and crash.is_down(cid, now):
+            # The device is crashed right now; it restarts with the
+            # model it already holds and picks the work back up.
+            restart = crash.next_up(cid, now)
+            self._trace.emit(HALTED, now, cid, cause="crash", until=restart)
+            payload["restarted"] = True
+            self._kernel.queue.push(restart, _MODEL_ARRIVAL, payload)
             return
         if not payload["forced"] and not self.faults.available(
             cid, self.server.version
@@ -231,13 +385,46 @@ class AsyncEngine:
         )
         update.extras["base_params"] = self.server.params.copy()
         compute_s = self._kernel.compute(cid, update.flops, now)
+        if crash is not None:
+            crash_t = crash.crash_in(cid, now, now + compute_s)
+            if crash_t is not None:
+                # Crash mid-training: the in-progress work is lost; the
+                # device refetches a fresh model once it restarts.
+                restart = crash.next_up(cid, crash_t)
+                self._trace.emit(DROPPED, crash_t, cid, reason="crash", until=restart)
+                self._kernel.queue.push(
+                    restart,
+                    _MODEL_RETRY,
+                    {"cid": cid, "forced": False, "attempt": 1},
+                )
+                return
         delta, nbytes = self.strategy.process_upload(client, update, now + compute_s)
+        if self._validator is not None:
+            self._validator.stamp(update)
 
-        leg = self._kernel.uplink(cid, nbytes, now + compute_s)
-        arrival = now + compute_s + leg.duration_s
+        # -- uplink (policy-driven retries; default is one attempt) --
+        attempt = 1
+        up_start = now + compute_s
+        while True:
+            leg = self._kernel.uplink(cid, nbytes, up_start)
+            arrival = up_start + leg.duration_s
+            if leg.delivered or self._ul_policy.exhausted(attempt):
+                break
+            self._trace.emit(
+                DROPPED, arrival, cid, reason="uplink_lost", attempt=attempt
+            )
+            up_start = arrival + self._ul_policy.backoff_s(
+                attempt, leg.duration_s, self._retry_rng(cid, self._ul_policy)
+            )
+            attempt += 1
         delivered = leg.delivered
         if not delivered:
-            self._trace.emit(DROPPED, arrival, cid, reason="uplink_lost")
+            data = (
+                {"terminal": True, "attempts": attempt}
+                if self._ul_policy.max_attempts > 1
+                else {}
+            )
+            self._trace.emit(DROPPED, arrival, cid, reason="uplink_lost", **data)
         elif self.faults.upload_lost(cid, self._rng):
             # Data-loss fault: the update made it across the link but
             # is destroyed in transit.
@@ -245,6 +432,18 @@ class AsyncEngine:
             self._trace.emit(DROPPED, arrival, cid, reason="fault")
         self.strategy.on_upload_result(client, delivered, now + compute_s)
         if delivered:
+            stale = self._chaos.stale if self._chaos is not None else None
+            duplicate = False
+            if stale is not None:
+                extra_delay, duplicate = stale.upload_effects(cid)
+                arrival += extra_delay
+            corruption = (
+                self._chaos.corruption if self._chaos is not None else None
+            )
+            if corruption is not None:
+                damaged = corruption.corrupt(cid, delta)
+                if damaged is not None:
+                    delta = damaged
             inflight = _InFlight(
                 update=update,
                 delta=delta,
@@ -252,6 +451,11 @@ class AsyncEngine:
                 base_version=update.round_index,
             )
             self._kernel.queue.push(arrival, _UPDATE_ARRIVAL, inflight)
+            if duplicate:
+                # The transport delivered the same upload twice; the
+                # copy shares the original's serial stamp, so the
+                # validator (if any) refuses it on arrival.
+                self._kernel.queue.push(arrival, _UPDATE_ARRIVAL, inflight)
         else:
             # Update lost in transit: client fetches a fresh model and
             # goes again (wasted compute, exactly as on real links).
@@ -261,12 +465,37 @@ class AsyncEngine:
 
     def _on_update_arrival(self, payload: _InFlight) -> None:
         now = self._kernel.now
+        cid = payload.update.client_id
+        outage = self._chaos.outage if self._chaos is not None else None
+        if outage is not None and outage.is_down(now):
+            # The update arrived at a dark server: it is lost, and the
+            # client re-requests a model once the server returns.
+            resume = outage.next_up(now)
+            self._trace.emit(
+                DROPPED, now, cid, reason="server_down", until=resume
+            )
+            self._kernel.queue.push(
+                resume, _MODEL_RETRY, {"cid": cid, "forced": False, "attempt": 1}
+            )
+            return
         staleness = max(0, self.server.version - payload.base_version)
+        if self._validator is not None:
+            if self._validator.check_replay(payload.update) is not None:
+                # A duplicate delivery: refuse it and stop — the
+                # original already triggered the client's next cycle.
+                self._trace.emit(DROPPED, now, cid, reason="stale", duplicate=True)
+                return
+            reason = self._validator.check_staleness(staleness)
+            if reason is None:
+                reason = self._validator.screen(payload.delta)
+            if reason is not None:
+                self._trace.emit(DROPPED, now, cid, reason=reason)
+                self._dispatch_model(cid)
+                return
         changed = self.strategy.on_update(
             self.server, payload.update, payload.delta, staleness
         )
         self._total_updates += 1
-        cid = payload.update.client_id
         self._trace.emit(
             AGGREGATED,
             now,

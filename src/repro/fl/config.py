@@ -4,6 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.fl.validation import ValidationConfig
+from repro.sim.retry import RetryPolicy
+
 __all__ = ["LocalTrainingConfig", "FederationConfig"]
 
 
@@ -55,6 +58,15 @@ class FederationConfig:
     # Async engine settings.
     max_sim_time_s: float = 2000.0
     max_updates: int | None = None
+    # Transfer retry schedules.  None keeps each engine's historical
+    # default: single-attempt legs for the synchronous engine and both
+    # uplinks, and the async engine's constant-backoff downlink retry
+    # (capped at 8 attempts).
+    downlink_retry: RetryPolicy | None = None
+    uplink_retry: RetryPolicy | None = None
+    # Server-side update validation; None disables every screen (the
+    # historical trust-everything behaviour, bit-identical trajectories).
+    validation: ValidationConfig | None = None
 
     def __post_init__(self) -> None:
         if self.num_rounds <= 0:

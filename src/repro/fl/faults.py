@@ -53,10 +53,17 @@ class FaultInjector:
         rng: np.random.Generator,
         **kwargs,
     ) -> "FaultInjector":
-        """Pick ``round(fraction * num_clients)`` random stragglers."""
+        """Pick ``round(fraction * num_clients)`` random stragglers.
+
+        A positive fraction always yields at least one straggler: tiny
+        fleets used to round ``fraction * num_clients`` down to zero
+        and silently inject nothing.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
         num_bad = int(round(num_clients * fraction))
+        if fraction > 0.0 and num_bad == 0:
+            num_bad = 1
         ids = rng.choice(num_clients, size=num_bad, replace=False)
         return cls(mode=mode, straggler_ids=frozenset(int(i) for i in ids), **kwargs)
 

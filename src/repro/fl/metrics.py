@@ -27,6 +27,7 @@ from repro.sim.trace import (
     DOWNLINK_END,
     DROPPED,
     EVALUATED,
+    REJECTED_DROP_REASONS,
     RUN_START,
     TraceEvent,
     TraceSink,
@@ -54,6 +55,10 @@ class RoundRecord:
     loss: float | None = None
     upload_sizes: list[int] = field(default_factory=list)
     dropped_uploads: int = 0
+    # Uploads that arrived but were refused by server-side validation
+    # (trace reasons "corrupt"/"stale") — counted separately from
+    # dropped_uploads, which covers work lost in transit.
+    rejected_uploads: int = 0
 
 
 @dataclass
@@ -108,6 +113,11 @@ class RunResult:
     @property
     def total_dropped(self) -> int:
         return sum(r.dropped_uploads for r in self.records)
+
+    @property
+    def total_rejected(self) -> int:
+        """Uploads refused by server-side validation across the run."""
+        return sum(r.rejected_uploads for r in self.records)
 
     @property
     def total_bytes_up(self) -> int:
@@ -206,7 +216,9 @@ class MetricsReducer(TraceSink):
       after a successful transfer discards it);
     * ``dropped`` increments ``dropped_uploads`` only for
       :data:`~repro.sim.trace.COUNTED_DROP_REASONS` — ``offline``
-      clients never entered the round;
+      clients never entered the round — and ``rejected_uploads`` for
+      :data:`~repro.sim.trace.REJECTED_DROP_REASONS` (validation
+      refusals);
     * ``aggregated`` closes one record: with a ``participants`` list it
       is a synchronous barrier, otherwise one absorbed async update;
     * ``evaluated`` attaches accuracy/loss to the last closed record.
@@ -217,6 +229,7 @@ class MetricsReducer(TraceSink):
         self.records: list[RoundRecord] = []
         self._bytes_down = 0
         self._dropped = 0
+        self._rejected = 0
         self._pending: dict[int, int] = {}
 
     # -- TraceSink -----------------------------------------------------
@@ -228,8 +241,11 @@ class MetricsReducer(TraceSink):
             if event.data.get("ok", True) and event.client is not None:
                 self._pending[event.client] = int(event.data.get("nbytes", 0))
         elif etype == DROPPED:
-            if event.data.get("reason") in COUNTED_DROP_REASONS:
+            reason = event.data.get("reason")
+            if reason in COUNTED_DROP_REASONS:
                 self._dropped += 1
+            elif reason in REJECTED_DROP_REASONS:
+                self._rejected += 1
         elif etype == AGGREGATED:
             self._close_record(event)
         elif etype == EVALUATED:
@@ -262,10 +278,12 @@ class MetricsReducer(TraceSink):
                 participants=participants,
                 upload_sizes=sizes,
                 dropped_uploads=self._dropped,
+                rejected_uploads=self._rejected,
             )
         )
         self._bytes_down = 0
         self._dropped = 0
+        self._rejected = 0
         self._pending = {}
 
     # -- results -------------------------------------------------------

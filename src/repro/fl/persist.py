@@ -25,7 +25,10 @@ __all__ = [
     "load_checkpoint",
 ]
 
-_FORMAT_VERSION = 1
+# Version 2 adds per-round ``rejected_uploads`` (validation refusals).
+# Version-1 documents predate update validation and load with zero.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def run_result_to_dict(result: RunResult) -> dict:
@@ -47,6 +50,7 @@ def run_result_to_dict(result: RunResult) -> dict:
                 "loss": r.loss,
                 "upload_sizes": [int(s) for s in r.upload_sizes],
                 "dropped_uploads": r.dropped_uploads,
+                "rejected_uploads": r.rejected_uploads,
             }
             for r in result.records
         ],
@@ -54,9 +58,9 @@ def run_result_to_dict(result: RunResult) -> dict:
 
 
 def run_result_from_dict(payload: dict) -> RunResult:
-    """Inverse of :func:`run_result_to_dict`."""
+    """Inverse of :func:`run_result_to_dict` (accepts v1 and v2 files)."""
     version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported run-result format version {version!r}")
     result = RunResult(
         method=payload["method"],
@@ -76,6 +80,7 @@ def run_result_from_dict(payload: dict) -> RunResult:
                 loss=rec["loss"],
                 upload_sizes=list(rec["upload_sizes"]),
                 dropped_uploads=rec["dropped_uploads"],
+                rejected_uploads=rec.get("rejected_uploads", 0),
             )
         )
     return result

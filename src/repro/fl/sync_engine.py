@@ -14,6 +14,22 @@ stream (:mod:`repro.sim.trace`) and reads its round records back from
 the attached :class:`~repro.fl.metrics.MetricsReducer`, so metrics are
 a pure reduction over the trace.
 
+Resilience hooks (all off by default, preserving bit-identical
+trajectories):
+
+* ``chaos`` — a :class:`~repro.sim.FaultPlan`; crashed devices sit out
+  rounds (and lose in-progress work when a crash lands mid-round),
+  server outages stall round starts and reject arrivals, stale/
+  duplicate effects delay uploads, and corruption damages payloads;
+* ``config.downlink_retry`` / ``config.uplink_retry`` — per-leg
+  :class:`~repro.sim.RetryPolicy` (default: the historical single
+  attempt);
+* ``config.validation`` — server-side screening with per-round
+  ``rejected_uploads`` accounting and optional trimmed-mean fallback;
+* ``snapshot_path`` — crash-safe run snapshots every
+  ``snapshot_every`` rounds, resumable via :mod:`repro.fl.snapshot`
+  with a bit-identical continuation.
+
 The engine is strategy-agnostic: FedAvg and AdaFL run through exactly
 the same loop, differing only in the :class:`~repro.fl.strategy.SyncStrategy`
 hooks they implement.
@@ -30,12 +46,16 @@ from repro.fl.faults import FaultInjector
 from repro.fl.metrics import MetricsReducer, RunResult
 from repro.fl.server import Server
 from repro.fl.strategy import RoundContext, SyncStrategy
+from repro.fl.validation import UpdateValidator, trimmed_mean
 from repro.network.conditions import NetworkConditions
 from repro.sim import (
     AGGREGATED,
     DROPPED,
     EVALUATED,
     EventTrace,
+    FaultPlan,
+    HALTED,
+    RetryPolicy,
     RUN_END,
     RUN_START,
     SELECTED,
@@ -58,7 +78,11 @@ class SyncEngine:
         faults: FaultInjector | None = None,
         device_flops: np.ndarray | None = None,
         churn=None,
+        chaos: FaultPlan | None = None,
         trace: EventTrace | None = None,
+        snapshot_path=None,
+        snapshot_every: int | None = None,
+        on_snapshot=None,
     ):
         if not clients:
             raise ValueError("need at least one client")
@@ -68,6 +92,14 @@ class SyncEngine:
         self.config = config
         self.faults = faults if faults is not None else FaultInjector()
         self._churn = churn
+        self._chaos = chaos
+        if chaos is not None:
+            chaos.bind(config.seed, len(clients))
+        self._validator = (
+            UpdateValidator(config.validation) if config.validation is not None else None
+        )
+        self._dl_policy = config.downlink_retry or RetryPolicy.single()
+        self._ul_policy = config.uplink_retry or RetryPolicy.single()
         self._kernel = SimKernel(
             seed=config.seed,
             num_clients=len(clients),
@@ -80,6 +112,10 @@ class SyncEngine:
         self._rng = self._kernel.rng
         self._trace = self._kernel.trace
         self._reducer = self._trace.add_sink(MetricsReducer())
+        self.snapshot_path = snapshot_path
+        self.snapshot_every = snapshot_every if snapshot_every is not None else 1
+        self._on_snapshot = on_snapshot
+        self._next_round = 0  # first round iter_rounds() will execute
 
     @property
     def sim_time_s(self) -> float:
@@ -99,6 +135,12 @@ class SyncEngine:
             result.records.append(record)
         return result
 
+    def resume(self) -> RunResult:
+        """Finish a snapshotted run; the result covers the *whole* run."""
+        for _ in self.iter_rounds():
+            pass
+        return self._reducer.result()
+
     def new_result(self) -> RunResult:
         """An empty :class:`RunResult` wired for this engine."""
         return RunResult(
@@ -111,30 +153,96 @@ class SyncEngine:
         """Yield one :class:`RoundRecord` per round as training progresses.
 
         Lets callers observe (or interleave work with) the federation
-        round by round; ``run`` is a thin wrapper over this.
+        round by round; ``run`` is a thin wrapper over this.  A resumed
+        engine continues from its snapshotted round with no re-prepare
+        and no fresh ``run_start`` event.
         """
-        self.strategy.prepare(self.server, self.clients)
         local_cfg = self.strategy.local_config(self.config.local)
-        self._trace.emit(
-            RUN_START,
-            self.sim_time_s,
-            mode="sync",
-            method=self.strategy.name,
-            num_clients=len(self.clients),
-            model_bytes=dense_bytes(self.server.dim),
-        )
-        for round_index in range(self.config.num_rounds):
+        if self._next_round == 0:
+            self.strategy.prepare(self.server, self.clients)
+            self._trace.emit(
+                RUN_START,
+                self.sim_time_s,
+                mode="sync",
+                method=self.strategy.name,
+                num_clients=len(self.clients),
+                model_bytes=dense_bytes(self.server.dim),
+            )
+        for round_index in range(self._next_round, self.config.num_rounds):
             record = self._run_round(round_index, local_cfg)
             if (round_index + 1) % self.config.eval_every == 0:
                 accuracy, loss = self.server.evaluate()
                 self._trace.emit(
                     EVALUATED, self.sim_time_s, accuracy=accuracy, loss=loss
                 )
+            self._next_round = round_index + 1
+            if (
+                self.snapshot_path is not None
+                and (round_index + 1) % self.snapshot_every == 0
+            ):
+                self._write_snapshot()
             yield record
         self._trace.emit(RUN_END, self.sim_time_s, rounds=self.config.num_rounds)
 
     # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def _write_snapshot(self) -> None:
+        from repro.fl.snapshot import save_snapshot
+
+        save_snapshot(self, self.snapshot_path)
+        if self._on_snapshot is not None:
+            self._on_snapshot(self)
+
+    def snapshot_state(self) -> dict:
+        """Everything needed to rebuild this engine mid-run (pickle-safe)."""
+        from repro.fl.snapshot import kernel_state
+
+        return {
+            "mode": "sync",
+            "server": self.server,
+            "clients": self.clients,
+            "strategy": self.strategy,
+            "config": self.config,
+            "faults": self.faults,
+            "chaos": self._chaos,
+            "churn": self._churn,
+            "network": self.network,
+            "device_flops": self.device_flops,
+            "validator": self._validator,
+            "kernel": kernel_state(self._kernel),
+            "trace_seq": self._trace._seq,
+            "reducer": self._reducer,
+            "extra": {"next_round": self._next_round},
+        }
+
+    def restore_extra(self, extra: dict) -> None:
+        """Engine-specific state counterpart of ``snapshot_state``."""
+        self._next_round = int(extra["next_round"])
+
+    # ------------------------------------------------------------------
+    def _retry_rng(self, cid: int, policy: RetryPolicy):
+        """Jitter stream for retries; None keeps the schedule exact."""
+        if policy.jitter_frac <= 0.0:
+            return None
+        return self._kernel.stream("retry", cid)
+
     def _run_round(self, round_index: int, local_cfg):
+        chaos = self._chaos
+        crash = chaos.crash if chaos is not None else None
+        stale = chaos.stale if chaos is not None else None
+        corruption = chaos.corruption if chaos is not None else None
+        outage = chaos.outage if chaos is not None else None
+
+        if outage is not None and outage.is_down(self.sim_time_s):
+            # The server itself is dark: the round cannot open until it
+            # is back.  No client work is dispatched in the meantime.
+            resume = outage.next_up(self.sim_time_s)
+            self._trace.emit(
+                HALTED, self.sim_time_s, cause="server_down", until=resume
+            )
+            self._kernel.advance_to(resume)
+
         t0 = self.sim_time_s
         context = RoundContext(
             round_index=round_index,
@@ -150,6 +258,9 @@ class SyncEngine:
             cid = c.client_id
             if self._churn is not None and not self._churn.is_online(cid, t0):
                 self._trace.emit(DROPPED, t0, cid, reason="offline", cause="churn")
+                continue
+            if crash is not None and crash.is_down(cid, t0):
+                self._trace.emit(DROPPED, t0, cid, reason="offline", cause="crash")
                 continue
             if not self.faults.available(cid, round_index):
                 self._trace.emit(DROPPED, t0, cid, reason="offline", cause="fault")
@@ -167,26 +278,90 @@ class SyncEngine:
         model_bytes = self.strategy.downlink_bytes(self.server)
         for cid in selected:
             client = self.clients[cid]
-            down = self._kernel.downlink(cid, model_bytes, t0)
-            if not down.delivered:
-                # Client never received the round's model: silent dropout.
+
+            # -- downlink (per-attempt charging, policy-driven retries) --
+            attempt = 1
+            down_s = 0.0  # elapsed downlink time relative to t0
+            lost = False
+            while True:
+                down = self._kernel.downlink(cid, model_bytes, t0 + down_s)
+                down_s = down_s + down.duration_s
+                if down.delivered:
+                    break
+                if self._dl_policy.exhausted(attempt):
+                    # Client never received the round's model: it sits
+                    # the round out (terminal drop).
+                    data = (
+                        {"terminal": True, "attempts": attempt}
+                        if self._dl_policy.max_attempts > 1
+                        else {}
+                    )
+                    self._trace.emit(
+                        DROPPED, t0 + down_s, cid, reason="downlink_lost", **data
+                    )
+                    durations.append(down_s)
+                    lost = True
+                    break
                 self._trace.emit(
-                    DROPPED, t0 + down.duration_s, cid, reason="downlink_lost"
+                    DROPPED, t0 + down_s, cid, reason="downlink_lost", attempt=attempt
                 )
-                durations.append(down.duration_s)
+                down_s = down_s + self._dl_policy.backoff_s(
+                    attempt, down.duration_s, self._retry_rng(cid, self._dl_policy)
+                )
+                attempt += 1
+            if lost:
                 continue
 
             kwargs = self.strategy.client_train_kwargs(client)
             update = client.local_train(
                 self.server.params, local_cfg, round_index=round_index, **kwargs
             )
-            compute_s = self._kernel.compute(cid, update.flops, t0 + down.duration_s)
+            compute_s = self._kernel.compute(cid, update.flops, t0 + down_s)
+
+            if crash is not None:
+                crash_t = crash.crash_in(cid, t0, t0 + down_s + compute_s)
+                if crash_t is not None:
+                    # The device died mid-round: its in-progress work is
+                    # lost and it will rejoin once restarted.
+                    restart = crash.next_up(cid, crash_t)
+                    self._trace.emit(
+                        DROPPED, crash_t, cid, reason="crash", until=restart
+                    )
+                    durations.append(crash_t - t0)
+                    continue
 
             delta, up_bytes = self.strategy.process_upload(client, update, context)
-            up = self._kernel.uplink(
-                cid, up_bytes, t0 + down.duration_s + compute_s
-            )
-            total_s = down.duration_s + compute_s + up.duration_s
+            if self._validator is not None:
+                self._validator.stamp(update)
+
+            # -- uplink (policy-driven retries) --
+            attempt = 1
+            extra_s = 0.0  # failed attempts + backoff before the last try
+            lost = False
+            while True:
+                up = self._kernel.uplink(
+                    cid, up_bytes, t0 + down_s + compute_s + extra_s
+                )
+                if up.delivered or self._ul_policy.exhausted(attempt):
+                    lost = not up.delivered
+                    break
+                self._trace.emit(
+                    DROPPED,
+                    t0 + down_s + compute_s + extra_s + up.duration_s,
+                    cid,
+                    reason="uplink_lost",
+                    attempt=attempt,
+                )
+                extra_s = extra_s + up.duration_s + self._ul_policy.backoff_s(
+                    attempt, up.duration_s, self._retry_rng(cid, self._ul_policy)
+                )
+                attempt += 1
+            total_s = down_s + compute_s + up.duration_s + extra_s
+
+            stale_dup = False
+            if stale is not None and not lost:
+                stale_delay, stale_dup = stale.upload_effects(cid)
+                total_s += stale_delay
 
             if deadline is not None and total_s > deadline:
                 # §III-A max-wait-time policy: the server closes the
@@ -197,27 +372,132 @@ class SyncEngine:
                 continue
             durations.append(total_s)
 
-            if not up.delivered or self.faults.upload_lost(cid, self._rng):
-                reason = "uplink_lost" if not up.delivered else "fault"
-                self._trace.emit(DROPPED, t0 + total_s, cid, reason=reason)
+            if lost:
+                data = (
+                    {"terminal": True, "attempts": attempt}
+                    if self._ul_policy.max_attempts > 1
+                    else {}
+                )
+                self._trace.emit(
+                    DROPPED, t0 + total_s, cid, reason="uplink_lost", **data
+                )
+                self.strategy.on_upload_result(client, False, context)
+                continue
+            if self.faults.upload_lost(cid, self._rng):
+                self._trace.emit(DROPPED, t0 + total_s, cid, reason="fault")
+                self.strategy.on_upload_result(client, False, context)
+                continue
+            if outage is not None and outage.is_down(t0 + total_s):
+                # The update arrived while the server was unreachable.
+                self._trace.emit(
+                    DROPPED,
+                    t0 + total_s,
+                    cid,
+                    reason="server_down",
+                    until=outage.next_up(t0 + total_s),
+                )
                 self.strategy.on_upload_result(client, False, context)
                 continue
             self.strategy.on_upload_result(client, True, context)
 
+            if corruption is not None:
+                damaged = corruption.corrupt(cid, delta)
+                if damaged is not None:
+                    delta = damaged
             update.delta = delta  # server sees the decompressed delta
             delivered.append(update)
+            if stale_dup:
+                # The transport delivered the same upload twice; the
+                # duplicate shares the original's serial stamp.
+                delivered.append(update)
 
-        self.strategy.aggregate(self.server, delivered, context)
         # Synchronous barrier: the round lasts as long as its slowest
         # participant (Eq. 3), capped by the server's deadline if set.
         round_time = max(durations)
         if deadline is not None:
             round_time = min(round_time, deadline)
-        self._kernel.advance_to(t0 + round_time)
+        t_close = t0 + round_time
+
+        if self._validator is None:
+            accepted = delivered
+            self.strategy.aggregate(self.server, delivered, context)
+        else:
+            accepted = self._aggregate_validated(delivered, context, t_close)
+
+        self._kernel.advance_to(t_close)
         self._trace.emit(
             AGGREGATED,
             self.sim_time_s,
             round=round_index,
-            participants=[u.client_id for u in delivered],
+            participants=[u.client_id for u in accepted],
         )
         return self._reducer.records[-1]
+
+    # ------------------------------------------------------------------
+    def _aggregate_validated(self, delivered, context, t_close):
+        """Screen deliveries, aggregate survivors, report rejections.
+
+        Fast path (deferred mode, nothing pre-rejected): aggregate
+        optimistically, screen the single resulting model — one O(d)
+        pass per round — and only on a hit hunt the culprits, roll the
+        server back, and re-fold the survivors.
+        """
+        v = self._validator
+        cfg = v.config
+        accepted, rejected = [], []
+        for u in delivered:
+            reason = v.check_replay(u)
+            if reason is None and cfg.per_update_screen:
+                reason = v.screen(u.delta)
+            if reason is None:
+                accepted.append(u)
+            else:
+                rejected.append((u, reason))
+
+        if not rejected and not cfg.per_update_screen and accepted:
+            before_params = self.server.params
+            before_delta = self.server.global_delta
+            before_version = self.server.version
+            self.strategy.aggregate(self.server, accepted, context)
+            if (
+                self.server.version == before_version
+                or not v.screen_aggregate(self.server.params)
+            ):
+                return accepted
+            survivors, culprits = [], []
+            for u in accepted:
+                (culprits if v.screen(u.delta) else survivors).append(u)
+            if not culprits:
+                # The strategy went non-finite on clean inputs — an
+                # optimisation blow-up, not a bad payload; keep it.
+                return accepted
+            # ``apply_delta`` rebinds (never mutates) ``server.params``,
+            # so the pre-aggregation vector is intact: rollback is free.
+            self.server.params = before_params
+            self.server.global_delta = before_delta
+            self.server.version = before_version
+            accepted = survivors
+            rejected = [(u, "corrupt") for u in culprits]
+        elif rejected and not cfg.per_update_screen and accepted:
+            # Deferred mode with pre-rejections (replays): screen the
+            # rest individually before folding them in.
+            survivors = []
+            for u in accepted:
+                reason = v.screen(u.delta)
+                if reason is None:
+                    survivors.append(u)
+                else:
+                    rejected.append((u, reason))
+            accepted = survivors
+
+        for u, reason in rejected:
+            self._trace.emit(DROPPED, t_close, u.client_id, reason=reason)
+        if rejected and cfg.trimmed_mean_fallback and accepted:
+            # Robust fallback: corruption slipped past at least one
+            # screen this round, so distrust the survivors too.
+            self.server.apply_delta(
+                trimmed_mean([u.delta for u in accepted], cfg.trim_ratio)
+            )
+        else:
+            self.strategy.aggregate(self.server, accepted, context)
+        return accepted

@@ -64,6 +64,30 @@ class Sequential:
         )
 
     # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # Pickling an ndarray view serialises it as an independent
+        # copy, which would sever every Parameter from the backing
+        # buffers; drop the views and rebuild them on unpickle.
+        state = self.__dict__.copy()
+        state.pop("_flat_param", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        offset = 0
+        for p in self._params:
+            end = offset + p.data.size
+            shape = p.data.shape
+            p.data = self._param_buf[offset:end].reshape(shape)
+            p.grad = self._grad_buf[offset:end].reshape(shape)
+            offset = end
+        self._flat_param = Parameter.from_views(
+            "flat", self._param_buf, self._grad_buf
+        )
+
+    # ------------------------------------------------------------------
     # Forward / backward
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:

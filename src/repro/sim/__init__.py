@@ -9,6 +9,11 @@
   both engines share;
 * :mod:`repro.sim.trace` — the typed :class:`EventTrace` telemetry bus
   with pluggable sinks (ring buffer, JSONL writer, streaming summary);
+* :mod:`repro.sim.faults` — composable fault models (client crashes,
+  payload corruption, stale/duplicate uploads, server outages) grouped
+  into a :class:`FaultPlan`, all driven by kernel-derived RNG streams;
+* :mod:`repro.sim.retry` — :class:`RetryPolicy`, the deterministic
+  backoff/max-attempt schedule both engines use for transfer legs;
 * :mod:`repro.sim.analysis` — per-client timelines, drop-reason
   breakdowns, and straggler attribution derived from recorded traces.
 
@@ -25,10 +30,19 @@ from repro.sim.analysis import (
     summarize_trace,
 )
 from repro.sim.events import Event, EventQueue
+from repro.sim.faults import (
+    ClientCrashModel,
+    FaultPlan,
+    PayloadCorruptionModel,
+    ServerOutageModel,
+    StaleUploadModel,
+)
 from repro.sim.kernel import LegResult, SimKernel
+from repro.sim.retry import RetryPolicy
 from repro.sim.trace import (
     AGGREGATED,
     COUNTED_DROP_REASONS,
+    REJECTED_DROP_REASONS,
     DOWNLINK_END,
     DOWNLINK_START,
     DROP_REASONS,
@@ -55,6 +69,12 @@ __all__ = [
     "EventQueue",
     "SimKernel",
     "LegResult",
+    "RetryPolicy",
+    "FaultPlan",
+    "ClientCrashModel",
+    "PayloadCorruptionModel",
+    "StaleUploadModel",
+    "ServerOutageModel",
     "EventTrace",
     "TraceEvent",
     "RingBufferSink",
@@ -67,6 +87,7 @@ __all__ = [
     "EVENT_TYPES",
     "DROP_REASONS",
     "COUNTED_DROP_REASONS",
+    "REJECTED_DROP_REASONS",
     "RUN_START",
     "RUN_END",
     "SELECTED",

@@ -1,0 +1,382 @@
+"""Composable fault models for chaos-style resilience studies.
+
+The §III empirical study keeps its original two special cases
+(:class:`repro.fl.faults.FaultInjector` — deterministic dropout and
+stochastic data loss); this module generalises the failure model into
+independent, composable pieces an engine consults through one
+:class:`FaultPlan`:
+
+* :class:`ClientCrashModel` — a device crashes (losing any in-progress
+  round) and restarts after a downtime; exponential time-between-
+  failures and downtime, per-client lazy schedules exactly like
+  :class:`repro.network.churn.ChurnModel`;
+* :class:`PayloadCorruptionModel` — an uploaded flat vector arrives
+  damaged: NaN-poisoned, a single flipped mantissa/exponent bit, or a
+  norm blow-up;
+* :class:`StaleUploadModel` — an upload is delayed in transit (arriving
+  stale) and/or duplicated (the server sees it twice);
+* :class:`ServerOutageModel` — the aggregation server itself is
+  unreachable during outage windows (explicit or stochastic).
+
+Determinism contract: every model draws only from kernel-derived
+streams (``default_rng((seed, crc32("fault"), crc32(name), index))``),
+never from the engine's root RNG — so attaching a plan whose models
+never fire, or no plan at all, leaves trajectories bit-identical.
+Models hold plain generators and float lists, so a bound plan pickles
+cleanly into run snapshots.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "FaultPlan",
+    "ClientCrashModel",
+    "PayloadCorruptionModel",
+    "StaleUploadModel",
+    "ServerOutageModel",
+]
+
+_FAULT_NAMESPACE = zlib.crc32(b"fault")
+
+
+def _fault_stream(seed: int, name: str, index: int) -> np.random.Generator:
+    """The derived RNG stream for one fault model + client/site index."""
+    return np.random.default_rng(
+        (seed, _FAULT_NAMESPACE, zlib.crc32(name.encode()), index)
+    )
+
+
+class _ToggleSchedule:
+    """Lazy alternating up/down schedule; the subject starts up at t=0.
+
+    Up and down periods are exponential with the given means; toggle
+    times are generated on demand, so lookups are deterministic for a
+    given stream regardless of query order (same contract as
+    :class:`~repro.network.churn.ChurnModel`).
+    """
+
+    def __init__(self, rng: np.random.Generator, mean_up_s: float, mean_down_s: float):
+        self._rng = rng
+        self.mean_up_s = mean_up_s
+        self.mean_down_s = mean_down_s
+        self._toggles: list[float] = []
+
+    def _extend(self, until: float) -> None:
+        toggles = self._toggles
+        up = len(toggles) % 2 == 0
+        last = toggles[-1] if toggles else 0.0
+        while last <= until:
+            mean = self.mean_up_s if up else self.mean_down_s
+            last += float(self._rng.exponential(mean))
+            toggles.append(last)
+            up = not up
+
+    def _index(self, t: float) -> int:
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        self._extend(t)
+        return int(np.searchsorted(self._toggles, t, side="right"))
+
+    def is_up(self, t: float) -> bool:
+        return self._index(t) % 2 == 0
+
+    def next_up(self, t: float) -> float:
+        """Earliest time >= ``t`` at which the subject is up."""
+        idx = self._index(t)
+        if idx % 2 == 0:
+            return t
+        return self._toggles[idx]
+
+    def next_down_in(self, t0: float, t1: float) -> float | None:
+        """First down transition in ``[t0, t1)``; ``t0`` if already down."""
+        idx = self._index(t0)
+        if idx % 2 == 1:
+            return t0
+        self._extend(t1)
+        toggle = self._toggles[idx]
+        return toggle if t0 <= toggle < t1 else None
+
+
+class _FaultModel:
+    """Shared bind plumbing: models are inert until given seed + fleet size."""
+
+    name = "fault"
+
+    def __init__(self, client_ids=None):
+        self.client_ids = None if client_ids is None else frozenset(
+            int(i) for i in client_ids
+        )
+        self._bound = False
+
+    @property
+    def bound(self) -> bool:
+        return self._bound
+
+    def bind(self, seed: int, num_clients: int) -> None:
+        """Derive per-client streams; idempotent (resume keeps state)."""
+        if self._bound:
+            return
+        ids = (
+            range(num_clients)
+            if self.client_ids is None
+            else sorted(i for i in self.client_ids if i < num_clients)
+        )
+        self._setup(seed, ids)
+        self._bound = True
+
+    def _setup(self, seed: int, ids) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _require_bound(self) -> None:
+        if not self._bound:
+            raise RuntimeError(f"{type(self).__name__} is not bound to a kernel seed")
+
+
+class ClientCrashModel(_FaultModel):
+    """Devices crash (losing in-progress work) and restart later."""
+
+    name = "crash"
+
+    def __init__(
+        self,
+        mtbf_s: float,
+        mean_downtime_s: float,
+        client_ids=None,
+    ):
+        super().__init__(client_ids)
+        if mtbf_s <= 0 or mean_downtime_s <= 0:
+            raise ValueError("mtbf_s and mean_downtime_s must be positive")
+        self.mtbf_s = mtbf_s
+        self.mean_downtime_s = mean_downtime_s
+        self._schedules: dict[int, _ToggleSchedule] = {}
+
+    def _setup(self, seed: int, ids) -> None:
+        for cid in ids:
+            self._schedules[cid] = _ToggleSchedule(
+                _fault_stream(seed, self.name, cid),
+                self.mtbf_s,
+                self.mean_downtime_s,
+            )
+
+    def is_down(self, client_id: int, t: float) -> bool:
+        """Is the device in a crash-downtime window at ``t``?"""
+        self._require_bound()
+        sched = self._schedules.get(client_id)
+        return sched is not None and not sched.is_up(t)
+
+    def next_up(self, client_id: int, t: float) -> float:
+        """Earliest time >= ``t`` the device has restarted."""
+        self._require_bound()
+        sched = self._schedules.get(client_id)
+        return t if sched is None else sched.next_up(t)
+
+    def crash_in(self, client_id: int, t0: float, t1: float) -> float | None:
+        """Crash instant inside ``[t0, t1)`` — the window's work is lost."""
+        self._require_bound()
+        sched = self._schedules.get(client_id)
+        return None if sched is None else sched.next_down_in(t0, t1)
+
+
+class PayloadCorruptionModel(_FaultModel):
+    """Uploaded flat vectors arrive damaged with some probability.
+
+    ``kind``: ``"nan"`` poisons ~0.1% of coordinates with NaN,
+    ``"bitflip"`` flips one random bit of one random float64, and
+    ``"blowup"`` scales the whole vector by ``magnitude``.
+    """
+
+    name = "corrupt"
+    KINDS = ("nan", "bitflip", "blowup")
+
+    def __init__(
+        self,
+        prob: float,
+        kind: str = "nan",
+        magnitude: float = 1e6,
+        client_ids=None,
+    ):
+        super().__init__(client_ids)
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError("prob must be in [0, 1]")
+        if kind not in self.KINDS:
+            raise ValueError(f"kind must be one of {self.KINDS}")
+        if magnitude <= 0:
+            raise ValueError("magnitude must be positive")
+        self.prob = prob
+        self.kind = kind
+        self.magnitude = magnitude
+        self._rngs: dict[int, np.random.Generator] = {}
+
+    def _setup(self, seed: int, ids) -> None:
+        for cid in ids:
+            self._rngs[cid] = _fault_stream(seed, self.name, cid)
+
+    def corrupt(self, client_id: int, delta: np.ndarray) -> np.ndarray | None:
+        """A corrupted copy of ``delta``, or None if this upload is clean."""
+        self._require_bound()
+        rng = self._rngs.get(client_id)
+        if rng is None or rng.random() >= self.prob:
+            return None
+        out = np.array(delta, dtype=np.float64, copy=True)
+        if self.kind == "nan":
+            k = max(1, out.size // 1000)
+            out[rng.integers(0, out.size, size=k)] = np.nan
+        elif self.kind == "bitflip":
+            idx = int(rng.integers(0, out.size))
+            bit = int(rng.integers(0, 64))
+            bits = out.view(np.uint64)
+            bits[idx] ^= np.uint64(1) << np.uint64(bit)
+        else:  # blowup
+            out *= self.magnitude
+        return out
+
+
+class StaleUploadModel(_FaultModel):
+    """Uploads are delayed in transit and/or duplicated at the server."""
+
+    name = "stale"
+
+    def __init__(
+        self,
+        delay_prob: float = 0.0,
+        mean_delay_s: float = 10.0,
+        duplicate_prob: float = 0.0,
+        client_ids=None,
+    ):
+        super().__init__(client_ids)
+        if not 0.0 <= delay_prob <= 1.0 or not 0.0 <= duplicate_prob <= 1.0:
+            raise ValueError("probabilities must be in [0, 1]")
+        if mean_delay_s <= 0:
+            raise ValueError("mean_delay_s must be positive")
+        self.delay_prob = delay_prob
+        self.mean_delay_s = mean_delay_s
+        self.duplicate_prob = duplicate_prob
+        self._rngs: dict[int, np.random.Generator] = {}
+
+    def _setup(self, seed: int, ids) -> None:
+        for cid in ids:
+            self._rngs[cid] = _fault_stream(seed, self.name, cid)
+
+    def upload_effects(self, client_id: int) -> tuple[float, bool]:
+        """(extra transit delay in seconds, was the upload duplicated?)."""
+        self._require_bound()
+        rng = self._rngs.get(client_id)
+        if rng is None:
+            return 0.0, False
+        delay = 0.0
+        if self.delay_prob > 0.0 and rng.random() < self.delay_prob:
+            delay = float(rng.exponential(self.mean_delay_s))
+        duplicate = self.duplicate_prob > 0.0 and rng.random() < self.duplicate_prob
+        return delay, duplicate
+
+
+class ServerOutageModel(_FaultModel):
+    """The aggregation server is unreachable during outage windows.
+
+    Either pass explicit ``windows`` (``[(start_s, stop_s), ...]``) or
+    means for a stochastic schedule (``mtbf_s`` between outages,
+    ``mean_outage_s`` long).
+    """
+
+    name = "server_down"
+
+    def __init__(
+        self,
+        windows=None,
+        mtbf_s: float | None = None,
+        mean_outage_s: float | None = None,
+    ):
+        super().__init__(client_ids=None)
+        if windows is not None:
+            if mtbf_s is not None or mean_outage_s is not None:
+                raise ValueError("pass either windows or mtbf/mean_outage, not both")
+            cleaned = []
+            for start, stop in windows:
+                if not 0 <= start < stop:
+                    raise ValueError(f"bad outage window ({start}, {stop})")
+                cleaned.append((float(start), float(stop)))
+            self.windows = sorted(cleaned)
+        else:
+            if mtbf_s is None or mean_outage_s is None:
+                raise ValueError("stochastic outages need mtbf_s and mean_outage_s")
+            if mtbf_s <= 0 or mean_outage_s <= 0:
+                raise ValueError("mtbf_s and mean_outage_s must be positive")
+            self.windows = None
+        self.mtbf_s = mtbf_s
+        self.mean_outage_s = mean_outage_s
+        self._schedule: _ToggleSchedule | None = None
+
+    def _setup(self, seed: int, ids) -> None:
+        del ids
+        if self.windows is None:
+            self._schedule = _ToggleSchedule(
+                _fault_stream(seed, self.name, 0), self.mtbf_s, self.mean_outage_s
+            )
+
+    def is_down(self, t: float) -> bool:
+        """Is the server unreachable at ``t``?"""
+        self._require_bound()
+        if self.windows is not None:
+            return any(start <= t < stop for start, stop in self.windows)
+        return not self._schedule.is_up(t)
+
+    def next_up(self, t: float) -> float:
+        """Earliest time >= ``t`` the server is reachable."""
+        self._require_bound()
+        if self.windows is not None:
+            for start, stop in self.windows:
+                if start <= t < stop:
+                    return stop
+            return t
+        return self._schedule.next_up(t)
+
+
+class FaultPlan:
+    """The set of fault models active in one run.
+
+    At most one model of each kind; engines consult the typed
+    accessors (``plan.crash``/``corruption``/``stale``/``outage``) so a
+    plan is free to carry any subset.  :meth:`bind` derives every
+    model's RNG streams from the kernel seed; binding is idempotent so
+    a plan restored from a snapshot keeps its advanced stream states.
+    """
+
+    def __init__(self, *models):
+        self.models = list(models)
+        self.crash: ClientCrashModel | None = self._find(ClientCrashModel)
+        self.corruption: PayloadCorruptionModel | None = self._find(
+            PayloadCorruptionModel
+        )
+        self.stale: StaleUploadModel | None = self._find(StaleUploadModel)
+        self.outage: ServerOutageModel | None = self._find(ServerOutageModel)
+        known = (ClientCrashModel, PayloadCorruptionModel, StaleUploadModel,
+                 ServerOutageModel)
+        for m in self.models:
+            if not isinstance(m, known):
+                raise TypeError(f"unknown fault model {type(m).__name__}")
+        self._bound = False
+
+    def _find(self, cls):
+        matches = [m for m in self.models if isinstance(m, cls)]
+        if len(matches) > 1:
+            raise ValueError(f"at most one {cls.__name__} per plan")
+        return matches[0] if matches else None
+
+    @property
+    def bound(self) -> bool:
+        return self._bound
+
+    def bind(self, seed: int, num_clients: int) -> "FaultPlan":
+        if not self._bound:
+            for model in self.models:
+                model.bind(seed, num_clients)
+            self._bound = True
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(type(m).__name__ for m in self.models)
+        return f"FaultPlan({names})"

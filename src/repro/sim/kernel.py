@@ -20,6 +20,7 @@ private, subtly divergent copy of:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -80,6 +81,7 @@ class SimKernel:
         self.rng = np.random.default_rng(seed)
         self._seed = seed
         self._client_rngs: dict[int, np.random.Generator] = {}
+        self._streams: dict[tuple[int, ...], np.random.Generator] = {}
 
     # -- time ----------------------------------------------------------
     @property
@@ -96,6 +98,31 @@ class SimKernel:
         self.queue.now = t
 
     # -- randomness ----------------------------------------------------
+    @property
+    def seed(self) -> int:
+        """The root seed this kernel (and all derived streams) hang off."""
+        return self._seed
+
+    def stream(self, *key) -> np.random.Generator:
+        """A named derived RNG stream, independent of the root ``rng``.
+
+        ``key`` is any mix of ints and short string tags (hashed with
+        CRC-32); the same key always yields the same cached generator.
+        Subsystems that must not perturb the root sequence — fault
+        models, retry jitter — draw from here.
+        """
+        if not key:
+            raise ValueError("stream key must be non-empty")
+        resolved = tuple(
+            zlib.crc32(part.encode()) if isinstance(part, str) else int(part)
+            for part in key
+        )
+        stream = self._streams.get(resolved)
+        if stream is None:
+            stream = np.random.default_rng((self._seed, *resolved))
+            self._streams[resolved] = stream
+        return stream
+
     def client_rng(self, client_id: int) -> np.random.Generator:
         """A per-client stream, independent of the root ``rng``.
 

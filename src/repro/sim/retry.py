@@ -1,0 +1,79 @@
+"""First-class transfer retry policies.
+
+A lost transfer leg used to be handled ad hoc: the sync engine dropped
+the client for the round after a single attempt, and the async engine
+retried downlinks forever with a hard-coded backoff constant.
+:class:`RetryPolicy` makes the schedule explicit and configurable on
+:class:`~repro.fl.config.FederationConfig`:
+
+* ``max_attempts`` bounds the attempts; exhausting them is a *terminal*
+  drop (``DROPPED(..., terminal=True)`` in the trace);
+* the wait after failed attempt ``k`` is
+  ``backoff_frac * duration * multiplier**(k-1)``, capped by
+  ``max_backoff_s`` — backoff scales with the failed leg's own
+  duration, so slow links naturally wait longer in absolute terms;
+* ``jitter_frac`` desynchronises retries with a deterministic
+  multiplicative jitter drawn from a kernel-derived stream
+  (``kernel.stream("retry", cid)``), never from the root RNG.
+
+The legacy behaviours are expressible exactly: a single attempt
+(:meth:`RetryPolicy.single`, the sync engines' default) and the async
+engine's constant ``(1 + 1.0) * duration`` schedule
+(``RetryPolicy(backoff_frac=1.0, multiplier=1.0)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic retry schedule for one transfer leg."""
+
+    max_attempts: int = 8
+    backoff_frac: float = 1.0
+    multiplier: float = 2.0
+    max_backoff_s: float | None = None
+    jitter_frac: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_frac < 0.0:
+            raise ValueError("backoff_frac must be non-negative")
+        if self.multiplier <= 0.0:
+            raise ValueError("multiplier must be positive")
+        if self.max_backoff_s is not None and self.max_backoff_s < 0.0:
+            raise ValueError("max_backoff_s must be non-negative or None")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ValueError("jitter_frac must be in [0, 1)")
+
+    @classmethod
+    def single(cls) -> "RetryPolicy":
+        """One attempt, no retries — the legacy synchronous behaviour."""
+        return cls(max_attempts=1)
+
+    def exhausted(self, attempt: int) -> bool:
+        """Was ``attempt`` (1-based) the last one allowed?"""
+        return attempt >= self.max_attempts
+
+    def backoff_s(
+        self,
+        attempt: int,
+        duration_s: float,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """Seconds to wait after failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        wait = self.backoff_frac * duration_s * self.multiplier ** (attempt - 1)
+        if self.max_backoff_s is not None:
+            wait = min(wait, self.max_backoff_s)
+        if self.jitter_frac > 0.0 and rng is not None:
+            wait *= 1.0 + self.jitter_frac * (2.0 * rng.random() - 1.0)
+        return wait

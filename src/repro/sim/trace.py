@@ -21,10 +21,14 @@ Event taxonomy
 * ``train_start``/``train_end`` — one local-training interval.
 * ``uplink_start``/``uplink_end`` — one update upload attempt.
 * ``dropped`` — work lost, with ``reason`` one of
-  ``downlink_lost | uplink_lost | deadline | fault | offline``
-  (``offline`` additionally carries ``cause``: churn vs dropout
-  fault).  Only the first four count as dropped uploads in round
-  records; ``offline`` clients were never selected.
+  ``downlink_lost | uplink_lost | deadline | fault | offline |
+  crash | server_down | corrupt | stale``  (``offline`` additionally
+  carries ``cause``: churn vs dropout fault vs crash downtime).
+  Terminal retry exhaustion carries ``terminal=True`` and the attempt
+  count.  ``offline`` clients were never selected, so they do not
+  count as dropped uploads in round records; ``corrupt``/``stale``
+  are *rejections* by the server's update validation and are counted
+  separately (``RoundRecord.rejected_uploads``).
 * ``halted``/``woken`` — a client parked until the next global model
   version (``cause``: strategy halting, dropout fault, churn) and its
   wake-up (``cause``: version change or the deadlock guard's
@@ -54,6 +58,7 @@ __all__ = [
     "EVENT_TYPES",
     "DROP_REASONS",
     "COUNTED_DROP_REASONS",
+    "REJECTED_DROP_REASONS",
     "RUN_START",
     "RUN_END",
     "SELECTED",
@@ -104,12 +109,27 @@ EVENT_TYPES = frozenset(
     }
 )
 
-DROP_REASONS = ("downlink_lost", "uplink_lost", "deadline", "fault", "offline")
+DROP_REASONS = (
+    "downlink_lost",
+    "uplink_lost",
+    "deadline",
+    "fault",
+    "offline",
+    "crash",
+    "server_down",
+    "corrupt",
+    "stale",
+)
 # Reasons that count toward RoundRecord.dropped_uploads: work that was
 # selected/attempted and then lost.  "offline" clients never entered
 # the round, mirroring how dropout-faulted absentees were never
 # counted as drops.
-COUNTED_DROP_REASONS = frozenset({"downlink_lost", "uplink_lost", "deadline", "fault"})
+COUNTED_DROP_REASONS = frozenset(
+    {"downlink_lost", "uplink_lost", "deadline", "fault", "crash", "server_down"}
+)
+# Reasons assigned by the server's update validation: the payload
+# arrived but was refused.  Counted into RoundRecord.rejected_uploads.
+REJECTED_DROP_REASONS = frozenset({"corrupt", "stale"})
 
 
 @dataclass(frozen=True)

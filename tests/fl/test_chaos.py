@@ -1,0 +1,106 @@
+"""Chaos-study tests: fault-matrix smoke + the NaN-poisoning guarantee.
+
+The acceptance property for update validation: with 20% of uploads
+NaN-poisoned, an unguarded server collapses to chance accuracy (NaN
+propagates through every weighted average into the global model),
+while validation + trimmed-mean fallback stays within 5 accuracy
+points of the fault-free run.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments.chaos import (
+    default_scenarios,
+    format_chaos_report,
+    run_chaos_study,
+)
+from repro.experiments.presets import FAST
+from repro.fl.baselines import FedAvg
+from repro.fl.sync_engine import SyncEngine
+from repro.fl.validation import ValidationConfig
+from repro.sim import FaultPlan, PayloadCorruptionModel
+from tests.fl.equiv_cases import _federation, _sync_config
+
+pytestmark = pytest.mark.chaos
+
+TINY = replace(
+    FAST, name="tiny", num_clients=5, num_rounds=4,
+    train_samples=200, test_samples=80, eval_every=2,
+)
+
+
+class TestNaNPoisoning:
+    """20% poisoned uploads: guarded stays close, vanilla diverges."""
+
+    CHANCE = 0.25  # the equiv-case federation has 4 classes
+
+    def _run(self, poisoned, validation=None):
+        server, clients = _federation(10)
+        cfg = replace(_sync_config(6), validation=validation)
+        chaos = (
+            FaultPlan(PayloadCorruptionModel(prob=0.2, kind="nan"))
+            if poisoned
+            else None
+        )
+        engine = SyncEngine(
+            server, clients, FedAvg(participation_rate=1.0), cfg, chaos=chaos
+        )
+        return engine.run(), server
+
+    def test_guarded_within_five_points_of_fault_free(self):
+        clean, _ = self._run(poisoned=False)
+        guarded, server = self._run(
+            poisoned=True,
+            validation=ValidationConfig(trimmed_mean_fallback=True),
+        )
+        assert guarded.total_rejected > 0  # the screens actually fired
+        assert np.all(np.isfinite(server.params))
+        assert abs(guarded.final_accuracy - clean.final_accuracy) <= 0.05
+        assert clean.final_accuracy > self.CHANCE  # the bar means something
+
+    def test_vanilla_server_diverges(self):
+        vanilla, server = self._run(poisoned=True)
+        assert not np.all(np.isfinite(server.params))  # NaN reached the model
+        assert vanilla.final_accuracy <= self.CHANCE + 0.05
+        assert vanilla.total_rejected == 0  # nothing screened it
+
+
+class TestFaultMatrixSmoke:
+    """The full scenario matrix runs end-to-end on both engines."""
+
+    @pytest.mark.parametrize("engine", ["sync", "async"])
+    def test_matrix(self, engine):
+        outcomes = run_chaos_study(scale=TINY, seed=0, engine=engine)
+        names = [o.scenario for o in outcomes]
+        assert names == [s.name for s in default_scenarios()]
+        by_name = {o.scenario: o for o in outcomes}
+
+        for o in outcomes:
+            assert o.total_uploads > 0
+
+        # Validation-bearing scenarios actually refused something.
+        assert by_name["corrupt-guarded"].rejected_uploads > 0
+        assert "corrupt" in by_name["corrupt-guarded"].drops_by_reason
+        assert by_name["stale-dup"].rejected_uploads > 0
+        # Outage windows blocked uploads on both engines.
+        assert "server_down" in by_name["outage"].drops_by_reason
+        # Unguarded scenarios never report rejections.
+        assert by_name["baseline"].rejected_uploads == 0
+        assert by_name["corrupt-unguarded"].rejected_uploads == 0
+
+    def test_sync_crash_scenario_drops_work(self):
+        outcomes = run_chaos_study(scale=TINY, seed=0, engine="sync")
+        crash = next(o for o in outcomes if o.scenario == "crash")
+        assert "crash" in crash.drops_by_reason
+
+    def test_report_formats(self):
+        outcomes = run_chaos_study(scale=TINY, seed=0, engine="sync")
+        report = format_chaos_report(outcomes)
+        assert "chaos resilience report" in report
+        for scenario in default_scenarios():
+            assert scenario.name in report
+        assert "vs baseline" in report
+        assert "drops by reason" in report

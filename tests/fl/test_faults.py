@@ -79,3 +79,13 @@ class TestFromFraction:
         a = FaultInjector.from_fraction("dropout", 10, 0.5, np.random.default_rng(1))
         b = FaultInjector.from_fraction("dropout", 10, 0.5, np.random.default_rng(1))
         assert a.straggler_ids == b.straggler_ids
+
+    def test_small_fleet_still_gets_a_straggler(self, rng):
+        # 0.1 * 4 rounds to zero; a positive fraction must still bite.
+        inj = FaultInjector.from_fraction("dropout", 4, 0.1, rng)
+        assert len(inj.straggler_ids) == 1
+
+    @pytest.mark.parametrize("num_clients", [1, 2, 3, 5])
+    def test_any_positive_fraction_injects(self, num_clients, rng):
+        inj = FaultInjector.from_fraction("dataloss", num_clients, 0.01, rng)
+        assert len(inj.straggler_ids) >= 1

@@ -102,3 +102,39 @@ class TestCheckpoint:
         other = build_mlp((1, 6, 6), 4, hidden=(5,), seed=0)  # different width
         with pytest.raises(ValueError):
             load_checkpoint(other, tmp_path / "m.npz")
+
+
+class TestFormatVersions:
+    """v2 adds per-round rejected_uploads; v1 files must still load."""
+
+    def test_writer_emits_version_2(self, result):
+        payload = run_result_to_dict(result)
+        assert payload["format_version"] == 2
+        assert all("rejected_uploads" in rec for rec in payload["records"])
+
+    def test_v2_roundtrip_preserves_rejections(self, result):
+        result.records[0].rejected_uploads = 3
+        restored = run_result_from_dict(run_result_to_dict(result))
+        assert restored.records[0].rejected_uploads == 3
+        assert restored.total_rejected == 3
+
+    def test_v1_document_loads_with_zero_rejections(self, result):
+        payload = run_result_to_dict(result)
+        payload["format_version"] = 1
+        for rec in payload["records"]:
+            del rec["rejected_uploads"]
+        restored = run_result_from_dict(payload)
+        assert all(r.rejected_uploads == 0 for r in restored.records)
+        assert restored.total_uploads == result.total_uploads
+
+    def test_v1_file_roundtrip(self, result, tmp_path):
+        import json
+
+        payload = run_result_to_dict(result)
+        payload["format_version"] = 1
+        for rec in payload["records"]:
+            del rec["rejected_uploads"]
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(payload))
+        restored = load_run_result(path)
+        assert restored.final_accuracy == result.final_accuracy

@@ -110,3 +110,43 @@ class TestEngineIntegration:
         flaky = run(ChurnModel(4, mean_on_s=1.0, mean_off_s=1.0, seed=5))
         assert flaky.total_uploads == always.total_uploads == 40
         assert flaky.total_sim_time > always.total_sim_time
+
+
+class TestBoundarySemantics:
+    """Pin the schedule's exact edge behaviour (half-open toggles)."""
+
+    def test_start_online_prob_extremes_at_t_zero(self):
+        always = ChurnModel(8, seed=0, start_online_prob=1.0)
+        never = ChurnModel(8, seed=0, start_online_prob=0.0)
+        assert all(always.is_online(c, 0.0) for c in range(8))
+        assert not any(never.is_online(c, 0.0) for c in range(8))
+
+    def test_state_flips_exactly_at_toggle_time(self):
+        model = ChurnModel(
+            1, mean_on_s=5.0, mean_off_s=5.0, seed=4, start_online_prob=1.0
+        )
+        model.is_online(0, 1000.0)  # force schedule generation
+        first = model._toggles[0][0]
+        # Half-open periods: up on [0, first), down starting at first.
+        assert model.is_online(0, np.nextafter(first, 0.0))
+        assert not model.is_online(0, first)
+
+    def test_next_online_lands_on_exact_toggle(self):
+        model = ChurnModel(
+            1, mean_on_s=5.0, mean_off_s=5.0, seed=9, start_online_prob=0.0
+        )
+        model.is_online(0, 0.0)
+        first = model._toggles[0][0]
+        assert model.next_online(0, 0.0) == first
+        assert model.is_online(0, first)
+
+    def test_extend_is_lazy_but_stable(self):
+        # Extending the schedule in two hops yields the same toggles as
+        # one far query: _extend must never re-draw existing periods.
+        a = ChurnModel(1, mean_on_s=10.0, mean_off_s=10.0, seed=2)
+        b = ChurnModel(1, mean_on_s=10.0, mean_off_s=10.0, seed=2)
+        a.is_online(0, 2000.0)
+        for t in (50.0, 400.0, 2000.0):
+            b.is_online(0, t)
+        n = len(b._toggles[0])
+        assert a._toggles[0][:n] == b._toggles[0][:n] or a._toggles[0] == b._toggles[0]

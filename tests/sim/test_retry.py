@@ -1,0 +1,86 @@
+"""Tests for the transfer retry policy."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_frac": -0.1},
+            {"multiplier": 0.0},
+            {"multiplier": -1.0},
+            {"max_backoff_s": -1.0},
+            {"jitter_frac": -0.1},
+            {"jitter_frac": 1.0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestSingle:
+    def test_single_is_one_attempt(self):
+        policy = RetryPolicy.single()
+        assert policy.max_attempts == 1
+        assert policy.exhausted(1)
+
+    def test_exhausted_is_one_based(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.exhausted(1)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+        assert policy.exhausted(4)
+
+
+class TestBackoffSchedule:
+    def test_exponential_schedule(self):
+        policy = RetryPolicy(backoff_frac=0.5, multiplier=2.0)
+        dur = 3.0
+        assert policy.backoff_s(1, dur) == 0.5 * dur
+        assert policy.backoff_s(2, dur) == 0.5 * dur * 2.0
+        assert policy.backoff_s(3, dur) == 0.5 * dur * 4.0
+
+    def test_scales_with_leg_duration(self):
+        policy = RetryPolicy(backoff_frac=1.0, multiplier=1.0)
+        assert policy.backoff_s(1, 0.25) == 0.25
+        assert policy.backoff_s(5, 0.25) == 0.25  # constant schedule
+
+    def test_cap_clamps_the_tail(self):
+        policy = RetryPolicy(backoff_frac=1.0, multiplier=10.0, max_backoff_s=5.0)
+        assert policy.backoff_s(1, 1.0) == 1.0
+        assert policy.backoff_s(2, 1.0) == 5.0
+        assert policy.backoff_s(7, 1.0) == 5.0
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s(0, 1.0)
+
+
+class TestJitter:
+    def test_no_jitter_without_rng(self):
+        policy = RetryPolicy(backoff_frac=1.0, multiplier=1.0, jitter_frac=0.5)
+        assert policy.backoff_s(1, 2.0, rng=None) == 2.0
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(backoff_frac=1.0, multiplier=1.0, jitter_frac=0.25)
+        rng = np.random.default_rng(0)
+        base = 2.0
+        waits = [policy.backoff_s(1, base, rng=rng) for _ in range(500)]
+        assert all(base * 0.75 <= w <= base * 1.25 for w in waits)
+        assert max(waits) > min(waits)  # jitter actually fires
+
+    def test_jitter_deterministic_given_stream(self):
+        policy = RetryPolicy(backoff_frac=1.0, multiplier=2.0, jitter_frac=0.1)
+        a = [policy.backoff_s(k, 1.5, np.random.default_rng(7)) for k in (1, 2, 3)]
+        b = [policy.backoff_s(k, 1.5, np.random.default_rng(7)) for k in (1, 2, 3)]
+        assert a == b
