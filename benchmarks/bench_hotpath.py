@@ -27,6 +27,9 @@ Sections
     The timed path runs with metrics-only tracing; ``meta`` records the
     overhead ratio with a ring-buffer trace sink attached, asserted to
     stay under 5%.
+``lint``
+    A full-repo reprolint pass (``repro lint``), asserted to stay
+    under the 5-second single-core developer budget.
 
 Run directly::
 
@@ -318,6 +321,44 @@ def bench_resilience(iters: int) -> dict:
     return stats
 
 
+def bench_lint(iters: int) -> dict:
+    """One full-repo reprolint pass (parse + every rule family).
+
+    The static checker rides the pre-commit/CI path, so its latency is
+    a developer-facing budget: a full single-core pass over the whole
+    package must stay under 5 seconds (it is currently ~100x inside
+    that).  ``meta`` records the census so a silently shrinking file
+    set cannot fake a speedup.
+    """
+    from repro.analysis import (
+        default_baseline_path,
+        default_lint_paths,
+        default_src_root,
+        run_lint,
+    )
+
+    paths = default_lint_paths()
+    src_root = default_src_root()
+    baseline = default_baseline_path()
+
+    result_box = {}
+
+    def step() -> None:
+        result_box["result"] = run_lint(paths, src_root, baseline_path=baseline)
+
+    stats = _time_section(step, iters, warmup=1)
+    assert stats["min_s"] < 5.0, (
+        f"full-repo lint pass took {stats['min_s']:.2f}s; budget is 5s"
+    )
+    result = result_box["result"]
+    stats["meta"] = {
+        "files_checked": result.files_checked,
+        "rules_run": len(result.rules_run),
+        "violations": len(result.violations),
+    }
+    return stats
+
+
 SECTIONS = {
     "flat_roundtrip": (bench_flat_roundtrip, 50),
     "local_train": (bench_local_train, 5),
@@ -325,6 +366,7 @@ SECTIONS = {
     "conv_fwd_bwd": (bench_conv_fwd_bwd, 20),
     "engine_loop": (bench_engine_loop, 8),
     "resilience": (bench_resilience, 10),
+    "lint": (bench_lint, 5),
 }
 
 

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""CI gate over reprolint, the repo's static invariant checker.
+
+Runs the full ``repro lint`` pass (every rule family, baseline
+applied) and exits with the linter's stable exit code, so CI can gate
+on static invariants the same way ``check_bench.py`` gates on perf:
+
+* ``0`` — clean: no violations, no stale baseline entries;
+* ``1`` — violations, or baseline entries that no longer match any
+  violation (fixed code: remove them — baselines only shrink);
+* ``2`` — the lint pass itself failed (unparsable file, broken
+  baseline file).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_lint.py                    # gate
+    PYTHONPATH=src python scripts/check_lint.py --json             # report
+    PYTHONPATH=src python scripts/check_lint.py --update-baseline  # grandfather
+
+``--update-baseline`` snapshots the current violations into
+``LINT_baseline.json``.  The shipped baseline is empty — the rules
+were calibrated against the code and real violations were fixed, not
+parked — so updating it to a non-empty state is a deliberate,
+reviewable act.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import (  # noqa: E402 - after sys.path bootstrap
+    default_baseline_path,
+    default_lint_paths,
+    default_src_root,
+    exit_code,
+    render_json,
+    render_text,
+    run_lint,
+    save_baseline,
+)
+from repro.analysis.runner import EXIT_CLEAN, EXIT_ERROR  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids or families (default: all)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite LINT_baseline.json to suppress current violations",
+    )
+    args = parser.parse_args(argv)
+
+    select = args.select.split(",") if args.select else None
+    try:
+        result = run_lint(
+            default_lint_paths(),
+            src_root=default_src_root(),
+            select=select,
+            baseline_path=default_baseline_path(),
+        )
+    except Exception as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.update_baseline:
+        save_baseline(default_baseline_path(), result.violations)
+        print(
+            f"baseline updated: {default_baseline_path()} "
+            f"({len(result.violations)} entries)"
+        )
+        return EXIT_CLEAN
+
+    print(render_json(result) if args.json else render_text(result))
+    return exit_code(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""reprolint — project-specific static analysis for repo invariants.
+
+A self-contained, stdlib-``ast`` static checker that enforces the
+guarantees the runtime suites only verify after the fact:
+
+* **R1 determinism** — all randomness/time flows through seeded
+  kernel streams (no ``np.random.*`` legacy API, stdlib ``random``,
+  or wall-clock reads);
+* **R2 layering** — the package DAG holds, no import cycles, no new
+  importers of deprecated shims;
+* **R3 trace taxonomy** — every emitted event type / drop reason is
+  declared in :mod:`repro.sim.trace`, the drop-reason partition is
+  closed, and the consumers still dispatch on it;
+* **R4 hot-path hygiene** — explicit dtypes, no copy-inducing
+  constructs, no array scatters in benchmark-pinned modules;
+* **R5 API surface** — ``__all__`` consistency, docstrings, and
+  annotation coverage on public callables.
+
+Entry points: ``repro lint`` (CLI), ``scripts/check_lint.py`` (CI
+gate), :func:`repro.analysis.runner.run_lint` (library).  The package
+depends only on the standard library — it never imports the code it
+analyses.
+"""
+
+from repro.analysis.baseline import apply_baseline, load_baseline, save_baseline
+from repro.analysis.config import (
+    LintConfig,
+    default_baseline_path,
+    default_config,
+    default_lint_paths,
+    default_src_root,
+)
+from repro.analysis.core import (
+    LintResult,
+    Rule,
+    RULE_REGISTRY,
+    Violation,
+    iter_rules,
+    parse_pragmas,
+    rule_catalogue,
+)
+from repro.analysis.project import LintError, Project, SourceFile
+from repro.analysis.report import render_catalogue, render_json, render_text
+from repro.analysis.runner import exit_code, lint_project, run_lint
+
+__all__ = [
+    "LintConfig",
+    "LintError",
+    "LintResult",
+    "Project",
+    "Rule",
+    "RULE_REGISTRY",
+    "SourceFile",
+    "Violation",
+    "apply_baseline",
+    "default_baseline_path",
+    "default_config",
+    "default_lint_paths",
+    "default_src_root",
+    "exit_code",
+    "iter_rules",
+    "lint_project",
+    "load_baseline",
+    "parse_pragmas",
+    "render_catalogue",
+    "render_json",
+    "render_text",
+    "rule_catalogue",
+    "run_lint",
+    "save_baseline",
+]

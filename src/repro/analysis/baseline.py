@@ -1,0 +1,91 @@
+"""Checked-in lint baseline: grandfathered violations, one per entry.
+
+The baseline exists so a new rule can land before every historical
+violation is fixed — but the shipped repo keeps it **empty** for
+``src/``: the rules were calibrated against the code and the real
+violations they surfaced were fixed, not parked.  The file stays in
+the tree (``LINT_baseline.json``) so the workflow is ready the day a
+rule tightens:
+
+1. ``python scripts/check_lint.py --update-baseline`` snapshots the
+   current violations;
+2. burn entries down over subsequent PRs;
+3. a baseline entry that no longer matches anything is *stale* and
+   fails the gate — baselines only shrink.
+
+Entries match on ``(path, rule, snippet)`` — the violation's
+:attr:`~repro.analysis.core.Violation.fingerprint` — so edits that
+merely shift line numbers do not churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.core import Violation
+
+__all__ = ["load_baseline", "save_baseline", "apply_baseline", "BASELINE_SCHEMA"]
+
+BASELINE_SCHEMA = 1
+
+
+def load_baseline(path: Path) -> list[dict]:
+    """Read suppression entries; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"unsupported baseline schema {data.get('schema')!r} in {path}"
+        )
+    entries = data.get("suppressions", [])
+    for entry in entries:
+        if not {"path", "rule", "snippet"} <= set(entry):
+            raise ValueError(f"malformed baseline entry in {path}: {entry}")
+    return entries
+
+
+def save_baseline(path: Path, violations: list[Violation]) -> None:
+    """Write the violations as the new baseline (sorted, deterministic)."""
+    entries = sorted(
+        (
+            {"path": v.path, "rule": v.rule, "snippet": v.snippet}
+            for v in violations
+        ),
+        key=lambda e: (e["path"], e["rule"], e["snippet"]),
+    )
+    payload = {"schema": BASELINE_SCHEMA, "suppressions": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    violations: list[Violation], entries: list[dict]
+) -> tuple[list[Violation], list[Violation], list[dict]]:
+    """Split violations into (fresh, baselined) and find stale entries.
+
+    Matching is multiset-aware: an entry suppresses as many identical
+    violations as it appears times in the baseline, no more.
+    """
+    budget = Counter(
+        (entry["path"], entry["rule"], entry["snippet"]) for entry in entries
+    )
+    fresh: list[Violation] = []
+    baselined: list[Violation] = []
+    for violation in violations:
+        key = violation.fingerprint
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined.append(violation)
+        else:
+            fresh.append(violation)
+    stale = [
+        {"path": path, "rule": rule, "snippet": snippet}
+        for (path, rule, snippet), remaining in sorted(budget.items())
+        for _ in range(remaining)
+    ]
+    return fresh, baselined, stale

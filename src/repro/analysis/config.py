@@ -1,0 +1,156 @@
+"""Lint configuration: the repo's invariants, written down as data.
+
+Every rule family reads its project-specific knowledge from
+:class:`LintConfig` rather than hard-coding it, so the test suite can
+lint synthetic fixture projects with a scaled-down configuration and
+the shipped defaults stay in one reviewable place:
+
+* which package layers may import which (:data:`ALLOWED_DEPS` — the
+  DAG behind rule R201);
+* which modules are deprecated shims (R203);
+* where the trace taxonomy is declared and who must consume it
+  (R301-R304);
+* which modules are benchmark-pinned hot paths (R4);
+* which packages require complete public annotations (R504).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+__all__ = [
+    "LintConfig",
+    "ALLOWED_DEPS",
+    "HOTPATH_MODULES",
+    "default_config",
+    "default_src_root",
+    "default_lint_paths",
+    "default_baseline_path",
+]
+
+# ----------------------------------------------------------------------
+# R2: the package DAG.  Key: second-level package under ``repro``;
+# value: packages it may import.  ``nn``/``compression``/``sim``/
+# ``data``/``analysis`` are leaves; ``fl`` builds on the substrate;
+# ``core`` (AdaFL) builds on ``fl``; ``experiments`` and the CLI sit on
+# top.  Anything absent from a value set — in particular ``fl``,
+# ``experiments``, and ``cli`` from any substrate package — is a
+# layering violation.
+# ----------------------------------------------------------------------
+ALLOWED_DEPS: Mapping[str, frozenset[str]] = {
+    "nn": frozenset(),
+    "compression": frozenset(),
+    "sim": frozenset(),
+    "data": frozenset(),
+    "analysis": frozenset(),
+    "network": frozenset({"sim"}),
+    "embedded": frozenset({"nn"}),
+    "fl": frozenset({"compression", "data", "embedded", "network", "nn", "sim"}),
+    "core": frozenset({"compression", "data", "fl", "network", "nn", "sim"}),
+    "experiments": frozenset(
+        {"compression", "core", "data", "embedded", "fl", "network", "nn", "sim"}
+    ),
+    "cli": frozenset(
+        {
+            "analysis",
+            "compression",
+            "core",
+            "data",
+            "embedded",
+            "experiments",
+            "fl",
+            "network",
+            "nn",
+            "sim",
+        }
+    ),
+}
+
+# ----------------------------------------------------------------------
+# R4: modules on the flat-parameter / DGC / conv hot paths pinned by
+# BENCH_hotpath.json (sections flat_roundtrip, local_train,
+# dgc_roundtrip, conv_fwd_bwd).  Allocation and copy discipline is
+# enforced only here — elsewhere clarity wins.
+# ----------------------------------------------------------------------
+HOTPATH_MODULES: frozenset[str] = frozenset(
+    {
+        "repro.nn.sequential",
+        "repro.nn.optim",
+        "repro.nn.conv_utils",
+        "repro.nn.layers",
+        "repro.compression.dgc",
+        "repro.compression.topk",
+        "repro.compression.error_feedback",
+        "repro.fl.client",
+    }
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Knobs for one lint pass (defaults describe this repo)."""
+
+    # Root package the layering/taxonomy rules reason about.
+    package: str = "repro"
+    # R1: module suffixes where legacy RNG / wall-clock calls are
+    # legitimate (none in src today; tests inject their own).
+    rng_allowed_modules: frozenset[str] = frozenset()
+    # R2
+    allowed_deps: Mapping[str, frozenset[str]] = field(
+        default_factory=lambda: dict(ALLOWED_DEPS)
+    )
+    deprecated_modules: Mapping[str, str] = field(
+        default_factory=lambda: {"repro.network.events": "repro.sim.events"}
+    )
+    # R3: where the taxonomy lives and which consumers must reference
+    # which of its names.
+    taxonomy_module: str = "repro.sim.trace"
+    taxonomy_consumers: Mapping[str, tuple[str, ...]] = field(
+        default_factory=lambda: {
+            "repro.fl.metrics": (
+                "COUNTED_DROP_REASONS",
+                "REJECTED_DROP_REASONS",
+            ),
+            "repro.experiments.chaos": (
+                "COUNTED_DROP_REASONS",
+                "REJECTED_DROP_REASONS",
+            ),
+            "repro.sim.analysis": ("DROPPED",),
+        }
+    )
+    # R4
+    hotpath_modules: frozenset[str] = HOTPATH_MODULES
+    # R5: packages whose *public* callables must be fully annotated.
+    strict_annotation_prefixes: tuple[str, ...] = ("repro.sim", "repro.fl.config")
+    # Modules exempt from the module-level ``__all__`` requirement.
+    all_exempt_modules: frozenset[str] = frozenset({"repro.__main__"})
+
+    def module_rng_allowed(self, module: str) -> bool:
+        """Whether R1 is switched off for ``module``."""
+        return any(
+            module == m or module.endswith("." + m) for m in self.rng_allowed_modules
+        )
+
+
+def default_config() -> LintConfig:
+    """The shipped configuration for linting this repository."""
+    return LintConfig()
+
+
+def default_src_root() -> Path:
+    """The ``src/`` directory this installed ``repro`` package lives in."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent.parent
+
+
+def default_lint_paths() -> list[Path]:
+    """What ``repro lint`` checks when no paths are given: the package."""
+    return [default_src_root() / "repro"]
+
+
+def default_baseline_path() -> Path:
+    """Repo-root ``LINT_baseline.json`` next to ``BENCH_hotpath.json``."""
+    return default_src_root().parent / "LINT_baseline.json"

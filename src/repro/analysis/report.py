@@ -1,0 +1,93 @@
+"""Reporters: human text and machine JSON for a lint result.
+
+The text form groups violations by file and ends with a one-line
+verdict; the JSON form is stable and sorted (suitable for diffing and
+for the ``check_lint`` CI gate) and carries the annotation-coverage
+metric alongside the violations.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import LintResult, rule_catalogue
+
+__all__ = ["render_text", "render_json", "render_catalogue"]
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """The ``repro lint`` terminal report."""
+    lines: list[str] = []
+    current = None
+    for violation in result.violations:
+        if violation.path != current:
+            if current is not None:
+                lines.append("")
+            current = violation.path
+        lines.append(violation.render())
+    if result.stale_baseline:
+        if lines:
+            lines.append("")
+        lines.append("stale baseline entries (fixed code — remove them):")
+        for entry in result.stale_baseline:
+            lines.append(
+                f"  {entry['path']}: {entry['rule']} {entry['snippet']!r}"
+            )
+    if verbose and result.baselined:
+        lines.append("")
+        lines.append(f"baselined (suppressed) violations: {len(result.baselined)}")
+        for violation in result.baselined:
+            lines.append("  " + violation.render())
+    if lines:
+        lines.append("")
+    coverage = result.metrics.get("annotation_coverage", {}).get("total", {})
+    summary = (
+        f"{len(result.violations)} violation(s) in {result.files_checked} file(s)"
+        f" [{len(result.rules_run)} rules"
+        f", {result.pragma_suppressed} pragma-allowed"
+        f", {len(result.baselined)} baselined]"
+    )
+    if coverage:
+        summary += f"; public annotation coverage {coverage.get('coverage', 0):.1%}"
+    lines.append(summary)
+    lines.append("lint: " + ("clean" if result.clean else "FAILED"))
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable machine-readable report (``repro lint --json``)."""
+    payload = {
+        "schema": 1,
+        "clean": result.clean,
+        "files_checked": result.files_checked,
+        "rules_run": result.rules_run,
+        "pragma_suppressed": result.pragma_suppressed,
+        "violations": [
+            {
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "message": v.message,
+                "snippet": v.snippet,
+            }
+            for v in result.violations
+        ],
+        "baselined": [
+            {"rule": v.rule, "path": v.path, "line": v.line} for v in result.baselined
+        ],
+        "stale_baseline": result.stale_baseline,
+        "metrics": result.metrics,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_catalogue() -> str:
+    """The rule catalogue (``repro lint --rules``)."""
+    lines = ["reprolint rule catalogue", ""]
+    family = None
+    for rule_id, summary in rule_catalogue():
+        if rule_id[:2] != family:
+            family = rule_id[:2]
+            lines.append(f"{family}xx:")
+        lines.append(f"  {rule_id}  {summary}")
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Rule families — importing this package populates the registry.
+
+Five families ship with the repo:
+
+* :mod:`repro.analysis.rules.determinism` — R1xx: no legacy global
+  RNG or wall-clock reads outside the kernel's seeded streams;
+* :mod:`repro.analysis.rules.layering` — R2xx: the package DAG, cycle
+  freedom, and deprecated-shim imports;
+* :mod:`repro.analysis.rules.taxonomy` — R3xx: the event/drop-reason
+  taxonomy is closed and consumed consistently;
+* :mod:`repro.analysis.rules.hotpath` — R4xx: allocation and copy
+  discipline in benchmark-pinned hot paths;
+* :mod:`repro.analysis.rules.api` — R5xx: ``__all__`` consistency,
+  docstrings, and annotation coverage of the public surface.
+"""
+
+from repro.analysis.rules import api, determinism, hotpath, layering, taxonomy
+
+__all__ = ["api", "determinism", "hotpath", "layering", "taxonomy"]

@@ -1,0 +1,300 @@
+"""R5: API surface — ``__all__``, docstrings, annotation coverage.
+
+The repo's convention: every module declares ``__all__`` naming its
+public surface, every public top-level callable carries a docstring,
+and packages that other layers build against (``repro.sim``,
+``repro.fl.config``) keep their public signatures fully annotated.
+
+* **R501** — an ``__all__`` entry that the module never defines (or a
+  duplicate entry): silently broken ``from m import *`` and docs;
+* **R502** — a public top-level function/class missing from
+  ``__all__``: either export it or underscore it;
+* **R503** — a module with no ``__all__`` at all (dunder modules like
+  ``__main__`` are exempt via config);
+* **R504** — a public callable in a strict-annotation package with
+  unannotated parameters or return;
+* **R505** — a public top-level function/class without a docstring.
+
+Beyond violations, this module computes the **annotation-coverage
+metric** reported by ``repro lint --json``: per top-level package, the
+fraction of public-signature slots (parameters + returns) that carry
+annotations — the dashboard number the strict packages hold at 100%.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileRule, Violation, register_rule
+from repro.analysis.project import Project, SourceFile
+
+__all__ = [
+    "DunderAllDefinedRule",
+    "DunderAllCoversRule",
+    "DunderAllPresentRule",
+    "StrictAnnotationRule",
+    "PublicDocstringRule",
+    "annotation_coverage",
+]
+
+
+def _declared_all(tree: ast.Module) -> tuple[list[str] | None, int]:
+    """(entries, line) of the module's ``__all__`` literal, if resolvable."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            try:
+                value = ast.literal_eval(node.value)
+            except ValueError:
+                return None, node.lineno
+            if isinstance(value, (list, tuple)) and all(
+                isinstance(v, str) for v in value
+            ):
+                return list(value), node.lineno
+            return None, node.lineno
+    return None, 0
+
+
+def _toplevel_names(tree: ast.Module) -> set[str]:
+    """Every name a module binds at top level (defs, classes, assigns, imports)."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, (ast.If, ast.Try)):
+            # Names bound under conditional blocks (TYPE_CHECKING, etc.)
+            for sub in ast.walk(node):
+                if isinstance(
+                    sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    names.add(sub.name)
+                elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    for alias in sub.names:
+                        names.add((alias.asname or alias.name).split(".")[0])
+    return names
+
+
+def _public_toplevel_defs(
+    tree: ast.Module,
+) -> list[ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef]:
+    return [
+        node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        and not node.name.startswith("_")
+    ]
+
+
+@register_rule
+class DunderAllDefinedRule(FileRule):
+    """R501: every ``__all__`` entry resolves; no duplicates."""
+
+    id = "R501"
+    summary = "__all__ entry undefined in module, or duplicated"
+
+    def check_file(
+        self, source: SourceFile, project: Project
+    ) -> Iterator[Violation]:
+        entries, line = _declared_all(source.tree)
+        if entries is None:
+            return
+        defined = _toplevel_names(source.tree)
+        for entry in sorted(set(entries)):
+            if entries.count(entry) > 1:
+                yield Violation(
+                    rule=self.id,
+                    path=source.rel,
+                    line=line,
+                    message=f"__all__ lists {entry!r} more than once",
+                    snippet=source.snippet(line),
+                )
+            if entry not in defined:
+                yield Violation(
+                    rule=self.id,
+                    path=source.rel,
+                    line=line,
+                    message=f"__all__ lists {entry!r} but the module never "
+                    "defines it",
+                    snippet=source.snippet(line),
+                )
+
+
+@register_rule
+class DunderAllCoversRule(FileRule):
+    """R502: public top-level defs are exported (or underscored)."""
+
+    id = "R502"
+    summary = "public top-level callable missing from __all__"
+
+    def check_file(
+        self, source: SourceFile, project: Project
+    ) -> Iterator[Violation]:
+        entries, _ = _declared_all(source.tree)
+        if entries is None:
+            return
+        exported = set(entries)
+        for node in _public_toplevel_defs(source.tree):
+            if node.name not in exported:
+                yield Violation(
+                    rule=self.id,
+                    path=source.rel,
+                    line=node.lineno,
+                    message=f"public {type(node).__name__.replace('Def', '').lower()} "
+                    f"'{node.name}' is not in __all__; export it or prefix "
+                    "with an underscore",
+                    snippet=source.snippet(node.lineno),
+                )
+
+
+@register_rule
+class DunderAllPresentRule(FileRule):
+    """R503: modules declare their public surface."""
+
+    id = "R503"
+    summary = "module does not declare __all__"
+
+    def check_file(
+        self, source: SourceFile, project: Project
+    ) -> Iterator[Violation]:
+        if source.module in project.config.all_exempt_modules:
+            return
+        entries, _ = _declared_all(source.tree)
+        if entries is None:
+            yield Violation(
+                rule=self.id,
+                path=source.rel,
+                line=1,
+                message="module has no __all__; declare its public surface",
+                snippet=source.snippet(1),
+            )
+
+
+def _signature_slots(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> tuple[int, int, list[str]]:
+    """(annotated, total, missing-names) over parameters and return.
+
+    ``self``/``cls`` are excluded; ``__init__`` has no return slot
+    (its return is always None by construction).
+    """
+    args = list(node.args.posonlyargs) + list(node.args.args)
+    args = [a for a in args if a.arg not in ("self", "cls")]
+    args += list(node.args.kwonlyargs)
+    args += [a for a in (node.args.vararg, node.args.kwarg) if a is not None]
+    total = len(args)
+    annotated = sum(1 for a in args if a.annotation is not None)
+    missing = [a.arg for a in args if a.annotation is None]
+    if node.name != "__init__":
+        total += 1
+        if node.returns is not None:
+            annotated += 1
+        else:
+            missing.append("return")
+    return annotated, total, missing
+
+
+def _public_callables(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Public module-level functions and public/``__init__`` methods
+    of public classes."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                yield node
+        elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            for member in node.body:
+                if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if member.name == "__init__" or not member.name.startswith("_"):
+                    yield member
+
+
+@register_rule
+class StrictAnnotationRule(FileRule):
+    """R504: strict packages keep public signatures fully annotated."""
+
+    id = "R504"
+    summary = "missing annotation on a public signature in a strict package"
+
+    def check_file(
+        self, source: SourceFile, project: Project
+    ) -> Iterator[Violation]:
+        prefixes = project.config.strict_annotation_prefixes
+        if not any(
+            source.module == p or source.module.startswith(p + ".") for p in prefixes
+        ):
+            return
+        for node in _public_callables(source.tree):
+            annotated, total, missing = _signature_slots(node)
+            if annotated < total:
+                yield Violation(
+                    rule=self.id,
+                    path=source.rel,
+                    line=node.lineno,
+                    message=f"'{node.name}' missing annotations for: "
+                    + ", ".join(missing),
+                    snippet=source.snippet(node.lineno),
+                )
+
+
+@register_rule
+class PublicDocstringRule(FileRule):
+    """R505: public top-level callables carry docstrings."""
+
+    id = "R505"
+    summary = "public top-level function/class without a docstring"
+
+    def check_file(
+        self, source: SourceFile, project: Project
+    ) -> Iterator[Violation]:
+        for node in _public_toplevel_defs(source.tree):
+            if ast.get_docstring(node) is None:
+                yield Violation(
+                    rule=self.id,
+                    path=source.rel,
+                    line=node.lineno,
+                    message=f"public '{node.name}' has no docstring",
+                    snippet=source.snippet(node.lineno),
+                )
+
+
+def annotation_coverage(project: Project) -> dict:
+    """Per-package public-signature annotation coverage (the R5 metric)."""
+    per_package: dict[str, list[int]] = {}
+    for source in project.files:
+        counts = per_package.setdefault(source.package or source.module, [0, 0])
+        for node in _public_callables(source.tree):
+            annotated, total, _ = _signature_slots(node)
+            counts[0] += annotated
+            counts[1] += total
+    packages = {
+        name: {
+            "annotated": annotated,
+            "slots": total,
+            "coverage": round(annotated / total, 4) if total else 1.0,
+        }
+        for name, (annotated, total) in sorted(per_package.items())
+    }
+    annotated_sum = sum(v["annotated"] for v in packages.values())
+    slot_sum = sum(v["slots"] for v in packages.values())
+    return {
+        "packages": packages,
+        "total": {
+            "annotated": annotated_sum,
+            "slots": slot_sum,
+            "coverage": round(annotated_sum / slot_sum, 4) if slot_sum else 1.0,
+        },
+    }

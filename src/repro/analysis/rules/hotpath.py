@@ -1,0 +1,197 @@
+"""R4: allocation and copy discipline on benchmark-pinned hot paths.
+
+The flat-parameter engine and the DGC compressor are zero-copy by
+construction (PR 1) and the microbenchmark gate in
+``BENCH_hotpath.json`` pins their timings.  The regressions that suite
+catches *after the fact*, these rules catch at the line that
+introduces them — but only inside the modules named in
+:data:`repro.analysis.config.HOTPATH_MODULES`; elsewhere clarity beats
+allocation golf.
+
+* **R401** — array allocation (``np.zeros/ones/empty/full/arange``)
+  without an explicit ``dtype``: the float64 default silently doubles
+  payload widths and the int default is platform-dependent;
+* **R402** — copy-inducing construct: ``np.concatenate`` /
+  ``hstack`` / ``vstack`` / ``append`` / ``np.copy``, the ``.copy()``
+  method, or ``.flatten()`` (which always copies — ``ravel`` /
+  ``reshape(-1)`` return views when possible);
+* **R403** — fancy-index assignment scattering an *array* RHS
+  (``buf[idx] = values``): a gather/scatter that defeats
+  vectorised-view updates.  Scalar fills (``buf[idx] = 0.0``) are
+  cheap and exempt.
+
+Intentional scatters (e.g. sparse decompression into a fresh buffer)
+carry a ``# reprolint: allow[R403]`` pragma with a one-line
+justification — the pragma is the documentation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileRule, Violation, register_rule
+from repro.analysis.project import Project, SourceFile
+
+__all__ = ["AllocDtypeRule", "CopyConstructRule", "FancyIndexAssignRule"]
+
+_ALLOCATORS = frozenset({"zeros", "ones", "empty", "full", "arange"})
+_COPY_FUNCS = frozenset({"concatenate", "hstack", "vstack", "append", "copy"})
+
+
+def _is_hot(source: SourceFile, project: Project) -> bool:
+    return source.module in project.config.hotpath_modules
+
+
+def _numpy_call_name(node: ast.Call) -> str | None:
+    """``np.X(...)`` / ``numpy.X(...)`` → ``X``."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+    ):
+        return func.attr
+    return None
+
+
+@register_rule
+class AllocDtypeRule(FileRule):
+    """R401: hot-path allocations must pin their dtype."""
+
+    id = "R401"
+    summary = "hot-path array allocation without explicit dtype"
+
+    def check_file(
+        self, source: SourceFile, project: Project
+    ) -> Iterator[Violation]:
+        if not _is_hot(source, project):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _numpy_call_name(node)
+            if name not in _ALLOCATORS:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            # np.full/arange may pass dtype positionally in rare forms;
+            # be conservative and only accept the keyword spelling.
+            yield Violation(
+                rule=self.id,
+                path=source.rel,
+                line=node.lineno,
+                message=f"np.{name} without dtype= on a hot path; the "
+                "default dtype is implicit and platform/input dependent",
+                snippet=source.snippet(node.lineno),
+            )
+
+
+@register_rule
+class CopyConstructRule(FileRule):
+    """R402: no copy-inducing constructs on hot paths."""
+
+    id = "R402"
+    summary = "hot-path copy-inducing construct (concatenate/.copy()/.flatten())"
+
+    def check_file(
+        self, source: SourceFile, project: Project
+    ) -> Iterator[Violation]:
+        if not _is_hot(source, project):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _numpy_call_name(node)
+            label: str | None = None
+            if name in _COPY_FUNCS:
+                label = f"np.{name}"
+            elif isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "copy",
+                "flatten",
+            ):
+                recv = node.func.value
+                # dict snapshots in pickling plumbing are not ndarray
+                # copies; ``self.__dict__.copy()`` is idiomatic there.
+                if isinstance(recv, ast.Attribute) and recv.attr == "__dict__":
+                    continue
+                label = f".{node.func.attr}()"
+            if label is None:
+                continue
+            hint = (
+                "prefer ravel()/reshape(-1) (views)"
+                if label.endswith("flatten()")
+                else "preallocate/views instead"
+            )
+            yield Violation(
+                rule=self.id,
+                path=source.rel,
+                line=node.lineno,
+                message=f"{label} copies on a hot path; {hint}",
+                snippet=source.snippet(node.lineno),
+            )
+
+
+def _is_scalar_rhs(node: ast.expr) -> bool:
+    """Constants and signed constants — fills, not scatters."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.operand, ast.Constant):
+        return True
+    return False
+
+
+def _is_fancy_index(node: ast.expr) -> bool:
+    """An index expression that triggers numpy advanced indexing."""
+    if isinstance(node, (ast.Slice, ast.Constant)):
+        return False
+    if isinstance(node, ast.Tuple):
+        # A slice anywhere in the tuple means strided window assignment
+        # (``cols[:, :, i, j, :, :] = ...`` with scalar loop indices) —
+        # basic indexing, not a gather/scatter.
+        if any(isinstance(element, ast.Slice) for element in node.elts):
+            return False
+        return any(_is_fancy_index(element) for element in node.elts)
+    # Names, calls, attributes, lists, comparisons (boolean masks) all
+    # potentially select with an index array.
+    return isinstance(
+        node, (ast.Name, ast.Call, ast.Attribute, ast.List, ast.Compare, ast.BinOp)
+    )
+
+
+@register_rule
+class FancyIndexAssignRule(FileRule):
+    """R403: no array-valued fancy-index scatter on hot paths."""
+
+    id = "R403"
+    summary = "hot-path fancy-index assignment with an array RHS"
+
+    def check_file(
+        self, source: SourceFile, project: Project
+    ) -> Iterator[Violation]:
+        if not _is_hot(source, project):
+            return
+        for node in ast.walk(source.tree):
+            targets: list[ast.expr]
+            value: ast.expr
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AugAssign):
+                targets, value = [node.target], node.value
+            else:
+                continue
+            if _is_scalar_rhs(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Subscript):
+                    continue
+                if _is_fancy_index(target.slice):
+                    yield Violation(
+                        rule=self.id,
+                        path=source.rel,
+                        line=node.lineno,
+                        message="fancy-index scatter of an array on a hot "
+                        "path; if the gather/scatter is intentional, "
+                        "justify it with a reprolint pragma",
+                        snippet=source.snippet(node.lineno),
+                    )

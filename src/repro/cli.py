@@ -37,6 +37,7 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (one subcommand per experiment)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="AdaFL (DAC 2025) reproduction experiments",
@@ -94,6 +95,30 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--snapshot", required=True, help="snapshot file written by a run")
     resume.add_argument("--out", default=None, help="write the completed run JSON here")
     resume.add_argument("--trace", default=None, help="record post-resume events as JSONL here")
+
+    lint = sub.add_parser("lint", help="reprolint: static repo-invariant checks")
+    lint.add_argument(
+        "paths", nargs="*", default=None,
+        help="files/directories to lint (default: the repro package)",
+    )
+    lint.add_argument("--json", action="store_true", help="machine-readable report")
+    lint.add_argument("--rules", action="store_true", help="print the rule catalogue")
+    lint.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids or families (e.g. R2,R403)",
+    )
+    lint.add_argument(
+        "--baseline", default=None,
+        help="baseline file (default: LINT_baseline.json at the repo root)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline file"
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to suppress all current violations",
+    )
+    lint.add_argument("--verbose", action="store_true", help="list baselined hits too")
     return parser
 
 
@@ -268,8 +293,53 @@ def _cmd_trace(args) -> str:
     return "\n".join(out)
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        default_baseline_path,
+        default_lint_paths,
+        default_src_root,
+        exit_code,
+        render_catalogue,
+        render_json,
+        render_text,
+        run_lint,
+        save_baseline,
+    )
+    from repro.analysis.runner import EXIT_CLEAN, EXIT_ERROR
+
+    if args.rules:
+        print(render_catalogue())
+        return EXIT_CLEAN
+    paths = [Path(p) for p in args.paths] if args.paths else default_lint_paths()
+    baseline = None
+    if not args.no_baseline:
+        baseline = (
+            Path(args.baseline) if args.baseline else default_baseline_path()
+        )
+    select = args.select.split(",") if args.select else None
+    try:
+        result = run_lint(
+            paths, src_root=default_src_root(), select=select, baseline_path=baseline
+        )
+    except Exception as exc:  # unreadable input / broken baseline
+        print(f"lint error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if args.update_baseline:
+        target = baseline if baseline is not None else default_baseline_path()
+        save_baseline(target, result.violations)
+        print(f"baseline updated: {target} ({len(result.violations)} entries)")
+        return EXIT_CLEAN
+    print(render_json(result) if args.json else render_text(result, args.verbose))
+    return exit_code(result)
+
+
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        return _cmd_lint(args)
     scale = get_scale(args.scale)
     if args.command == "fig1":
         print(_cmd_fig1(scale, args.seed))

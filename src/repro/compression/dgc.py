@@ -122,6 +122,7 @@ class DGCCompressor(Compressor):
         if payload.method != self.name:
             raise ValueError(f"payload method {payload.method!r} is not {self.name!r}")
         dense = np.zeros(payload.dim, dtype=np.float64)
+        # reprolint: allow[R403] sparse decompression is a scatter by design
         dense[payload.data["indices"].astype(np.int64)] = payload.data["values"]
         return dense
 
@@ -139,6 +140,7 @@ class DGCCompressor(Compressor):
         if payload.dim != self.dim:
             raise ValueError("payload dimensionality mismatch")
         idx = payload.data["indices"].astype(np.int64)
+        # reprolint: allow[R403] loss recovery scatter-adds the k lost coords
         self._residual[idx] += payload.data["values"].astype(np.float64)
 
     def reset(self) -> None:

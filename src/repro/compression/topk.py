@@ -24,7 +24,7 @@ def topk_indices(values: np.ndarray, k: int) -> np.ndarray:
     if k <= 0:
         raise ValueError("k must be positive")
     if k >= values.size:
-        return np.arange(values.size)
+        return np.arange(values.size, dtype=np.intp)
     # argpartition gets the top-k set in O(d); only the index sort is
     # needed on top — any further ordering of the k selected entries
     # by magnitude would be discarded by it anyway.
@@ -66,5 +66,6 @@ class TopKCompressor(Compressor):
         if payload.method != self.name:
             raise ValueError(f"payload method {payload.method!r} is not {self.name!r}")
         dense = np.zeros(payload.dim, dtype=np.float64)
+        # reprolint: allow[R403] sparse decompression is a scatter by design
         dense[payload.data["indices"].astype(np.int64)] = payload.data["values"]
         return dense

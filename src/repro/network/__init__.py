@@ -3,7 +3,7 @@
 from repro.network.churn import AlwaysOn, ChurnModel
 from repro.network.conditions import ClientNetwork, NetworkConditions
 from repro.network.estimator import BandwidthEstimator
-from repro.network.events import Event, EventQueue
+from repro.sim.events import Event, EventQueue
 from repro.network.link import LINK_PRESETS, LinkModel, TransferResult, link_preset
 from repro.network.tracefile import load_trace_csv, load_trace_dir, save_trace_csv
 from repro.network.traces import (

@@ -298,7 +298,7 @@ class MaxPool2d(Layer):
             # so the backward pass routes each gradient exactly once.
             first = np.argmax(mask, axis=1)
             mask = np.zeros_like(mask)
-            mask[np.arange(mask.shape[0]), first] = True
+            mask[np.arange(mask.shape[0], dtype=np.intp), first] = True
             self._mask = mask
             self._x_shape = (n, c, h, w)
         return out.reshape(n, c, out_h, out_w)
@@ -391,6 +391,7 @@ class GlobalAvgPool2d(Layer):
         if self._x_shape is None:
             raise RuntimeError("backward called before forward(training=True)")
         n, c, h, w = self._x_shape
+        # reprolint: allow[R402] broadcast views are read-only; callers mutate grad_in
         grad_in = np.broadcast_to(
             grad_out[:, :, None, None] / (h * w), (n, c, h, w)
         ).copy()

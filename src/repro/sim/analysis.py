@@ -15,6 +15,7 @@ as the table the ``repro trace`` CLI subcommand prints.
 from __future__ import annotations
 
 from collections import Counter
+from pathlib import Path
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -168,7 +169,7 @@ class SummarySink(TraceSink):
         self.summary.timeline(slowest).slowest_rounds += 1
 
 
-def load_trace(path) -> list[TraceEvent]:
+def load_trace(path: str | Path) -> list[TraceEvent]:
     """Read a JSONL trace file back into events."""
     events = []
     with open(path, "r", encoding="utf-8") as fh:

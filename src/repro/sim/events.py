@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 __all__ = ["Event", "EventQueue"]
 
@@ -71,7 +71,7 @@ class EventQueue:
             raise IndexError("peek on empty EventQueue")
         return self._heap[0]
 
-    def drain_until(self, deadline: float):
+    def drain_until(self, deadline: float) -> Iterator[Event]:
         """Yield events with ``time <= deadline`` in order.
 
         The heap is re-examined after every yield, so events pushed by

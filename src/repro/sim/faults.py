@@ -29,6 +29,7 @@ cleanly into run snapshots.
 from __future__ import annotations
 
 import zlib
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -106,7 +107,7 @@ class _FaultModel:
 
     name = "fault"
 
-    def __init__(self, client_ids=None):
+    def __init__(self, client_ids: Iterable[int] | None = None):
         self.client_ids = None if client_ids is None else frozenset(
             int(i) for i in client_ids
         )
@@ -145,7 +146,7 @@ class ClientCrashModel(_FaultModel):
         self,
         mtbf_s: float,
         mean_downtime_s: float,
-        client_ids=None,
+        client_ids: Iterable[int] | None = None,
     ):
         super().__init__(client_ids)
         if mtbf_s <= 0 or mean_downtime_s <= 0:
@@ -197,7 +198,7 @@ class PayloadCorruptionModel(_FaultModel):
         prob: float,
         kind: str = "nan",
         magnitude: float = 1e6,
-        client_ids=None,
+        client_ids: Iterable[int] | None = None,
     ):
         super().__init__(client_ids)
         if not 0.0 <= prob <= 1.0:
@@ -245,7 +246,7 @@ class StaleUploadModel(_FaultModel):
         delay_prob: float = 0.0,
         mean_delay_s: float = 10.0,
         duplicate_prob: float = 0.0,
-        client_ids=None,
+        client_ids: Iterable[int] | None = None,
     ):
         super().__init__(client_ids)
         if not 0.0 <= delay_prob <= 1.0 or not 0.0 <= duplicate_prob <= 1.0:
@@ -286,7 +287,7 @@ class ServerOutageModel(_FaultModel):
 
     def __init__(
         self,
-        windows=None,
+        windows: Sequence[tuple[float, float]] | None = None,
         mtbf_s: float | None = None,
         mean_outage_s: float | None = None,
     ):
@@ -345,7 +346,7 @@ class FaultPlan:
     a plan restored from a snapshot keeps its advanced stream states.
     """
 
-    def __init__(self, *models):
+    def __init__(self, *models: _FaultModel):
         self.models = list(models)
         self.crash: ClientCrashModel | None = self._find(ClientCrashModel)
         self.corruption: PayloadCorruptionModel | None = self._find(

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -57,7 +58,7 @@ class SimKernel:
         self,
         seed: int,
         num_clients: int,
-        network=None,
+        network: Any = None,
         device_flops: np.ndarray | None = None,
         trace: EventTrace | None = None,
     ):
@@ -103,7 +104,7 @@ class SimKernel:
         """The root seed this kernel (and all derived streams) hang off."""
         return self._seed
 
-    def stream(self, *key) -> np.random.Generator:
+    def stream(self, *key: int | str) -> np.random.Generator:
         """A named derived RNG stream, independent of the root ``rng``.
 
         ``key`` is any mix of ints and short string tags (hashed with

@@ -48,17 +48,20 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from pathlib import Path
+from typing import IO, Any, Iterable
 
 __all__ = [
     "TraceEvent",
     "EventTrace",
+    "TraceSink",
     "RingBufferSink",
     "JsonlSink",
     "EVENT_TYPES",
     "DROP_REASONS",
     "COUNTED_DROP_REASONS",
     "REJECTED_DROP_REASONS",
+    "UNCOUNTED_DROP_REASONS",
     "RUN_START",
     "RUN_END",
     "SELECTED",
@@ -130,6 +133,11 @@ COUNTED_DROP_REASONS = frozenset(
 # Reasons assigned by the server's update validation: the payload
 # arrived but was refused.  Counted into RoundRecord.rejected_uploads.
 REJECTED_DROP_REASONS = frozenset({"corrupt", "stale"})
+# Reasons that enter no RoundRecord tally: the client never joined the
+# round (offline at selection time), so there is no upload to count as
+# lost or rejected.  Together the three buckets partition DROP_REASONS
+# — reprolint R303 keeps the partition disjoint and exhaustive.
+UNCOUNTED_DROP_REASONS = frozenset({"offline"})
 
 
 @dataclass(frozen=True)
@@ -210,7 +218,7 @@ class JsonlSink(TraceSink):
     produce byte-identical files.
     """
 
-    def __init__(self, path_or_file):
+    def __init__(self, path_or_file: str | Path | IO[str]):
         if hasattr(path_or_file, "write"):
             self._file = path_or_file
             self._owns = False
@@ -244,7 +252,9 @@ class EventTrace:
         self._sinks.append(sink)
         return sink
 
-    def emit(self, type: str, t: float, client: int | None = None, **data) -> None:
+    def emit(
+        self, type: str, t: float, client: int | None = None, **data: Any
+    ) -> None:
         """Publish one event to every sink."""
         if type not in EVENT_TYPES:
             raise ValueError(f"unknown trace event type {type!r}")

@@ -1,0 +1,11 @@
+"""R1 clean fixture: seeded generators and perf counters only."""
+
+import time
+
+import numpy as np
+
+
+def draw(seed: int) -> float:
+    rng = np.random.default_rng(seed)  # sanctioned constructor
+    started = time.perf_counter()  # benchmarking clock is fine
+    return float(rng.normal()) + (time.perf_counter() - started) * 0.0

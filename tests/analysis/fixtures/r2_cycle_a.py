@@ -1,0 +1,7 @@
+"""R2 cycle fixture, half A (loaded as repro.sim.fixture_cycle_a)."""
+
+from repro.sim.fixture_cycle_b import beta
+
+
+def alpha() -> int:
+    return beta() + 1

@@ -1,0 +1,7 @@
+"""R2 cycle fixture, half B (loaded as repro.sim.fixture_cycle_b)."""
+
+from repro.sim.fixture_cycle_a import alpha
+
+
+def beta() -> int:
+    return alpha() + 1

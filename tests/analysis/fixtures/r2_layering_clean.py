@@ -1,0 +1,7 @@
+"""R2 clean fixture: loaded as a ``repro.fl`` module, imports substrate."""
+
+from repro.nn.layers import Layer  # fl may build on nn
+
+
+def touch() -> type:
+    return Layer

@@ -1,0 +1,7 @@
+"""R2 offending fixture: loaded as a ``repro.nn`` module, imports fl."""
+
+from repro.fl.client import Client  # substrate must not import federation
+
+
+def touch() -> type:
+    return Client

@@ -1,0 +1,7 @@
+"""R2 shim fixture: imports the deprecated repro.network.events shim."""
+
+from repro.network.events import Event
+
+
+def touch() -> type:
+    return Event

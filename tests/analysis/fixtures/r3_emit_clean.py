@@ -1,0 +1,9 @@
+"""R3 clean emit sites: literals and imported constants only."""
+
+from fix.trace import PING
+
+
+def run(trace, t: float, reason: str) -> None:
+    trace.emit(PING, t)  # imported constant resolves
+    trace.emit("dropped", t, reason="lost")  # declared literal
+    trace.emit("dropped", t, reason=reason)  # dynamic: out of static reach

@@ -1,0 +1,7 @@
+"""R3 offending emit sites: undeclared type, reason, unresolvable name."""
+
+
+def run(trace, t: float) -> None:
+    trace.emit("warp", t)  # R301: not in EVENT_TYPES
+    trace.emit("dropped", t, reason="mystery")  # R302: unknown reason
+    trace.emit(SOME_CONST, t)  # R301: name not imported from the taxonomy  # noqa: F821

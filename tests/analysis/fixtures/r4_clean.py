@@ -1,0 +1,22 @@
+"""R4 clean fixture: explicit dtypes, views, fills, justified scatter."""
+
+import numpy as np
+
+
+def churn(
+    y: np.ndarray,
+    buf: np.ndarray,
+    idx: np.ndarray,
+    vals: np.ndarray,
+    cols: np.ndarray,
+    x: np.ndarray,
+    i: int,
+    j: int,
+):
+    a = np.zeros(10, dtype=np.float64)  # explicit dtype
+    c = y.ravel()  # view, not a copy
+    buf[idx] = 0.0  # scalar fill: exempt
+    cols[:, :, i, j] = x  # strided window: basic indexing
+    # reprolint: allow[R403] intentional scatter, covered by the comment line
+    buf[idx] = vals
+    return a, c

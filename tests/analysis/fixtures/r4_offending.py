@@ -1,0 +1,11 @@
+"""R4 offending fixture (loaded as a pinned hot-path module)."""
+
+import numpy as np
+
+
+def churn(y: np.ndarray, buf: np.ndarray, idx: np.ndarray, vals: np.ndarray):
+    a = np.zeros(10)  # R401: no dtype
+    b = np.concatenate([a, a])  # R402: allocates + copies
+    c = y.flatten()  # R402: always copies
+    buf[idx] = vals  # R403: array scatter
+    return a, b, c

@@ -1,0 +1,19 @@
+"""R5 strict-annotation offending fixture (loaded under a strict prefix)."""
+
+__all__ = ["scale", "Box"]
+
+
+def scale(x) -> int:  # R504: x unannotated
+    """Doc."""
+    return x * 2
+
+
+class Box:
+    """Doc."""
+
+    def __init__(self, a):  # R504: a unannotated (no return slot)
+        self.a = a
+
+    def get(self):  # R504: return unannotated
+        """Doc."""
+        return self.a

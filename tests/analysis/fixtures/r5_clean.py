@@ -1,0 +1,19 @@
+"""R5 clean fixture: full __all__, docstrings, annotations."""
+
+__all__ = ["scale", "Box"]
+
+
+def scale(x: int) -> int:
+    """Double ``x``."""
+    return x * 2
+
+
+class Box:
+    """A documented public class."""
+
+    def __init__(self, a: int):
+        self.a = a
+
+    def get(self) -> int:
+        """Return the stored value."""
+        return self.a

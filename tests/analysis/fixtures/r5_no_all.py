@@ -1,0 +1,6 @@
+"""R5 offending fixture: module without __all__ (R503)."""
+
+
+def orphan() -> int:
+    """Documented but the module declares no public surface."""
+    return 0

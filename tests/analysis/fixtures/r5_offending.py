@@ -1,0 +1,12 @@
+"""R5 offending fixture: broken __all__, missing docstring."""
+
+__all__ = ["ghost", "documented", "documented"]
+
+
+def documented() -> int:
+    """Present and exported (twice: the duplicate is the bug)."""
+    return 1
+
+
+def undocumented_public() -> int:  # R502: not exported; R505: no docstring
+    return 2

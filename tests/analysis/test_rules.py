@@ -1,0 +1,202 @@
+"""Paired offending/clean fixture tests for every reprolint rule family."""
+
+import pytest
+
+from tests.analysis.helpers import lint_fixture, rule_ids
+
+pytestmark = pytest.mark.lint
+
+
+class TestR1Determinism:
+    def test_offending(self):
+        result = lint_fixture(
+            [("r1_offending.py", "repro.sim.fixture_rng")], select=["R1"]
+        )
+        assert rule_ids(result) == ["R101", "R102", "R103", "R103"]
+
+    def test_clean(self):
+        result = lint_fixture(
+            [("r1_clean.py", "repro.sim.fixture_rng")], select=["R1"]
+        )
+        assert rule_ids(result) == []
+
+    def test_allowlisted_module_is_exempt(self):
+        result = lint_fixture(
+            [("r1_offending.py", "repro.sim.fixture_rng")],
+            select=["R1"],
+            rng_allowed_modules=frozenset({"fixture_rng"}),
+        )
+        assert rule_ids(result) == []
+
+
+class TestR2Layering:
+    def test_substrate_importing_fl_offends(self):
+        result = lint_fixture(
+            [("r2_layering_offending.py", "repro.nn.fixture_bad")], select=["R201"]
+        )
+        assert rule_ids(result) == ["R201"]
+        assert "must not import" in result.violations[0].message
+
+    def test_fl_importing_substrate_is_clean(self):
+        result = lint_fixture(
+            [("r2_layering_clean.py", "repro.fl.fixture_ok")], select=["R201"]
+        )
+        assert rule_ids(result) == []
+
+    def test_cycle_detected_once_with_real_path(self):
+        result = lint_fixture(
+            [
+                ("r2_cycle_a.py", "repro.sim.fixture_cycle_a"),
+                ("r2_cycle_b.py", "repro.sim.fixture_cycle_b"),
+            ],
+            select=["R202"],
+        )
+        assert rule_ids(result) == ["R202"]
+        message = result.violations[0].message
+        assert "repro.sim.fixture_cycle_a" in message
+        assert "repro.sim.fixture_cycle_b" in message
+
+    def test_deprecated_shim_import_offends(self):
+        result = lint_fixture(
+            [("r2_shim_offending.py", "repro.fl.fixture_shim")], select=["R203"]
+        )
+        assert rule_ids(result) == ["R203"]
+        assert "repro.sim.events" in result.violations[0].message
+
+
+class TestR3Taxonomy:
+    def test_broken_partition(self):
+        result = lint_fixture(
+            [("r3_taxonomy_broken.py", "fix.trace")],
+            select=["R303"],
+            taxonomy_module="fix.trace",
+            taxonomy_consumers={},
+        )
+        assert rule_ids(result) == ["R303"] * 4
+        blob = " | ".join(v.message for v in result.violations)
+        assert "duplicates" in blob
+        assert "overlap" in blob
+        assert "ghost" in blob  # in no bucket
+        assert "phantom" in blob  # bucket member not declared
+
+    def test_offending_emits(self):
+        result = lint_fixture(
+            [
+                ("r3_taxonomy.py", "fix.trace"),
+                ("r3_emit_offending.py", "fix.engine"),
+            ],
+            select=["R301", "R302"],
+            taxonomy_module="fix.trace",
+            taxonomy_consumers={},
+        )
+        assert rule_ids(result) == ["R301", "R301", "R302"]
+
+    def test_clean_emits(self):
+        result = lint_fixture(
+            [
+                ("r3_taxonomy.py", "fix.trace"),
+                ("r3_emit_clean.py", "fix.engine"),
+            ],
+            select=["R3"],
+            taxonomy_module="fix.trace",
+            taxonomy_consumers={},
+        )
+        assert rule_ids(result) == []
+
+    def test_rules_skip_when_taxonomy_not_in_scope(self):
+        # Partial lint runs (single file) must not crash or fire R3.
+        result = lint_fixture(
+            [("r3_emit_offending.py", "fix.engine")],
+            select=["R3"],
+            taxonomy_module="fix.trace",
+            taxonomy_consumers={},
+        )
+        assert rule_ids(result) == []
+
+
+class TestR4Hotpath:
+    def test_offending(self):
+        result = lint_fixture(
+            [("r4_offending.py", "fix.hot")],
+            select=["R4"],
+            hotpath_modules=frozenset({"fix.hot"}),
+        )
+        assert rule_ids(result) == ["R401", "R402", "R402", "R403"]
+
+    def test_clean_including_pragma(self):
+        result = lint_fixture(
+            [("r4_clean.py", "fix.hot")],
+            select=["R4"],
+            hotpath_modules=frozenset({"fix.hot"}),
+        )
+        assert rule_ids(result) == []
+        assert result.pragma_suppressed == 1
+
+    def test_cold_module_is_exempt(self):
+        result = lint_fixture(
+            [("r4_offending.py", "fix.cold")],
+            select=["R4"],
+            hotpath_modules=frozenset({"fix.hot"}),
+        )
+        assert rule_ids(result) == []
+
+
+class TestR5ApiSurface:
+    def test_offending_all_and_docstring(self):
+        result = lint_fixture(
+            [("r5_offending.py", "fix.mod")], select=["R501", "R502", "R505"]
+        )
+        assert rule_ids(result) == ["R501", "R501", "R502", "R505"]
+
+    def test_missing_all(self):
+        result = lint_fixture([("r5_no_all.py", "fix.noall")], select=["R503"])
+        assert rule_ids(result) == ["R503"]
+
+    def test_all_exempt_module(self):
+        result = lint_fixture(
+            [("r5_no_all.py", "fix.noall")],
+            select=["R503"],
+            all_exempt_modules=frozenset({"fix.noall"}),
+        )
+        assert rule_ids(result) == []
+
+    def test_strict_annotations_offending(self):
+        result = lint_fixture(
+            [("r5_annotations_offending.py", "fix.strict.mod")],
+            select=["R504"],
+            strict_annotation_prefixes=("fix.strict",),
+        )
+        assert rule_ids(result) == ["R504", "R504", "R504"]
+        missing = " | ".join(v.message for v in result.violations)
+        assert "a" in missing and "return" in missing
+
+    def test_strict_annotations_only_in_strict_packages(self):
+        result = lint_fixture(
+            [("r5_annotations_offending.py", "fix.lax.mod")],
+            select=["R504"],
+            strict_annotation_prefixes=("fix.strict",),
+        )
+        assert rule_ids(result) == []
+
+    def test_clean(self):
+        result = lint_fixture(
+            [("r5_clean.py", "fix.strict.clean")],
+            select=["R5"],
+            strict_annotation_prefixes=("fix.strict",),
+        )
+        assert rule_ids(result) == []
+
+    def test_annotation_coverage_metric(self):
+        full = lint_fixture(
+            [("r5_clean.py", "fix.strict.clean")],
+            select=["R5"],
+            strict_annotation_prefixes=("fix.strict",),
+        )
+        coverage = full.metrics["annotation_coverage"]
+        assert coverage["total"]["coverage"] == 1.0
+        partial = lint_fixture(
+            [("r5_annotations_offending.py", "fix.strict.mod")],
+            select=["R5"],
+            strict_annotation_prefixes=("fix.strict",),
+        )
+        assert partial.metrics["annotation_coverage"]["total"]["coverage"] < 1.0
