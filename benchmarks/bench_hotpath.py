@@ -27,6 +27,11 @@ Sections
     The timed path runs with metrics-only tracing; ``meta`` records the
     overhead ratio with a ring-buffer trace sink attached, asserted to
     stay under 5%.
+``wire``
+    Frame encode/decode on the transfer hot path: dense float32 model
+    frames and DGC-sparse upload frames at the MNIST-CNN and VGG-mini
+    dims, plus the framing share of a training round (header pack +
+    CRC32 + payload copy), asserted under 3%.
 ``lint``
     A full-repo reprolint pass (``repro lint``), asserted to stay
     under the 5-second single-core developer budget.
@@ -321,6 +326,74 @@ def bench_resilience(iters: int) -> dict:
     return stats
 
 
+def bench_wire(iters: int) -> dict:
+    """Frame encode/decode throughput on the uplink/downlink path.
+
+    The timed step is one full framing round trip at the MNIST-CNN dim
+    (~431k params): dense model-frame encode + decode and DGC-sparse
+    upload-frame encode + decode.  ``meta`` records the same trip at
+    the VGG-mini dim and the framing work one training round actually
+    adds — one model-frame encode (the engines cache it per version),
+    one upload ``to_frame``/``to_bytes``, one server-side
+    ``from_bytes`` (CRC check) + decode — as a share of the
+    ``local_train`` round's wall time, asserted under the 3% budget.
+    """
+    from repro.wire import Frame, decode_frame, encode_model_frame
+
+    rng = np.random.default_rng(0)
+    dims = {"mnist_cnn": 431_080, "vgg_mini": 41_652}
+    fixtures = {}
+    for name, d in dims.items():
+        params = rng.normal(size=d)
+        comp = DGCCompressor(d, ratio=100.0)
+        payload = comp.compress(rng.normal(size=d))
+        fixtures[name] = (
+            params,
+            payload,
+            encode_model_frame(params, 1).to_bytes(),
+            payload.to_frame(1).to_bytes(),
+        )
+
+    def trip(name: str) -> None:
+        params, payload, dense_buf, sparse_buf = fixtures[name]
+        encode_model_frame(params, model_version=1).to_bytes()
+        decode_frame(Frame.from_bytes(dense_buf))
+        payload.to_frame(model_version=1).to_bytes()
+        decode_frame(Frame.from_bytes(sparse_buf))
+
+    stats = _time_section(lambda: trip("mnist_cnn"), iters)
+    vgg_s = _time_section(lambda: trip("vgg_mini"), iters)["min_s"]
+
+    # Framing share of a round, measured at the round's own model dim.
+    round_stats = bench_local_train(max(1, iters // 8))
+    d_round = round_stats["meta"]["d"]
+    params = rng.normal(size=d_round)
+    comp = DGCCompressor(d_round, ratio=100.0)
+    payload = comp.compress(rng.normal(size=d_round))
+    upload_buf = payload.to_frame(1).to_bytes()
+
+    def framing() -> None:
+        encode_model_frame(params, model_version=1).to_bytes()
+        payload.to_frame(model_version=1).to_bytes()
+        decode_frame(Frame.from_bytes(upload_buf))
+
+    framing_s = _time_section(framing, iters)["min_s"]
+    share = framing_s / round_stats["min_s"]
+    assert share < 0.03, (
+        f"framing overhead is {share:.1%} of a training round; budget is 3%"
+    )
+    stats["meta"] = {
+        "dims": dims,
+        "vgg_mini_trip_ms": vgg_s * 1e3,
+        "dense_mb": dims["mnist_cnn"] * 4 / 1e6,
+        "round_d": d_round,
+        "round_s": round_stats["min_s"],
+        "framing_ms": framing_s * 1e3,
+        "framing_share_of_round": share,
+    }
+    return stats
+
+
 def bench_lint(iters: int) -> dict:
     """One full-repo reprolint pass (parse + every rule family).
 
@@ -366,6 +439,7 @@ SECTIONS = {
     "conv_fwd_bwd": (bench_conv_fwd_bwd, 20),
     "engine_loop": (bench_engine_loop, 8),
     "resilience": (bench_resilience, 10),
+    "wire": (bench_wire, 20),
     "lint": (bench_lint, 5),
 }
 

@@ -41,14 +41,19 @@ __all__ = [
 # ----------------------------------------------------------------------
 ALLOWED_DEPS: Mapping[str, frozenset[str]] = {
     "nn": frozenset(),
-    "compression": frozenset(),
-    "sim": frozenset(),
+    "wire": frozenset(),
+    "compression": frozenset({"wire"}),
+    "sim": frozenset({"wire"}),
     "data": frozenset(),
     "analysis": frozenset(),
     "network": frozenset({"sim"}),
     "embedded": frozenset({"nn"}),
-    "fl": frozenset({"compression", "data", "embedded", "network", "nn", "sim"}),
-    "core": frozenset({"compression", "data", "fl", "network", "nn", "sim"}),
+    "fl": frozenset(
+        {"compression", "data", "embedded", "network", "nn", "sim", "wire"}
+    ),
+    "core": frozenset(
+        {"compression", "data", "fl", "network", "nn", "sim", "wire"}
+    ),
     "experiments": frozenset(
         {"compression", "core", "data", "embedded", "fl", "network", "nn", "sim"}
     ),
@@ -64,6 +69,7 @@ ALLOWED_DEPS: Mapping[str, frozenset[str]] = {
             "network",
             "nn",
             "sim",
+            "wire",
         }
     ),
 }
@@ -124,6 +130,13 @@ class LintConfig:
     hotpath_modules: frozenset[str] = HOTPATH_MODULES
     # R5: packages whose *public* callables must be fully annotated.
     strict_annotation_prefixes: tuple[str, ...] = ("repro.sim", "repro.fl.config")
+    # R6: the only modules that may call the analytic byte-size
+    # formulas directly (the wire layer owns them; compression.base
+    # re-exports for backwards compatibility).
+    size_formula_modules: tuple[str, ...] = (
+        "repro.wire",
+        "repro.compression.base",
+    )
     # Modules exempt from the module-level ``__all__`` requirement.
     all_exempt_modules: frozenset[str] = frozenset({"repro.__main__"})
 

@@ -11,9 +11,18 @@ Five families ship with the repo:
 * :mod:`repro.analysis.rules.hotpath` — R4xx: allocation and copy
   discipline in benchmark-pinned hot paths;
 * :mod:`repro.analysis.rules.api` — R5xx: ``__all__`` consistency,
-  docstrings, and annotation coverage of the public surface.
+  docstrings, and annotation coverage of the public surface;
+* :mod:`repro.analysis.rules.wirebytes` — R6xx: byte accounting goes
+  through the wire layer, not raw size formulas.
 """
 
-from repro.analysis.rules import api, determinism, hotpath, layering, taxonomy
+from repro.analysis.rules import (
+    api,
+    determinism,
+    hotpath,
+    layering,
+    taxonomy,
+    wirebytes,
+)
 
-__all__ = ["api", "determinism", "hotpath", "layering", "taxonomy"]
+__all__ = ["api", "determinism", "hotpath", "layering", "taxonomy", "wirebytes"]

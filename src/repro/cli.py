@@ -87,6 +87,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--client", type=int, default=None, help="also print this client's event timeline"
     )
 
+    wire = sub.add_parser("wire", help="wire-frame stats from a recorded JSONL trace")
+    wire.add_argument("path", help="trace file written by --trace / JsonlSink")
+
     chaos = sub.add_parser("chaos", help="fault-matrix smoke study + resilience report")
     chaos.add_argument("--engine", default="sync", choices=("sync", "async"))
     chaos.add_argument("--dataset", default="mnist", choices=("mnist", "cifar10", "cifar100"))
@@ -293,6 +296,69 @@ def _cmd_trace(args) -> str:
     return "\n".join(out)
 
 
+def _cmd_wire(args) -> str:
+    from repro.sim import DOWNLINK_END, DROPPED, SELECTED, UPLINK_END, load_trace
+    from repro.wire import FRAME_OVERHEAD
+
+    events = load_trace(args.path)
+    legs = {"uplink": 0, "downlink": 0}
+    payload = {"uplink": 0, "downlink": 0}
+    framed = {"uplink": 0, "downlink": 0}
+    codec_mix: dict[str, int] = {}
+    unframed = 0
+    mismatched = 0
+    crc_failures = 0
+    rounds = 0
+    for ev in events:
+        if ev.type == SELECTED:
+            rounds += 1
+        elif ev.type == DROPPED and ev.data.get("reason") == "corrupt_frame":
+            crc_failures += 1
+        elif ev.type in (UPLINK_END, DOWNLINK_END):
+            leg = "uplink" if ev.type == UPLINK_END else "downlink"
+            legs[leg] += 1
+            nbytes = int(ev.data.get("nbytes", 0))
+            payload[leg] += nbytes
+            frame_len = ev.data.get("frame_len")
+            if frame_len is None:
+                unframed += 1
+                continue
+            framed[leg] += int(frame_len)
+            codec = str(ev.data.get("codec", "?"))
+            codec_mix[codec] = codec_mix.get(codec, 0) + 1
+            # The charged bytes are the analytic prediction; the frame
+            # carries the exact payload.  They must agree to the byte.
+            if int(frame_len) - nbytes != FRAME_OVERHEAD:
+                mismatched += 1
+    lines = []
+    total_payload = payload["uplink"] + payload["downlink"]
+    total_framed = framed["uplink"] + framed["downlink"]
+    header_bytes = total_framed - total_payload if total_framed else 0
+    for leg in ("uplink", "downlink"):
+        lines.append(
+            f"{leg:<8} legs: {legs[leg]:>6}   charged {format_bytes(payload[leg])}, "
+            f"framed {format_bytes(framed[leg])}"
+        )
+    if rounds:
+        lines.append(f"rounds observed     : {rounds}")
+    if codec_mix:
+        mix = ", ".join(f"{c}={n}" for c, n in sorted(codec_mix.items()))
+        lines.append(f"codec mix           : {mix}")
+    if total_payload:
+        lines.append(
+            f"header overhead     : {format_bytes(header_bytes)} "
+            f"({100.0 * header_bytes / total_payload:.3f}% of payload)"
+        )
+    lines.append(
+        "exact == predicted  : "
+        + ("yes (every framed leg)" if mismatched == 0 else f"NO — {mismatched} mismatched leg(s)")
+    )
+    lines.append(f"CRC failures        : {crc_failures} (dropped as corrupt_frame)")
+    if unframed:
+        lines.append(f"unframed legs       : {unframed} (trace predates the wire layer)")
+    return "\n".join(lines)
+
+
 def _cmd_lint(args) -> int:
     from pathlib import Path
 
@@ -370,6 +436,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_quickrun(args, scale))
     elif args.command == "trace":
         print(_cmd_trace(args))
+    elif args.command == "wire":
+        print(_cmd_wire(args))
     elif args.command == "chaos":
         print(_cmd_chaos(args, scale))
     elif args.command == "resume":

@@ -4,25 +4,31 @@ Every compressor turns a flat gradient vector into a
 :class:`CompressedGradient` carrying both the information needed to
 reconstruct a dense vector and an honest *wire size* in bytes.  Byte
 accounting is how the reproduction measures the paper's headline
-metric (60–78% communication-cost reduction), so the size models are
-kept explicit and conservative:
-
-* dense float32 payload: ``4 * d`` bytes (this matches the paper's
-  1.64 MB figure for the ~430k-parameter CNN);
-* sparse payload: the cheapest of COO (``8 * k`` bytes), bitmap
-  (``d/8 + 4 * k`` bytes), and dense — see
-  :func:`sparse_payload_bytes`;
-* quantised payload: ``ceil(d * bits / 8)`` plus one float32 scale per
-  tensor.
+metric (60–78% communication-cost reduction).  The size models live in
+:mod:`repro.wire.sizes` next to the frame codecs whose encoded lengths
+they predict exactly (and are re-exported here for compatibility);
+:meth:`CompressedGradient.to_frame` /
+:meth:`CompressedGradient.from_frame` are the bridge between a payload
+dict and its :class:`~repro.wire.frame.Frame` bytes.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
+
+from repro.wire.codecs import decode_frame, encode_frame
+from repro.wire.frame import Frame
+from repro.wire.sizes import (
+    FLOAT_BYTES,
+    INDEX_BYTES,
+    dense_bytes,
+    quantized_bytes,
+    sparse_bytes,
+    sparse_payload_bytes,
+)
 
 __all__ = [
     "FLOAT_BYTES",
@@ -34,45 +40,6 @@ __all__ = [
     "CompressedGradient",
     "Compressor",
 ]
-
-FLOAT_BYTES = 4  # gradients travel as float32 on the wire
-INDEX_BYTES = 4  # uint32 coordinate indices
-
-
-def dense_bytes(dim: int) -> int:
-    """Wire size of an uncompressed float32 gradient."""
-    if dim < 0:
-        raise ValueError("dim must be non-negative")
-    return FLOAT_BYTES * dim
-
-
-def sparse_bytes(nnz: int) -> int:
-    """Wire size of a COO sparse gradient with ``nnz`` retained entries."""
-    if nnz < 0:
-        raise ValueError("nnz must be non-negative")
-    return (FLOAT_BYTES + INDEX_BYTES) * nnz
-
-
-def sparse_payload_bytes(dim: int, nnz: int) -> int:
-    """Wire size of the cheapest encoding for a sparse gradient.
-
-    A sender picks whichever of three encodings is smallest:
-    COO (4-byte index + 4-byte value per entry), bitmap (one bit per
-    coordinate plus packed values), or plain dense.  This matters at
-    low compression ratios, where COO would exceed the dense size.
-    """
-    if dim < 0 or nnz < 0 or nnz > dim:
-        raise ValueError("need 0 <= nnz <= dim")
-    coo = sparse_bytes(nnz)
-    bitmap = FLOAT_BYTES * nnz + math.ceil(dim / 8.0)
-    return min(coo, bitmap, dense_bytes(dim))
-
-
-def quantized_bytes(dim: int, bits: float, num_scales: int = 1) -> int:
-    """Wire size of a ``bits``-per-element quantised gradient."""
-    if dim < 0 or bits <= 0 or num_scales < 0:
-        raise ValueError("invalid quantisation size parameters")
-    return math.ceil(dim * bits / 8.0) + FLOAT_BYTES * num_scales
 
 
 @dataclass
@@ -94,6 +61,31 @@ class CompressedGradient:
         if self.num_bytes == 0:
             return float("inf")
         return dense_bytes(self.dim) / self.num_bytes
+
+    def to_frame(self, model_version: int = 0) -> Frame:
+        """Encode this payload into a wire frame.
+
+        The frame's payload length always equals :attr:`num_bytes` —
+        the analytic sizes are predictions of real encode lengths, and
+        the tier-1 codec tests pin the two together.
+        """
+        return encode_frame(self.method, self.dim, self.data, model_version)
+
+    @classmethod
+    def from_frame(cls, frame: Frame) -> "CompressedGradient":
+        """Rebuild a payload from a (CRC-verified) frame.
+
+        Transport metadata that never travels (e.g. DGC's ``ratio``
+        hint) is absent from the result; the decompressed dense vector
+        is bit-identical to the sender's.
+        """
+        method, data = decode_frame(frame)
+        return cls(
+            method=method,
+            dim=frame.dim,
+            num_bytes=frame.payload_nbytes,
+            data=data,
+        )
 
 
 class Compressor:

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression.base import CompressedGradient, Compressor, sparse_payload_bytes
+from repro.compression.base import CompressedGradient, Compressor
 from repro.compression.topk import topk_indices
+from repro.wire.codecs import predicted_payload_nbytes
 
 __all__ = ["DGCCompressor"]
 
@@ -107,15 +108,16 @@ class DGCCompressor(Compressor):
         if self.use_momentum_correction:
             self._velocity[idx] = 0.0
 
+        data = {
+            "indices": idx.astype(np.uint32),
+            "values": values,
+            "ratio": effective_ratio,
+        }
         return CompressedGradient(
             method=self.name,
             dim=self.dim,
-            num_bytes=sparse_payload_bytes(self.dim, idx.size),
-            data={
-                "indices": idx.astype(np.uint32),
-                "values": values,
-                "ratio": effective_ratio,
-            },
+            num_bytes=predicted_payload_nbytes(self.name, self.dim, data),
+            data=data,
         )
 
     def decompress(self, payload: CompressedGradient) -> np.ndarray:

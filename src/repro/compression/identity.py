@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression.base import CompressedGradient, Compressor, dense_bytes
+from repro.compression.base import CompressedGradient, Compressor
+from repro.wire.codecs import predicted_payload_nbytes
 
 __all__ = ["NoCompression"]
 
@@ -16,11 +17,12 @@ class NoCompression(Compressor):
 
     def compress(self, grad: np.ndarray) -> CompressedGradient:
         grad = self._check_grad(grad)
+        data = {"values": grad.astype(np.float32)}
         return CompressedGradient(
             method=self.name,
             dim=self.dim,
-            num_bytes=dense_bytes(self.dim),
-            data={"values": grad.astype(np.float32)},
+            num_bytes=predicted_payload_nbytes(self.name, self.dim, data),
+            data=data,
         )
 
     def decompress(self, payload: CompressedGradient) -> np.ndarray:

@@ -12,7 +12,8 @@ import math
 
 import numpy as np
 
-from repro.compression.base import CompressedGradient, Compressor, quantized_bytes
+from repro.compression.base import CompressedGradient, Compressor
+from repro.wire.codecs import predicted_payload_nbytes
 
 __all__ = ["QSGDCompressor"]
 
@@ -36,7 +37,9 @@ class QSGDCompressor(Compressor):
 
     def compress(self, grad: np.ndarray) -> CompressedGradient:
         grad = self._check_grad(grad)
-        norm = float(np.linalg.norm(grad))
+        # The norm travels as a float32 scale on the wire; rounding it
+        # *before* quantising keeps frame round-trips bit-exact.
+        norm = float(np.float32(np.linalg.norm(grad)))
         if norm == 0.0:
             levels = np.zeros(self.dim, dtype=np.int32)
             signs = np.ones(self.dim, dtype=np.int8)
@@ -45,12 +48,21 @@ class QSGDCompressor(Compressor):
             floor = np.floor(scaled)
             prob = scaled - floor
             levels = (floor + (self._rng.random(self.dim) < prob)).astype(np.int32)
+            # float32 norm rounding can nudge the dominant coordinate a
+            # hair past 1.0 of the norm; its level stays representable.
+            np.minimum(levels, self.num_levels, out=levels)
             signs = np.where(grad < 0, -1, 1).astype(np.int8)
+        data = {
+            "norm": norm,
+            "levels": levels,
+            "signs": signs,
+            "num_levels": self.num_levels,
+        }
         return CompressedGradient(
             method=self.name,
             dim=self.dim,
-            num_bytes=quantized_bytes(self.dim, self.bits_per_element),
-            data={"norm": norm, "levels": levels, "signs": signs},
+            num_bytes=predicted_payload_nbytes(self.name, self.dim, data),
+            data=data,
         )
 
     def decompress(self, payload: CompressedGradient) -> np.ndarray:

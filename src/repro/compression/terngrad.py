@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression.base import CompressedGradient, Compressor, quantized_bytes
+from repro.compression.base import CompressedGradient, Compressor
+from repro.wire.codecs import predicted_payload_nbytes
 
 __all__ = ["TernGradCompressor"]
 
@@ -25,18 +26,21 @@ class TernGradCompressor(Compressor):
 
     def compress(self, grad: np.ndarray) -> CompressedGradient:
         grad = self._check_grad(grad)
-        scale = float(np.max(np.abs(grad))) if grad.size else 0.0
+        # The scale travels as a float32 on the wire; rounding it before
+        # drawing the keep mask keeps frame round-trips bit-exact.
+        scale = float(np.float32(np.max(np.abs(grad)))) if grad.size else 0.0
         if scale == 0.0:
             ternary = np.zeros(self.dim, dtype=np.int8)
         else:
             prob = np.abs(grad) / scale
             keep = self._rng.random(self.dim) < prob
             ternary = (np.sign(grad) * keep).astype(np.int8)
+        data = {"scale": scale, "ternary": ternary}
         return CompressedGradient(
             method=self.name,
             dim=self.dim,
-            num_bytes=quantized_bytes(self.dim, 2.0),
-            data={"scale": scale, "ternary": ternary},
+            num_bytes=predicted_payload_nbytes(self.name, self.dim, data),
+            data=data,
         )
 
     def decompress(self, payload: CompressedGradient) -> np.ndarray:

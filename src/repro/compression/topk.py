@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression.base import CompressedGradient, Compressor, sparse_payload_bytes
+from repro.compression.base import CompressedGradient, Compressor
+from repro.wire.codecs import predicted_payload_nbytes
 
 __all__ = ["topk_indices", "TopKCompressor"]
 
@@ -52,14 +53,15 @@ class TopKCompressor(Compressor):
     def compress(self, grad: np.ndarray) -> CompressedGradient:
         grad = self._check_grad(grad)
         idx = topk_indices(grad, self.k)
+        data = {
+            "indices": idx.astype(np.uint32),
+            "values": grad[idx].astype(np.float32),
+        }
         return CompressedGradient(
             method=self.name,
             dim=self.dim,
-            num_bytes=sparse_payload_bytes(self.dim, idx.size),
-            data={
-                "indices": idx.astype(np.uint32),
-                "values": grad[idx].astype(np.float32),
-            },
+            num_bytes=predicted_payload_nbytes(self.name, self.dim, data),
+            data=data,
         )
 
     def decompress(self, payload: CompressedGradient) -> np.ndarray:

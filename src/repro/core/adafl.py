@@ -32,7 +32,13 @@ from repro.core.utility import UtilityScorer
 from repro.fl.client import Client, ClientUpdate
 from repro.fl.baselines import FedAsync
 from repro.fl.server import Server
-from repro.fl.strategy import AsyncStrategy, RoundContext, SyncStrategy, weighted_average
+from repro.fl.strategy import (
+    AsyncStrategy,
+    RoundContext,
+    SyncStrategy,
+    UploadPacket,
+    weighted_average,
+)
 
 __all__ = ["AdaFLConfig", "AdaFLSync", "AdaFLAsync", "SCORE_REPORT_BYTES"]
 
@@ -159,15 +165,19 @@ class _AdaFLBase:
         return score + self.config.rotation_bonus * fraction
 
     def _compress(
-        self, client: Client, update: ClientUpdate, round_index: int
-    ) -> tuple[np.ndarray, int]:
+        self, client: Client, update: ClientUpdate, round_index: int, model_version: int
+    ) -> UploadPacket:
         compressor = self._compressors[client.client_id]
         utility = self._scores.get(client.client_id, 1.0)
         ratio = self.config.policy.ratio_for(utility, round_index)
         payload = compressor.compress(update.delta, ratio=ratio)
         self._in_flight[client.client_id] = payload
         delta = compressor.decompress(payload)
-        return delta, payload.num_bytes + SCORE_REPORT_BYTES
+        return UploadPacket(
+            delta=delta,
+            frame=payload.to_frame(model_version),
+            extra_bytes=SCORE_REPORT_BYTES,
+        )
 
     def _handle_upload_result(self, client: Client, delivered: bool) -> None:
         """ACK/NACK for the client's last compressed upload.
@@ -246,9 +256,11 @@ class AdaFLSync(SyncStrategy, _AdaFLBase):
 
     def process_upload(
         self, client: Client, update: ClientUpdate, context: RoundContext
-    ) -> tuple[np.ndarray, int]:
+    ) -> UploadPacket:
         self._last_upload_round[client.client_id] = context.round_index
-        return self._compress(client, update, context.round_index)
+        return self._compress(
+            client, update, context.round_index, context.server.version
+        )
 
     def on_upload_result(
         self, client: Client, delivered: bool, context: RoundContext
@@ -300,9 +312,14 @@ class AdaFLAsync(AsyncStrategy, _AdaFLBase):
 
     def process_upload(
         self, client: Client, update: ClientUpdate, sim_time_s: float
-    ) -> tuple[np.ndarray, int]:
+    ) -> UploadPacket:
         del sim_time_s
-        return self._compress(client, update, update.round_index)
+        return self._compress(
+            client,
+            update,
+            update.round_index,
+            update.extras.get("base_version", 0),
+        )
 
     def on_upload_result(self, client: Client, delivered: bool, sim_time_s: float) -> None:
         self._handle_upload_result(client, delivered)
@@ -317,5 +334,7 @@ class AdaFLAsync(AsyncStrategy, _AdaFLBase):
         alpha = self._mixer.effective_alpha(staleness)
         base_params = update.extras["base_params"]
         client_model = base_params + delta
-        server.set_params((1.0 - alpha) * server.params + alpha * client_model)
+        server.set_params(
+            (1.0 - alpha) * server.params + alpha * client_model, copy=False
+        )
         return True

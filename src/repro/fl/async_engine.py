@@ -39,14 +39,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compression.base import dense_bytes
 from repro.fl.client import Client, ClientUpdate
 from repro.fl.config import FederationConfig
 from repro.fl.faults import FaultInjector
 from repro.fl.metrics import MetricsReducer, RunResult
 from repro.fl.server import Server
 from repro.fl.strategy import AsyncStrategy
-from repro.fl.validation import UpdateValidator
+from repro.fl.validation import UpdateValidator, verify_frame
 from repro.network.conditions import NetworkConditions
 from repro.sim import (
     AGGREGATED,
@@ -90,6 +89,7 @@ class _InFlight:
     delta: np.ndarray
     num_bytes: int
     base_version: int
+    frame_bytes: bytes = b""
 
 
 class AsyncEngine:
@@ -176,7 +176,7 @@ class AsyncEngine:
                 mode="async",
                 method=self.strategy.name,
                 num_clients=len(self.clients),
-                model_bytes=dense_bytes(self.server.dim),
+                model_bytes=self.strategy.encode_model(self.server).payload_nbytes,
             )
             for client in self.clients:
                 self._dispatch_model(client.client_id)
@@ -298,9 +298,18 @@ class AsyncEngine:
                 resume, _MODEL_RETRY, {"cid": cid, "forced": forced, "attempt": attempt}
             )
             return
+        model_frame = self.strategy.encode_model(self.server)
         nbytes = self.strategy.downlink_bytes(self.server)
         payload = {"cid": cid, "forced": forced}
-        leg = self._kernel.downlink(cid, nbytes, now)
+        leg = self._kernel.downlink(
+            cid,
+            nbytes,
+            now,
+            extra={
+                "codec": "none",
+                "frame_len": len(model_frame) + (nbytes - model_frame.payload_nbytes),
+            },
+        )
         if not leg.delivered:
             # Lost broadcast: back off, then retry from scratch.  The
             # failed attempt was already charged by the kernel.
@@ -398,15 +407,19 @@ class AsyncEngine:
                     {"cid": cid, "forced": False, "attempt": 1},
                 )
                 return
-        delta, nbytes = self.strategy.process_upload(client, update, now + compute_s)
+        packet = self.strategy.process_upload(client, update, now + compute_s)
         if self._validator is not None:
             self._validator.stamp(update)
+        delta = packet.delta
+        frame_bytes = packet.frame.to_bytes()
+        nbytes = packet.nbytes
+        up_extra = {"codec": packet.frame_codec, "frame_len": packet.wire_nbytes}
 
         # -- uplink (policy-driven retries; default is one attempt) --
         attempt = 1
         up_start = now + compute_s
         while True:
-            leg = self._kernel.uplink(cid, nbytes, up_start)
+            leg = self._kernel.uplink(cid, nbytes, up_start, extra=up_extra)
             arrival = up_start + leg.duration_s
             if leg.delivered or self._ul_policy.exhausted(attempt):
                 break
@@ -441,14 +454,15 @@ class AsyncEngine:
                 self._chaos.corruption if self._chaos is not None else None
             )
             if corruption is not None:
-                damaged = corruption.corrupt(cid, delta)
-                if damaged is not None:
-                    delta = damaged
+                delta, tampered = corruption.corrupt_upload(cid, delta, frame_bytes)
+                if tampered is not None:
+                    frame_bytes = tampered
             inflight = _InFlight(
                 update=update,
                 delta=delta,
                 num_bytes=nbytes,
                 base_version=update.round_index,
+                frame_bytes=frame_bytes,
             )
             self._kernel.queue.push(arrival, _UPDATE_ARRIVAL, inflight)
             if duplicate:
@@ -477,6 +491,13 @@ class AsyncEngine:
             self._kernel.queue.push(
                 resume, _MODEL_RETRY, {"cid": cid, "forced": False, "attempt": 1}
             )
+            return
+        # Server receipt: the frame's CRC-32 is checked before the
+        # payload is trusted — unconditionally, whatever the validation
+        # config says (a damaged frame is never decodable).
+        if payload.frame_bytes and verify_frame(payload.frame_bytes) is not None:
+            self._trace.emit(DROPPED, now, cid, reason="corrupt_frame")
+            self._dispatch_model(cid)
             return
         staleness = max(0, self.server.version - payload.base_version)
         if self._validator is not None:

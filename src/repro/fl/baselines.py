@@ -17,7 +17,13 @@ import numpy as np
 from repro.fl.client import Client, ClientUpdate
 from repro.fl.config import LocalTrainingConfig
 from repro.fl.server import Server
-from repro.fl.strategy import AsyncStrategy, RoundContext, SyncStrategy, weighted_average
+from repro.fl.strategy import (
+    AsyncStrategy,
+    RoundContext,
+    SyncStrategy,
+    UploadPacket,
+    weighted_average,
+)
 from repro.nn.optim import AdamVector
 
 __all__ = [
@@ -92,7 +98,9 @@ class FedAdam(SyncStrategy):
             raise RuntimeError("FedAdam.prepare was not called")
         pseudo_grad = -weighted_average(updates)
         new_params = self._optimizer.step(server.params, pseudo_grad)
-        server.set_params(new_params)
+        # step() returns a fresh private vector, so the server can
+        # adopt it without the defensive copy.
+        server.set_params(new_params, copy=False)
 
 
 class FedAvgM(SyncStrategy):
@@ -164,9 +172,12 @@ class Scaffold(SyncStrategy):
 
     def process_upload(
         self, client: Client, update: ClientUpdate, context: RoundContext
-    ) -> tuple[np.ndarray, int]:
-        delta, nbytes = super().process_upload(client, update, context)
-        return delta, 2 * nbytes  # model delta + control-variate delta
+    ) -> UploadPacket:
+        packet = super().process_upload(client, update, context)
+        # The control-variate delta rides the same upload as a second
+        # dense payload outside the model-delta frame.
+        packet.extra_bytes += packet.frame.payload_nbytes
+        return packet
 
     def downlink_bytes(self, server: Server) -> int:
         return 2 * super().downlink_bytes(server)  # model + server control
@@ -223,7 +234,9 @@ class FedAsync(AsyncStrategy):
         alpha = self.effective_alpha(staleness)
         base_params = update.extras["base_params"]
         client_model = base_params + delta
-        server.set_params((1.0 - alpha) * server.params + alpha * client_model)
+        server.set_params(
+            (1.0 - alpha) * server.params + alpha * client_model, copy=False
+        )
         return True
 
 

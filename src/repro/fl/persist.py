@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.fl.metrics import RoundRecord, RunResult
 from repro.nn.sequential import Sequential
+from repro.wire.codecs import decode_frame, encode_frame
+from repro.wire.frame import Frame
 
 __all__ = [
     "run_result_to_dict",
@@ -104,18 +106,39 @@ def save_checkpoint(
     path: str | Path,
     metadata: dict | None = None,
 ) -> Path:
-    """Write model parameters (and optional metadata) to ``.npz``."""
+    """Write model parameters (and optional metadata) to ``.npz``.
+
+    Parameters are stored as a ``dense64`` wire frame, so checkpoints
+    get the same CRC-32 integrity check as in-flight payloads: a
+    corrupted file fails loudly at load instead of silently restoring
+    damaged weights.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     meta = json.dumps(metadata or {})
-    np.savez(path, params=model.get_flat_params(), metadata=np.array(meta))
+    params = model.get_flat_params()
+    frame = encode_frame("dense64", params.size, {"values": params})
+    np.savez(
+        path,
+        frame=np.frombuffer(frame.to_bytes(), dtype=np.uint8),
+        metadata=np.array(meta),
+    )
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
 def load_checkpoint(model: Sequential, path: str | Path) -> dict:
-    """Load parameters into ``model``; returns the stored metadata."""
+    """Load parameters into ``model``; returns the stored metadata.
+
+    Framed checkpoints are CRC-verified before any weight is restored
+    (a :class:`repro.wire.frame.FrameCorruptionError` propagates);
+    pre-frame checkpoints storing a bare ``params`` array still load.
+    """
     with np.load(Path(path), allow_pickle=False) as archive:
-        params = archive["params"]
+        if "frame" in archive:
+            _, data = decode_frame(Frame.from_bytes(archive["frame"].tobytes()))
+            params = np.asarray(data["values"], dtype=np.float64)
+        else:
+            params = archive["params"]
         meta = json.loads(str(archive["metadata"]))
     model.set_flat_params(params)
     return meta

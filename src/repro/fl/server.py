@@ -42,20 +42,35 @@ class Server:
         return self.params.size
 
     def apply_delta(self, delta: np.ndarray) -> None:
-        """Advance the global model by an aggregated delta."""
+        """Advance the global model by an aggregated delta.
+
+        Updates ``params`` in place — no O(d) allocation per round, and
+        the buffer identity is stable across versions (callers holding
+        a view see every update; callers needing a frozen pre-update
+        vector must copy it themselves, as the validated-rollback path
+        in the sync engine does).
+        """
         if delta.shape != self.params.shape:
             raise ValueError("delta shape does not match global model")
-        self.params = self.params + delta
+        self.params += delta
         self.global_delta = delta
         self.version += 1
 
-    def set_params(self, params: np.ndarray, record_delta: bool = True) -> None:
-        """Replace the global model, optionally recording the movement."""
+    def set_params(
+        self, params: np.ndarray, record_delta: bool = True, copy: bool = True
+    ) -> None:
+        """Replace the global model, optionally recording the movement.
+
+        ``copy=False`` adopts the caller's array directly — for callers
+        that just built a private vector (optimiser steps, rollbacks)
+        and would otherwise pay a redundant O(d) copy.  The caller must
+        not mutate the array afterwards.
+        """
         if params.shape != self.params.shape:
             raise ValueError("params shape mismatch")
         if record_delta:
             self.global_delta = params - self.params
-        self.params = params.copy()
+        self.params = params.copy() if copy else params
         self.version += 1
 
     def evaluate(self) -> tuple[float, float]:

@@ -34,6 +34,7 @@ import pickle
 from pathlib import Path
 
 from repro.sim import EventTrace, SimKernel
+from repro.wire.frame import MAGIC, seal, unseal
 
 __all__ = ["SNAPSHOT_VERSION", "save_snapshot", "load_snapshot", "kernel_state"]
 
@@ -70,8 +71,12 @@ def save_snapshot(engine, path) -> Path:
     state["snapshot_every"] = engine.snapshot_every
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
+    # The pickle travels inside a sealed wire envelope, so a torn or
+    # bit-rotted snapshot fails its CRC-32 at load instead of feeding
+    # pickle a corrupted stream.
+    blob = seal(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
     with open(tmp, "wb") as fh:
-        pickle.dump(state, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        fh.write(blob)
     os.replace(tmp, path)
     return path
 
@@ -87,8 +92,11 @@ def load_snapshot(path, trace: EventTrace | None = None, keep_snapshotting: bool
     future snapshots back to the same file.
     """
     path = Path(path)
-    with open(path, "rb") as fh:
-        state = pickle.load(fh)
+    raw = path.read_bytes()
+    if raw[: len(MAGIC)] == MAGIC:
+        state = pickle.loads(unseal(raw))
+    else:  # pre-envelope snapshot: a bare pickle stream
+        state = pickle.loads(raw)
     version = state.get("snapshot_version")
     if version != SNAPSHOT_VERSION:
         raise ValueError(f"unsupported snapshot version {version!r}")

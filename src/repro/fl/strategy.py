@@ -16,16 +16,95 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.compression.base import dense_bytes
+from repro.compression.base import CompressedGradient
 from repro.fl.client import Client, ClientUpdate
 from repro.fl.config import LocalTrainingConfig
 from repro.fl.server import Server
+from repro.wire.codecs import codec_for_id, encode_model_frame
+from repro.wire.frame import Frame
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.conditions import NetworkConditions
     from repro.sim.trace import EventTrace
 
-__all__ = ["RoundContext", "SyncStrategy", "AsyncStrategy", "weighted_average"]
+__all__ = [
+    "RoundContext",
+    "SyncStrategy",
+    "AsyncStrategy",
+    "UploadPacket",
+    "weighted_average",
+]
+
+
+@dataclass
+class UploadPacket:
+    """One client upload as the server receives it.
+
+    ``frame`` is the encoded wire frame the payload travels in;
+    ``delta`` is the dense vector the server reconstructs from it
+    (strategies hand both over so engines never re-decode on the happy
+    path).  ``extra_bytes`` covers side-channel payloads that ride the
+    same upload outside the frame (SCAFFOLD's control delta, AdaFL's
+    score report); :attr:`nbytes` — payload plus side channel — is
+    what the link is charged, and :attr:`wire_nbytes` adds the frame
+    header for the honest on-the-wire total.
+
+    Unpacks as ``delta, nbytes = packet`` for callers written against
+    the historical tuple interface.
+    """
+
+    delta: np.ndarray
+    frame: Frame
+    extra_bytes: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Charged upload size: frame payload + side-channel bytes."""
+        return self.frame.payload_nbytes + self.extra_bytes
+
+    @property
+    def wire_nbytes(self) -> int:
+        """Full framed size including the fixed header."""
+        return len(self.frame) + self.extra_bytes
+
+    @property
+    def frame_codec(self) -> str:
+        """Method name of the codec the frame was encoded with."""
+        return codec_for_id(self.frame.codec_id).method
+
+    def __iter__(self):
+        yield self.delta
+        yield self.nbytes
+
+
+def _dense_upload(update: ClientUpdate, model_version: int) -> UploadPacket:
+    """The default packet: the dense float32 delta in a ``none`` frame."""
+    payload = CompressedGradient(
+        method="none",
+        dim=update.delta.size,
+        num_bytes=4 * update.delta.size,
+        data={"values": update.delta.astype(np.float32)},
+    )
+    return UploadPacket(delta=update.delta, frame=payload.to_frame(model_version))
+
+
+class _ModelFrameCache:
+    """Per-strategy memo of the current model broadcast frame.
+
+    Encoding the model is O(d); the frame changes only when the server
+    version does, so one encode serves every downlink of that version.
+    """
+
+    def __init__(self) -> None:
+        self._cached: tuple[int, Frame] | None = None
+
+    def get(self, server: Server) -> Frame:
+        if self._cached is None or self._cached[0] != server.version:
+            self._cached = (
+                server.version,
+                encode_model_frame(server.params, server.version),
+            )
+        return self._cached[1]
 
 
 @dataclass
@@ -101,17 +180,24 @@ class SyncStrategy:
     # -- wire format ------------------------------------------------------
     def process_upload(
         self, client: Client, update: ClientUpdate, context: RoundContext
-    ) -> tuple[np.ndarray, int]:
-        """(delta as reconstructed by the server, wire bytes).
+    ) -> UploadPacket:
+        """Encode one upload into an :class:`UploadPacket`.
 
         Baselines send the dense delta; AdaFL overrides this with DGC.
         """
-        del client, context
-        return update.delta, dense_bytes(update.delta.size)
+        del client
+        return _dense_upload(update, context.server.version)
+
+    def encode_model(self, server: Server) -> Frame:
+        """The model broadcast frame (cached per server version)."""
+        cache = getattr(self, "_model_frames", None)
+        if cache is None:
+            cache = self._model_frames = _ModelFrameCache()
+        return cache.get(server)
 
     def downlink_bytes(self, server: Server) -> int:
         """Bytes of the model broadcast each participant downloads."""
-        return dense_bytes(server.dim)
+        return self.encode_model(server).payload_nbytes
 
     def on_upload_result(
         self, client: Client, delivered: bool, context: RoundContext
@@ -146,13 +232,20 @@ class AsyncStrategy:
 
     def process_upload(
         self, client: Client, update: ClientUpdate, sim_time_s: float
-    ) -> tuple[np.ndarray, int]:
-        """(delta as reconstructed by the server, wire bytes)."""
+    ) -> UploadPacket:
+        """Encode one upload into an :class:`UploadPacket`."""
         del client, sim_time_s
-        return update.delta, dense_bytes(update.delta.size)
+        return _dense_upload(update, update.extras.get("base_version", 0))
+
+    def encode_model(self, server: Server) -> Frame:
+        """The model broadcast frame (cached per server version)."""
+        cache = getattr(self, "_model_frames", None)
+        if cache is None:
+            cache = self._model_frames = _ModelFrameCache()
+        return cache.get(server)
 
     def downlink_bytes(self, server: Server) -> int:
-        return dense_bytes(server.dim)
+        return self.encode_model(server).payload_nbytes
 
     def on_upload_result(self, client: Client, delivered: bool, sim_time_s: float) -> None:
         """Delivery feedback (ACK/NACK) for the client's last upload."""

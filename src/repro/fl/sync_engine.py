@@ -39,14 +39,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression.base import dense_bytes
 from repro.fl.client import Client
 from repro.fl.config import FederationConfig
 from repro.fl.faults import FaultInjector
 from repro.fl.metrics import MetricsReducer, RunResult
 from repro.fl.server import Server
 from repro.fl.strategy import RoundContext, SyncStrategy
-from repro.fl.validation import UpdateValidator, trimmed_mean
+from repro.fl.validation import UpdateValidator, trimmed_mean, verify_frame
 from repro.network.conditions import NetworkConditions
 from repro.sim import (
     AGGREGATED,
@@ -146,7 +145,7 @@ class SyncEngine:
         return RunResult(
             method=self.strategy.name,
             num_clients=len(self.clients),
-            model_bytes=dense_bytes(self.server.dim),
+            model_bytes=self.strategy.encode_model(self.server).payload_nbytes,
         )
 
     def iter_rounds(self):
@@ -166,7 +165,7 @@ class SyncEngine:
                 mode="sync",
                 method=self.strategy.name,
                 num_clients=len(self.clients),
-                model_bytes=dense_bytes(self.server.dim),
+                model_bytes=self.strategy.encode_model(self.server).payload_nbytes,
             )
         for round_index in range(self._next_round, self.config.num_rounds):
             record = self._run_round(round_index, local_cfg)
@@ -275,7 +274,16 @@ class SyncEngine:
         durations: list[float] = [0.0]
         deadline = self.config.round_deadline_s
 
+        # One model-frame encode serves every participant this round;
+        # the charged bytes stay the strategy's downlink size (frame
+        # payload plus any side channel), the full framed length rides
+        # in the event data.
+        model_frame = self.strategy.encode_model(self.server)
         model_bytes = self.strategy.downlink_bytes(self.server)
+        down_extra = {
+            "codec": "none",
+            "frame_len": len(model_frame) + (model_bytes - model_frame.payload_nbytes),
+        }
         for cid in selected:
             client = self.clients[cid]
 
@@ -284,7 +292,9 @@ class SyncEngine:
             down_s = 0.0  # elapsed downlink time relative to t0
             lost = False
             while True:
-                down = self._kernel.downlink(cid, model_bytes, t0 + down_s)
+                down = self._kernel.downlink(
+                    cid, model_bytes, t0 + down_s, extra=down_extra
+                )
                 down_s = down_s + down.duration_s
                 if down.delivered:
                     break
@@ -330,9 +340,13 @@ class SyncEngine:
                     durations.append(crash_t - t0)
                     continue
 
-            delta, up_bytes = self.strategy.process_upload(client, update, context)
+            packet = self.strategy.process_upload(client, update, context)
             if self._validator is not None:
                 self._validator.stamp(update)
+            delta = packet.delta
+            frame_bytes = packet.frame.to_bytes()
+            up_bytes = packet.nbytes
+            up_extra = {"codec": packet.frame_codec, "frame_len": packet.wire_nbytes}
 
             # -- uplink (policy-driven retries) --
             attempt = 1
@@ -340,7 +354,7 @@ class SyncEngine:
             lost = False
             while True:
                 up = self._kernel.uplink(
-                    cid, up_bytes, t0 + down_s + compute_s + extra_s
+                    cid, up_bytes, t0 + down_s + compute_s + extra_s, extra=up_extra
                 )
                 if up.delivered or self._ul_policy.exhausted(attempt):
                     lost = not up.delivered
@@ -401,9 +415,16 @@ class SyncEngine:
             self.strategy.on_upload_result(client, True, context)
 
             if corruption is not None:
-                damaged = corruption.corrupt(cid, delta)
-                if damaged is not None:
-                    delta = damaged
+                delta, tampered = corruption.corrupt_upload(cid, delta, frame_bytes)
+                if tampered is not None:
+                    frame_bytes = tampered
+            # Server receipt: the frame's CRC-32 is checked before the
+            # payload is trusted — a bit flipped in flight surfaces here
+            # as a ``corrupt_frame`` rejection, never as silent noise.
+            frame_reason = verify_frame(frame_bytes)
+            if frame_reason is not None:
+                self._trace.emit(DROPPED, t0 + total_s, cid, reason=frame_reason)
+                continue
             update.delta = delta  # server sees the decompressed delta
             delivered.append(update)
             if stale_dup:
@@ -455,7 +476,10 @@ class SyncEngine:
                 rejected.append((u, reason))
 
         if not rejected and not cfg.per_update_screen and accepted:
-            before_params = self.server.params
+            # ``apply_delta`` updates ``server.params`` in place, so the
+            # pre-aggregation vector must be copied to roll back — one
+            # O(d) copy per validated round, inside the <5% budget.
+            before_params = self.server.params.copy()
             before_delta = self.server.global_delta
             before_version = self.server.version
             self.strategy.aggregate(self.server, accepted, context)
@@ -471,8 +495,6 @@ class SyncEngine:
                 # The strategy went non-finite on clean inputs — an
                 # optimisation blow-up, not a bad payload; keep it.
                 return accepted
-            # ``apply_delta`` rebinds (never mutates) ``server.params``,
-            # so the pre-aggregation vector is intact: rollback is free.
             self.server.params = before_params
             self.server.global_delta = before_delta
             self.server.version = before_version

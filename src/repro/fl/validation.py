@@ -5,6 +5,11 @@ one NaN-poisoned upload therefore poisons the global model forever
 (NaN propagates through every weighted average).  This module screens
 updates before they reach the model:
 
+* **frame integrity** — every upload travels as a
+  :class:`repro.wire.frame.Frame` whose header carries a CRC-32 of the
+  payload; :func:`verify_frame` turns a failed parse into the
+  ``"corrupt_frame"`` rejection (the detector for in-flight bit
+  corruption, which no numeric screen can see reliably);
 * **non-finite screening** — a single ``np.sum`` pass is a sound
   detector (any NaN/Inf coordinate makes the sum non-finite);
 * **L2-norm screening** — rejects norm blow-ups above ``max_norm``;
@@ -42,7 +47,26 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ValidationConfig", "UpdateValidator", "trimmed_mean"]
+from repro.wire.frame import FrameError
+from repro.wire.frame import Frame as _Frame
+
+__all__ = ["ValidationConfig", "UpdateValidator", "trimmed_mean", "verify_frame"]
+
+
+def verify_frame(frame_bytes: bytes) -> str | None:
+    """``"corrupt_frame"`` if the buffer fails frame validation.
+
+    Parses the wire frame and checks the header CRC-32 against the
+    payload; any malformation — bad magic, truncated payload, CRC
+    mismatch from a flipped bit — yields the rejection reason.  Unlike
+    the numeric screens this runs unconditionally: a damaged frame is
+    never decodable, whatever the validation config says.
+    """
+    try:
+        _Frame.from_bytes(frame_bytes)
+    except FrameError:
+        return "corrupt_frame"
+    return None
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.wire.frame import FRAME_OVERHEAD
+
 __all__ = [
     "FaultPlan",
     "ClientCrashModel",
@@ -183,11 +185,17 @@ class ClientCrashModel(_FaultModel):
 
 
 class PayloadCorruptionModel(_FaultModel):
-    """Uploaded flat vectors arrive damaged with some probability.
+    """Uploaded payloads arrive damaged with some probability.
 
     ``kind``: ``"nan"`` poisons ~0.1% of coordinates with NaN,
-    ``"bitflip"`` flips one random bit of one random float64, and
-    ``"blowup"`` scales the whole vector by ``magnitude``.
+    ``"bitflip"`` flips one random bit of the *encoded wire frame*
+    (so the server's CRC-32 integrity check catches it as a
+    ``corrupt_frame`` rejection), and ``"blowup"`` scales the whole
+    vector by ``magnitude``.  ``nan``/``blowup`` tamper the decoded
+    vector and exercise the numeric screen instead — the engines call
+    :meth:`corrupt_upload`, which routes each kind to the right
+    representation.  :meth:`corrupt` is the legacy vector-only entry
+    point (bitflip there flips one float64 bit in place).
     """
 
     name = "corrupt"
@@ -223,14 +231,49 @@ class PayloadCorruptionModel(_FaultModel):
         if rng is None or rng.random() >= self.prob:
             return None
         out = np.array(delta, dtype=np.float64, copy=True)
-        if self.kind == "nan":
-            k = max(1, out.size // 1000)
-            out[rng.integers(0, out.size, size=k)] = np.nan
-        elif self.kind == "bitflip":
+        if self.kind == "bitflip":
             idx = int(rng.integers(0, out.size))
             bit = int(rng.integers(0, 64))
             bits = out.view(np.uint64)
             bits[idx] ^= np.uint64(1) << np.uint64(bit)
+            return out
+        return self._tamper_vector(rng, out)
+
+    def corrupt_upload(
+        self, client_id: int, delta: np.ndarray, frame_bytes: bytes
+    ) -> tuple[np.ndarray, bytes | None]:
+        """Apply this model to one encoded upload.
+
+        Returns ``(delta, tampered_frame_or_None)``: a ``bitflip``
+        flips one bit somewhere in the frame's *payload* region (the
+        part the header CRC-32 covers, so detection is guaranteed) and
+        leaves the vector alone; ``nan``/``blowup`` damage a copy of
+        the decoded vector and leave the frame alone, modelling
+        corruption that happened before encoding.  One gate draw per
+        upload either way, so disabling the model (or prob=0) keeps
+        trajectories bit-identical.
+        """
+        self._require_bound()
+        rng = self._rngs.get(client_id)
+        if rng is None or rng.random() >= self.prob:
+            return delta, None
+        if self.kind == "bitflip":
+            buf = bytearray(frame_bytes)
+            span = len(buf) - FRAME_OVERHEAD
+            if span <= 0:  # header-only frame: nothing the CRC covers
+                return delta, None
+            pos = FRAME_OVERHEAD + int(rng.integers(0, span))
+            bit = int(rng.integers(0, 8))
+            buf[pos] ^= 1 << bit
+            return delta, bytes(buf)
+        out = np.array(delta, dtype=np.float64, copy=True)
+        return self._tamper_vector(rng, out), None
+
+    def _tamper_vector(self, rng: np.random.Generator, out: np.ndarray) -> np.ndarray:
+        """NaN-poison or blow up ``out`` in place (non-bitflip kinds)."""
+        if self.kind == "nan":
+            k = max(1, out.size // 1000)
+            out[rng.integers(0, out.size, size=k)] = np.nan
         else:  # blowup
             out *= self.magnitude
         return out

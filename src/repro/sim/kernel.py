@@ -140,29 +140,59 @@ class SimKernel:
         return stream
 
     # -- accounting ----------------------------------------------------
-    def downlink(self, client_id: int, num_bytes: int, start_t: float) -> LegResult:
-        """One server-to-client model broadcast attempt."""
-        self.trace.emit(DOWNLINK_START, start_t, client_id, nbytes=num_bytes)
+    def downlink(
+        self,
+        client_id: int,
+        num_bytes: int,
+        start_t: float,
+        extra: dict[str, Any] | None = None,
+    ) -> LegResult:
+        """One server-to-client model broadcast attempt.
+
+        ``extra`` is merged into both trace events' data — the engines
+        use it to attach wire-frame metadata (codec name, full framed
+        length) without perturbing the charged ``nbytes``.
+        """
+        extra = extra or {}
+        self.trace.emit(DOWNLINK_START, start_t, client_id, nbytes=num_bytes, **extra)
         if self.network is None:
             duration, delivered = 0.0, True
         else:
             res = self.network[client_id].receive_model(num_bytes, start_t, self.rng)
             duration, delivered = res.duration_s, res.delivered
         self.trace.emit(
-            DOWNLINK_END, start_t + duration, client_id, nbytes=num_bytes, ok=delivered
+            DOWNLINK_END,
+            start_t + duration,
+            client_id,
+            nbytes=num_bytes,
+            ok=delivered,
+            **extra,
         )
         return LegResult(duration_s=duration, delivered=delivered, num_bytes=num_bytes)
 
-    def uplink(self, client_id: int, num_bytes: int, start_t: float) -> LegResult:
-        """One client-to-server update upload attempt."""
-        self.trace.emit(UPLINK_START, start_t, client_id, nbytes=num_bytes)
+    def uplink(
+        self,
+        client_id: int,
+        num_bytes: int,
+        start_t: float,
+        extra: dict[str, Any] | None = None,
+    ) -> LegResult:
+        """One client-to-server update upload attempt (``extra``: see
+        :meth:`downlink`)."""
+        extra = extra or {}
+        self.trace.emit(UPLINK_START, start_t, client_id, nbytes=num_bytes, **extra)
         if self.network is None:
             duration, delivered = 0.0, True
         else:
             res = self.network[client_id].send_update(num_bytes, start_t, self.rng)
             duration, delivered = res.duration_s, res.delivered
         self.trace.emit(
-            UPLINK_END, start_t + duration, client_id, nbytes=num_bytes, ok=delivered
+            UPLINK_END,
+            start_t + duration,
+            client_id,
+            nbytes=num_bytes,
+            ok=delivered,
+            **extra,
         )
         return LegResult(duration_s=duration, delivered=delivered, num_bytes=num_bytes)
 

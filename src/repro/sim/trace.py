@@ -22,13 +22,15 @@ Event taxonomy
 * ``uplink_start``/``uplink_end`` — one update upload attempt.
 * ``dropped`` — work lost, with ``reason`` one of
   ``downlink_lost | uplink_lost | deadline | fault | offline |
-  crash | server_down | corrupt | stale``  (``offline`` additionally
-  carries ``cause``: churn vs dropout fault vs crash downtime).
-  Terminal retry exhaustion carries ``terminal=True`` and the attempt
-  count.  ``offline`` clients were never selected, so they do not
-  count as dropped uploads in round records; ``corrupt``/``stale``
-  are *rejections* by the server's update validation and are counted
-  separately (``RoundRecord.rejected_uploads``).
+  crash | server_down | corrupt | corrupt_frame | stale``
+  (``offline`` additionally carries ``cause``: churn vs dropout fault
+  vs crash downtime).  Terminal retry exhaustion carries
+  ``terminal=True`` and the attempt count.  ``offline`` clients were
+  never selected, so they do not count as dropped uploads in round
+  records; ``corrupt``/``corrupt_frame``/``stale`` are *rejections*
+  by the server's update validation — numeric screen, wire-frame
+  CRC-32 check, and replay/staleness serials respectively — and are
+  counted separately (``RoundRecord.rejected_uploads``).
 * ``halted``/``woken`` — a client parked until the next global model
   version (``cause``: strategy halting, dropout fault, churn) and its
   wake-up (``cause``: version change or the deadlock guard's
@@ -121,6 +123,7 @@ DROP_REASONS = (
     "crash",
     "server_down",
     "corrupt",
+    "corrupt_frame",
     "stale",
 )
 # Reasons that count toward RoundRecord.dropped_uploads: work that was
@@ -131,8 +134,11 @@ COUNTED_DROP_REASONS = frozenset(
     {"downlink_lost", "uplink_lost", "deadline", "fault", "crash", "server_down"}
 )
 # Reasons assigned by the server's update validation: the payload
-# arrived but was refused.  Counted into RoundRecord.rejected_uploads.
-REJECTED_DROP_REASONS = frozenset({"corrupt", "stale"})
+# arrived but was refused — ``corrupt`` by the numeric screen,
+# ``corrupt_frame`` by the wire-frame CRC-32 integrity check, and
+# ``stale`` by the replay/staleness serials.  Counted into
+# RoundRecord.rejected_uploads.
+REJECTED_DROP_REASONS = frozenset({"corrupt", "corrupt_frame", "stale"})
 # Reasons that enter no RoundRecord tally: the client never joined the
 # round (offline at selection time), so there is no upload to count as
 # lost or rejected.  Together the three buckets partition DROP_REASONS

@@ -1,0 +1,70 @@
+"""Byte-true wire layer: versioned frames, codecs, and size models.
+
+Everything that crosses a simulated link — model broadcasts, client
+updates, checkpoints — is encoded here as a :class:`~repro.wire.frame.Frame`:
+a fixed 24-byte header (magic, wire version, codec id, flags, dim,
+model version, payload length, CRC-32 of the payload) followed by a
+codec-specific binary payload.  The codec registry in
+:mod:`repro.wire.codecs` covers the repo's payload families (dense
+float32, sparse COO/bitmap/dense — whichever is cheapest — and
+QSGD/TernGrad bit-packing), and :mod:`repro.wire.sizes` holds the
+analytic size models, which survive only as *predictions* cross-checked
+against real encode lengths in the test suite.
+
+Layering: ``repro.wire`` depends on nothing but numpy; compression,
+fl, and the CLI depend on it.
+"""
+
+from __future__ import annotations
+
+from repro.wire.frame import (
+    FRAME_OVERHEAD,
+    Frame,
+    FrameCorruptionError,
+    FrameError,
+    MAGIC,
+    WIRE_VERSION,
+    seal,
+    unseal,
+)
+from repro.wire.codecs import (
+    Codec,
+    codec_for_id,
+    codec_for_method,
+    decode_frame,
+    encode_frame,
+    encode_model_frame,
+    predicted_payload_nbytes,
+)
+from repro.wire.sizes import (
+    FLOAT_BYTES,
+    INDEX_BYTES,
+    dense_bytes,
+    quantized_bytes,
+    sparse_bytes,
+    sparse_payload_bytes,
+)
+
+__all__ = [
+    "FRAME_OVERHEAD",
+    "Frame",
+    "FrameCorruptionError",
+    "FrameError",
+    "MAGIC",
+    "WIRE_VERSION",
+    "seal",
+    "unseal",
+    "Codec",
+    "codec_for_id",
+    "codec_for_method",
+    "decode_frame",
+    "encode_frame",
+    "encode_model_frame",
+    "predicted_payload_nbytes",
+    "FLOAT_BYTES",
+    "INDEX_BYTES",
+    "dense_bytes",
+    "quantized_bytes",
+    "sparse_bytes",
+    "sparse_payload_bytes",
+]

@@ -1,0 +1,187 @@
+"""The versioned binary frame every payload travels in.
+
+Frame layout (little-endian, 24-byte fixed header)::
+
+    offset  size  field
+    ------  ----  --------------------------------------------
+         0     4  magic            b"RPWF"
+         4     1  wire version     currently 1
+         5     1  codec id         see repro.wire.codecs
+         6     1  flags            codec-specific parameter byte
+         7     1  reserved         must be zero
+         8     4  dim              uint32, vector dimensionality
+        12     4  model version    uint32, server model version
+        16     4  payload length   uint32, bytes after the header
+        20     4  CRC-32           of the payload bytes only
+        24     …  payload          codec-specific encoding
+
+The CRC covers the payload, so a bit flipped in transit is detected at
+decode time (:meth:`Frame.from_bytes` raises
+:class:`FrameCorruptionError`) — this is what turns the simulator's
+``bitflip`` corruption fault into an observable ``corrupt_frame``
+rejection instead of a silent numeric perturbation.
+
+Versioning: decoders accept exactly the versions they know
+(``version <= WIRE_VERSION``); an unknown magic or future version is a
+:class:`FrameError`, never a silent reinterpretation.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MAGIC",
+    "WIRE_VERSION",
+    "FRAME_OVERHEAD",
+    "BLOB_CODEC_ID",
+    "Frame",
+    "FrameError",
+    "FrameCorruptionError",
+    "seal",
+    "unseal",
+]
+
+MAGIC = b"RPWF"
+WIRE_VERSION = 1
+
+# magic, version, codec id, flags, reserved, dim, model version,
+# payload length, payload CRC-32.
+_HEADER = struct.Struct("<4sBBBBIIII")
+FRAME_OVERHEAD = _HEADER.size  # 24 bytes
+
+# Codec id used by :func:`seal` for opaque byte envelopes (snapshots).
+BLOB_CODEC_ID = 7
+
+_U32_MAX = 2**32 - 1
+
+
+class FrameError(ValueError):
+    """A buffer is not a decodable frame (bad magic/version/shape)."""
+
+
+class FrameCorruptionError(FrameError):
+    """The header parsed but the payload fails its CRC-32 check."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One encoded payload plus the header metadata that travels with it."""
+
+    codec_id: int
+    flags: int
+    dim: int
+    model_version: int
+    payload: bytes
+    version: int = WIRE_VERSION
+    crc32: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.codec_id <= 255:
+            raise FrameError(f"codec_id {self.codec_id} out of byte range")
+        if not 0 <= self.flags <= 255:
+            raise FrameError(f"flags {self.flags} out of byte range")
+        if not 0 <= self.version <= 255:
+            raise FrameError(f"version {self.version} out of byte range")
+        if not 0 <= self.dim <= _U32_MAX:
+            raise FrameError(f"dim {self.dim} out of uint32 range")
+        if not 0 <= self.model_version <= _U32_MAX:
+            raise FrameError(f"model_version {self.model_version} out of uint32 range")
+        if len(self.payload) > _U32_MAX:
+            raise FrameError("payload too large for a uint32 length field")
+        object.__setattr__(self, "payload", bytes(self.payload))
+        object.__setattr__(self, "crc32", zlib.crc32(self.payload) & 0xFFFFFFFF)
+
+    @property
+    def payload_nbytes(self) -> int:
+        """Payload length in bytes — the analytic-model-comparable size."""
+        return len(self.payload)
+
+    def __len__(self) -> int:
+        """Total on-the-wire size: header plus payload."""
+        return FRAME_OVERHEAD + len(self.payload)
+
+    def to_bytes(self) -> bytes:
+        """Serialise header + payload into one contiguous buffer."""
+        header = _HEADER.pack(
+            MAGIC,
+            self.version,
+            self.codec_id,
+            self.flags,
+            0,
+            self.dim,
+            self.model_version,
+            len(self.payload),
+            self.crc32,
+        )
+        return header + self.payload
+
+    @classmethod
+    def from_bytes(cls, buf: bytes | bytearray | memoryview) -> "Frame":
+        """Parse and integrity-check one frame.
+
+        Raises :class:`FrameError` on a malformed buffer (short, bad
+        magic, unknown version, length mismatch) and
+        :class:`FrameCorruptionError` when the payload CRC does not
+        match the header — the signature of in-flight bit corruption.
+        """
+        buf = bytes(buf)
+        if len(buf) < FRAME_OVERHEAD:
+            raise FrameError(
+                f"buffer of {len(buf)} bytes is shorter than a frame header"
+            )
+        magic, version, codec_id, flags, reserved, dim, model_version, length, crc = (
+            _HEADER.unpack_from(buf)
+        )
+        if magic != MAGIC:
+            raise FrameError(f"bad magic {magic!r} (want {MAGIC!r})")
+        if not 1 <= version <= WIRE_VERSION:
+            raise FrameError(f"unsupported wire version {version}")
+        if reserved != 0:
+            raise FrameError(f"reserved header byte is {reserved}, not zero")
+        payload = buf[FRAME_OVERHEAD:]
+        if len(payload) != length:
+            raise FrameError(
+                f"payload length field says {length} bytes, buffer has {len(payload)}"
+            )
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise FrameCorruptionError(
+                f"payload CRC mismatch (header {crc:#010x})"
+            )
+        return cls(
+            codec_id=codec_id,
+            flags=flags,
+            dim=dim,
+            model_version=model_version,
+            payload=payload,
+            version=version,
+        )
+
+
+def seal(data: bytes, model_version: int = 0) -> bytes:
+    """Wrap opaque bytes (e.g. a snapshot pickle) in a CRC'd frame."""
+    frame = Frame(
+        codec_id=BLOB_CODEC_ID,
+        flags=0,
+        dim=0,
+        model_version=model_version,
+        payload=data,
+    )
+    return frame.to_bytes()
+
+
+def unseal(buf: bytes) -> bytes:
+    """Verify a :func:`seal` envelope and return the enclosed bytes.
+
+    Raises :class:`FrameError` (or :class:`FrameCorruptionError` on a
+    CRC mismatch) — callers that must read legacy unwrapped files catch
+    it and fall back.
+    """
+    frame = Frame.from_bytes(buf)
+    if frame.codec_id != BLOB_CODEC_ID:
+        raise FrameError(
+            f"expected a sealed blob (codec {BLOB_CODEC_ID}), got codec {frame.codec_id}"
+        )
+    return frame.payload

@@ -1,0 +1,14 @@
+"""R6 fixture: byte accounting via frames (clean)."""
+
+from repro.wire import encode_frame, predicted_payload_nbytes
+
+
+def charge_uplink(dim: int, data: dict) -> int:
+    frame = encode_frame("dgc", dim, data)
+    return frame.payload_nbytes
+
+
+def stamp_quantized(dim: int, data: dict) -> int:
+    # Referencing (not calling) a formula is fine: predictions stay
+    # importable for analysis and cross-checking tests.
+    return predicted_payload_nbytes("terngrad", dim, data)

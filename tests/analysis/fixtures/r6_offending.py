@@ -1,0 +1,13 @@
+"""R6 fixture: byte accounting from raw size formulas (offending)."""
+
+from repro.compression.base import dense_bytes, sparse_payload_bytes
+from repro.wire import sizes
+
+
+def charge_uplink(dim: int, nnz: int) -> int:
+    payload = sparse_payload_bytes(dim, nnz)
+    return payload + dense_bytes(dim)
+
+
+def stamp_quantized(dim: int) -> int:
+    return sizes.quantized_bytes(dim, 2.0)

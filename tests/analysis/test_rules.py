@@ -200,3 +200,33 @@ class TestR5ApiSurface:
             strict_annotation_prefixes=("fix.strict",),
         )
         assert partial.metrics["annotation_coverage"]["total"]["coverage"] < 1.0
+
+
+class TestR6WireBytes:
+    def test_offending(self):
+        result = lint_fixture(
+            [("r6_offending.py", "repro.fl.fixture_bytes")], select=["R6"]
+        )
+        assert rule_ids(result) == ["R601", "R601", "R601"]
+        blob = " | ".join(v.message for v in result.violations)
+        assert "dense_bytes" in blob
+        assert "sparse_payload_bytes" in blob
+        assert "quantized_bytes" in blob
+
+    def test_clean(self):
+        result = lint_fixture(
+            [("r6_clean.py", "repro.fl.fixture_bytes")], select=["R6"]
+        )
+        assert rule_ids(result) == []
+
+    def test_wire_layer_is_exempt(self):
+        result = lint_fixture(
+            [("r6_offending.py", "repro.wire.fixture_codec")], select=["R6"]
+        )
+        assert rule_ids(result) == []
+
+    def test_compression_base_is_exempt(self):
+        result = lint_fixture(
+            [("r6_offending.py", "repro.compression.base")], select=["R6"]
+        )
+        assert rule_ids(result) == []

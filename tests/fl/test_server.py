@@ -45,6 +45,25 @@ class TestServer:
         target[0] = 99.0
         assert server.params[0] != 99.0
 
+    def test_apply_delta_is_in_place(self, server):
+        buf = server.params
+        server.apply_delta(np.full(server.dim, 0.25))
+        assert server.params is buf  # buffer identity survives updates
+        server.apply_delta(np.full(server.dim, -0.25))
+        assert server.params is buf
+
+    def test_apply_delta_callers_must_copy_for_rollback(self, server):
+        view = server.params  # a stale alias, not a frozen snapshot
+        frozen = server.params.copy()
+        delta = np.full(server.dim, 0.125)
+        server.apply_delta(delta)
+        np.testing.assert_array_equal(view, frozen + delta)
+
+    def test_set_params_adopts_without_copy(self, server):
+        target = server.params + 2.0
+        server.set_params(target, copy=False)
+        assert server.params is target
+
     def test_evaluate_returns_accuracy_and_loss(self, server):
         acc, loss = server.evaluate()
         assert 0.0 <= acc <= 1.0

@@ -160,6 +160,8 @@ class TestSnapshotFile:
     def test_snapshot_is_atomic_and_versioned(self, tmp_path):
         import pickle
 
+        from repro.wire import unseal
+
         server, clients = _federation(10)
         snap = tmp_path / "run.snapshot"
         SyncEngine(
@@ -168,12 +170,14 @@ class TestSnapshotFile:
         ).run()
         assert snap.exists()
         assert not (tmp_path / "run.snapshot.tmp").exists()
-        state = pickle.loads(snap.read_bytes())
+        state = pickle.loads(unseal(snap.read_bytes()))
         assert state["snapshot_version"] == 1
         assert state["mode"] == "sync"
 
     def test_unknown_version_rejected(self, tmp_path):
         import pickle
+
+        from repro.wire import unseal
 
         server, clients = _federation(10)
         snap = tmp_path / "run.snapshot"
@@ -181,8 +185,10 @@ class TestSnapshotFile:
             server, clients, FedAvg(participation_rate=1.0), _sync_config(2),
             snapshot_path=snap, snapshot_every=1,
         ).run()
-        state = pickle.loads(snap.read_bytes())
+        state = pickle.loads(unseal(snap.read_bytes()))
         state["snapshot_version"] = 99
+        # A bare pickle stream is the pre-envelope format; it must
+        # still load (after the version gate rejects it).
         snap.write_bytes(pickle.dumps(state))
         with pytest.raises(ValueError, match="snapshot"):
             load_snapshot(snap)

@@ -1,0 +1,103 @@
+"""Frame header integrity: pack/parse round trips, CRC, envelopes."""
+
+import numpy as np
+import pytest
+
+from repro.wire import (
+    FRAME_OVERHEAD,
+    Frame,
+    FrameCorruptionError,
+    FrameError,
+    MAGIC,
+    seal,
+    unseal,
+)
+
+pytestmark = pytest.mark.wire
+
+
+def _frame(payload=b"wire-payload", **kw):
+    defaults = dict(codec_id=1, flags=3, dim=12, model_version=7)
+    defaults.update(kw)
+    return Frame(payload=payload, **defaults)
+
+
+class TestHeaderRoundTrip:
+    def test_fields_survive(self):
+        frame = _frame()
+        back = Frame.from_bytes(frame.to_bytes())
+        assert back.codec_id == frame.codec_id
+        assert back.flags == frame.flags
+        assert back.dim == frame.dim
+        assert back.model_version == frame.model_version
+        assert back.payload == frame.payload
+        assert back.crc32 == frame.crc32
+
+    def test_length_is_header_plus_payload(self):
+        frame = _frame()
+        assert len(frame) == FRAME_OVERHEAD + len(frame.payload)
+        assert len(frame.to_bytes()) == len(frame)
+        assert frame.payload_nbytes == len(frame.payload)
+
+    def test_empty_payload(self):
+        back = Frame.from_bytes(_frame(payload=b"", dim=0).to_bytes())
+        assert back.payload == b""
+
+    def test_magic_leads_the_buffer(self):
+        assert _frame().to_bytes()[: len(MAGIC)] == MAGIC
+
+
+class TestCorruptionDetection:
+    def test_every_single_flipped_payload_byte_fails_crc(self):
+        buf = bytearray(_frame().to_bytes())
+        for pos in range(FRAME_OVERHEAD, len(buf)):
+            for bit in (0, 7):
+                damaged = bytearray(buf)
+                damaged[pos] ^= 1 << bit
+                with pytest.raises(FrameCorruptionError):
+                    Frame.from_bytes(bytes(damaged))
+
+    def test_bad_magic_rejected(self):
+        buf = bytearray(_frame().to_bytes())
+        buf[0] ^= 0xFF
+        with pytest.raises(FrameError):
+            Frame.from_bytes(bytes(buf))
+
+    def test_truncated_buffer_rejected(self):
+        buf = _frame().to_bytes()
+        with pytest.raises(FrameError):
+            Frame.from_bytes(buf[:-1])
+        with pytest.raises(FrameError):
+            Frame.from_bytes(buf[: FRAME_OVERHEAD - 1])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(FrameError):
+            Frame.from_bytes(_frame().to_bytes() + b"x")
+
+
+class TestValidation:
+    def test_field_ranges_enforced(self):
+        with pytest.raises(FrameError):
+            _frame(codec_id=256)
+        with pytest.raises(FrameError):
+            _frame(flags=-1)
+        with pytest.raises(FrameError):
+            _frame(dim=2**32)
+
+    def test_unknown_future_version_rejected(self):
+        buf = bytearray(_frame().to_bytes())
+        buf[4] = 200  # version byte
+        with pytest.raises(FrameError):
+            Frame.from_bytes(bytes(buf))
+
+
+class TestSealedEnvelope:
+    def test_round_trip(self):
+        blob = np.arange(64, dtype=np.uint8).tobytes()
+        assert unseal(seal(blob)) == blob
+
+    def test_flipped_byte_detected(self):
+        buf = bytearray(seal(b"snapshot-state"))
+        buf[-1] ^= 0x10
+        with pytest.raises(FrameCorruptionError):
+            unseal(bytes(buf))
