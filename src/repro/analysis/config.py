@@ -86,6 +86,7 @@ HOTPATH_MODULES: frozenset[str] = frozenset(
         "repro.nn.optim",
         "repro.nn.conv_utils",
         "repro.nn.layers",
+        "repro.nn.batched",
         "repro.compression.dgc",
         "repro.compression.topk",
         "repro.compression.error_feedback",

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.fl.batched import train_clients_batched
 from repro.fl.client import Client, ClientUpdate
 from repro.fl.config import FederationConfig
 from repro.fl.faults import FaultInjector
@@ -146,6 +147,10 @@ class AsyncEngine:
         self.snapshot_every = snapshot_every if snapshot_every is not None else 1
         self._on_snapshot = on_snapshot
         self._last_snapshot_at = -1
+        # Reused MultiClientTrainer instances, keyed by cohort+config
+        # (see repro.fl.batched).  Session-local: deliberately excluded
+        # from snapshot_state, a resumed engine rebuilds on first use.
+        self._batched_cache: dict = {}
 
     @property
     def sim_time_s(self) -> float:
@@ -192,7 +197,20 @@ class AsyncEngine:
         while not done:
             for event in self._kernel.queue.drain_until(horizon):
                 if event.kind == _MODEL_ARRIVAL:
-                    self._on_model_arrival(event.payload, local_cfg)
+                    payloads = [event.payload]
+                    if self.config.batched_compute:
+                        # Opportunistic fusion: arrivals landing at the
+                        # exact same instant are simultaneously-ready
+                        # clients; pull them off the queue and train
+                        # them through the batched kernel together.
+                        queue = self._kernel.queue
+                        while (
+                            queue
+                            and queue.peek().time == event.time
+                            and queue.peek().kind == _MODEL_ARRIVAL
+                        ):
+                            payloads.append(queue.pop().payload)
+                    self._on_model_arrivals(payloads, local_cfg)
                 elif event.kind == _MODEL_RETRY:
                     self._dispatch_model(
                         event.payload["cid"],
@@ -344,7 +362,49 @@ class AsyncEngine:
             return
         self._kernel.queue.push(now + leg.duration_s, _MODEL_ARRIVAL, payload)
 
-    def _on_model_arrival(self, payload: dict, local_cfg) -> None:
+    def _on_model_arrivals(self, payloads: list[dict], local_cfg) -> None:
+        """Handle one or more same-instant model arrivals.
+
+        Each payload is gated exactly as the serial handler gates it
+        (churn, crashes, dropout faults, strategy halts — all
+        deterministic, no shared-RNG draws); the survivors train
+        together through the batched kernel when the cohort allows it,
+        then complete their upload legs in arrival order so every
+        shared-RNG draw happens in the serial sequence.
+        """
+        trainees: list[Client] = []
+        for payload in payloads:
+            client = self._gate_model_arrival(payload)
+            if client is not None:
+                trainees.append(client)
+        if not trainees:
+            return
+        batched = None
+        ids = [c.client_id for c in trainees]
+        if len(trainees) > 1 and len(set(ids)) == len(ids):
+            batched = train_clients_batched(
+                trainees,
+                self.server.params,
+                local_cfg,
+                round_index=self.server.version,
+                cache=self._batched_cache,
+            )
+        for client in trainees:
+            if batched is not None:
+                update = batched[client.client_id]
+            else:
+                update = client.local_train(
+                    self.server.params, local_cfg, round_index=self.server.version
+                )
+            self._finish_model_arrival(client, update)
+
+    def _gate_model_arrival(self, payload: dict) -> Client | None:
+        """Admission control for one model arrival.
+
+        Returns the client if it should train now, None if the arrival
+        was deferred (churn/crash re-queue) or parked (fault/strategy
+        halt).  Deterministic: no draws from the shared kernel RNG.
+        """
         cid = payload["cid"]
         client = self.clients[cid]
         now = self._kernel.now
@@ -359,7 +419,7 @@ class AsyncEngine:
             self._trace.emit(HALTED, now, cid, cause="churn", until=resume)
             payload["resumed"] = True
             self._kernel.queue.push(resume, _MODEL_ARRIVAL, payload)
-            return
+            return None
         crash = self._chaos.crash if self._chaos is not None else None
         if crash is not None and crash.is_down(cid, now):
             # The device is crashed right now; it restarts with the
@@ -368,7 +428,7 @@ class AsyncEngine:
             self._trace.emit(HALTED, now, cid, cause="crash", until=restart)
             payload["restarted"] = True
             self._kernel.queue.push(restart, _MODEL_ARRIVAL, payload)
-            return
+            return None
         if not payload["forced"] and not self.faults.available(
             cid, self.server.version
         ):
@@ -377,7 +437,7 @@ class AsyncEngine:
             self._trace.emit(HALTED, now, cid, cause="fault")
             client.halted = True
             self._halted.append(cid)
-            return
+            return None
         if not payload["forced"] and not self.strategy.should_train(
             client, self.server, now
         ):
@@ -387,11 +447,16 @@ class AsyncEngine:
             self._trace.emit(HALTED, now, cid, cause="strategy")
             client.halted = True
             self._halted.append(cid)
-            return
+            return None
         client.halted = False
-        update = client.local_train(
-            self.server.params, local_cfg, round_index=self.server.version
-        )
+        return client
+
+    def _finish_model_arrival(self, client: Client, update: ClientUpdate) -> None:
+        """Post-training half of a model arrival: compute/crash
+        accounting, upload encoding, uplink legs, and re-queue."""
+        cid = client.client_id
+        now = self._kernel.now
+        crash = self._chaos.crash if self._chaos is not None else None
         update.extras["base_params"] = self.server.params.copy()
         compute_s = self._kernel.compute(cid, update.flops, now)
         if crash is not None:

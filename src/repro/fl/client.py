@@ -68,6 +68,18 @@ class Client:
         self.compressor = None  # AdaFL attaches a DGCCompressor
         self.last_delta: np.ndarray | None = None  # cached local direction
         self.halted = False  # AdaFL async: paused until next global model
+        # Hoisted local optimiser: built once over the model's flat
+        # parameter and reconfigured per round, so repeated rounds
+        # reuse the momentum buffers instead of reallocating them.
+        self._optimizer: SGD | None = None
+
+    def __getstate__(self) -> dict:
+        # The hoisted optimiser wraps live views into the model's
+        # backing buffers; pickling it would materialise detached copies and
+        # break the aliasing, so it is dropped and lazily rebuilt.
+        state = self.__dict__.copy()
+        state["_optimizer"] = None
+        return state
 
     @property
     def num_samples(self) -> int:
@@ -96,13 +108,25 @@ class Client:
         model.set_flat_params(global_params)
         # The whole model is optimised as one flat parameter over the
         # backing buffers — bit-identical to per-layer updates, minus
-        # the Python loop over layers.
-        optimizer = SGD(
-            [model.flat_parameter()],
-            lr=config.lr,
-            momentum=config.momentum,
-            weight_decay=config.weight_decay,
-        )
+        # the Python loop over layers.  The optimiser object (and its
+        # momentum buffer) is reused across rounds; reconfiguring and
+        # zeroing its state in place matches a fresh build bit for bit.
+        optimizer = self._optimizer
+        if optimizer is None:
+            optimizer = SGD(
+                [model.flat_parameter()],
+                lr=config.lr,
+                momentum=config.momentum,
+                weight_decay=config.weight_decay,
+            )
+            self._optimizer = optimizer
+        else:
+            optimizer.configure(
+                config.lr,
+                momentum=config.momentum,
+                weight_decay=config.weight_decay,
+            )
+            optimizer.reset_state()
 
         use_scaffold = server_control is not None
         if use_scaffold and self.control_variate is None:

@@ -67,6 +67,13 @@ class FederationConfig:
     # Server-side update validation; None disables every screen (the
     # historical trust-everything behaviour, bit-identical trajectories).
     validation: ValidationConfig | None = None
+    # Fuse the selected clients' local training into one stacked-buffer
+    # kernel (repro.nn.batched) when the cohort allows it; trajectories
+    # are bit-identical to the serial path, so this defaults to on.
+    # The sync engine batches the whole barrier cohort, the async
+    # engine batches simultaneously-ready clients opportunistically;
+    # unsupported models fall back to the serial oracle automatically.
+    batched_compute: bool = True
 
     def __post_init__(self) -> None:
         if self.num_rounds <= 0:

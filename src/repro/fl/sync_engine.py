@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.fl.batched import train_clients_batched
 from repro.fl.client import Client
 from repro.fl.config import FederationConfig
 from repro.fl.faults import FaultInjector
@@ -115,6 +116,10 @@ class SyncEngine:
         self.snapshot_every = snapshot_every if snapshot_every is not None else 1
         self._on_snapshot = on_snapshot
         self._next_round = 0  # first round iter_rounds() will execute
+        # Reused MultiClientTrainer instances, keyed by cohort+config
+        # (see repro.fl.batched).  Session-local: deliberately excluded
+        # from snapshot_state, a resumed engine rebuilds on first use.
+        self._batched_cache: dict = {}
 
     @property
     def sim_time_s(self) -> float:
@@ -274,6 +279,33 @@ class SyncEngine:
         durations: list[float] = [0.0]
         deadline = self.config.round_deadline_s
 
+        # Fused barrier-phase training: with no network model every
+        # selected client is guaranteed to receive the broadcast and
+        # train, so the whole cohort can run through the batched kernel
+        # up front.  (With a network, downlink losses draw from the
+        # shared kernel RNG inside the loop below, so pre-training
+        # would have to guess which clients participate; the serial
+        # path keeps the draw order exact.)  Compute-time accounting
+        # stays per-client and the trace is unchanged.
+        batched = None
+        if (
+            self.config.batched_compute
+            and self.network is None
+            and len(selected) > 1
+        ):
+            kwargs_by = {
+                cid: self.strategy.client_train_kwargs(self.clients[cid])
+                for cid in selected
+            }
+            batched = train_clients_batched(
+                [self.clients[cid] for cid in selected],
+                self.server.params,
+                local_cfg,
+                round_index=round_index,
+                kwargs_by_cid=kwargs_by,
+                cache=self._batched_cache,
+            )
+
         # One model-frame encode serves every participant this round;
         # the charged bytes stay the strategy's downlink size (frame
         # payload plus any side channel), the full framed length rides
@@ -322,10 +354,13 @@ class SyncEngine:
             if lost:
                 continue
 
-            kwargs = self.strategy.client_train_kwargs(client)
-            update = client.local_train(
-                self.server.params, local_cfg, round_index=round_index, **kwargs
-            )
+            if batched is not None:
+                update = batched[cid]
+            else:
+                kwargs = self.strategy.client_train_kwargs(client)
+                update = client.local_train(
+                    self.server.params, local_cfg, round_index=round_index, **kwargs
+                )
             compute_s = self._kernel.compute(cid, update.flops, t0 + down_s)
 
             if crash is not None:

@@ -98,11 +98,17 @@ class ValidationConfig:
 def trimmed_mean(deltas: list[np.ndarray], trim_ratio: float = 0.2) -> np.ndarray:
     """Coordinate-wise trimmed mean of client deltas.
 
-    Sorts each coordinate across clients and discards the
-    ``floor(trim_ratio * n)`` smallest and largest values before
-    averaging — the classic robust aggregator.  NaN sorts to the top,
-    so poisoned coordinates fall inside the trimmed tail whenever the
-    number of corrupted updates is at most the trim count.
+    Discards the ``floor(trim_ratio * n)`` smallest and largest values
+    per coordinate before averaging — the classic robust aggregator.
+    NaN partitions to the top, so poisoned coordinates fall inside the
+    trimmed tail whenever the number of corrupted updates is at most
+    the trim count.
+
+    Implementation: a multi-``kth`` :func:`np.partition` pins every
+    position in ``[k, n - k)`` to exactly the value a full sort would
+    put there — O(n) per coordinate instead of O(n log n), and the
+    surviving slice (hence the mean) is bit-identical to the previous
+    full-sort implementation.
     """
     if not deltas:
         raise ValueError("cannot trim-average zero deltas")
@@ -115,7 +121,7 @@ def trimmed_mean(deltas: list[np.ndarray], trim_ratio: float = 0.2) -> np.ndarra
         k = (n - 1) // 2
     if k == 0:
         return stack.mean(axis=0)
-    stack.sort(axis=0, kind="stable")
+    stack.partition(np.arange(k, n - k, dtype=np.intp), axis=0)
     return stack[k : n - k].mean(axis=0)
 
 

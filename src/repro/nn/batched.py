@@ -1,0 +1,1038 @@
+"""Batched multi-client training kernel.
+
+Fuses K clients' local-SGD steps into single numpy calls: each step
+stacks the K per-client minibatches into one ``(K*batch, ...)`` tensor
+and runs ONE fused forward/backward through a shared set of scratch
+buffers, instead of K independent ``Sequential`` passes.  Per-client
+parameters live in a ``(K, d)`` stacked flat buffer; weights enter the
+fused GEMMs as per-row views carved out of that buffer, and the
+optimizer (SGD/momentum/weight-decay/FedProx/SCAFFOLD corrections)
+runs as row-wise in-place ops on the stack.
+
+The kernel is **bit-identical** to the serial ``Client.local_train``
+path.  The determinism argument (see docs/architecture.md, "Batched
+multi-client kernel"):
+
+* Per-client GEMMs run as 3-D stacked ``np.matmul`` calls whose slices
+  are byte-for-byte the serial 2-D GEMM operands, and BLAS computes
+  each slice of a stacked matmul with the same kernel as the 2-D call.
+* Every cross-sample *reduction* (bias gradients, batch-norm
+  statistics, loss means) runs per client on a slice whose shape and
+  strides equal the serial operand's, so pairwise summation order is
+  unchanged.  Only elementwise ops and data movement are fused across
+  clients.
+* RNG draws stay on the per-client generators (shuffles on the
+  client's rng, dropout masks on each layer's own rng) in the serial
+  (epoch, step, layer) order, so every stream advances identically.
+
+Models whose layers fall outside the supported set (or that a caller
+hands inconsistent shards) raise :class:`UnsupportedModelError`; the
+engines catch it and fall back to the serial oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.conv_utils import conv_output_size
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Tanh,
+)
+from repro.nn.normalization import BatchNorm2d, GroupNorm
+from repro.nn.sequential import Sequential
+
+__all__ = [
+    "MultiClientTrainer",
+    "TaskResult",
+    "UnsupportedModelError",
+    "supports",
+]
+
+
+class UnsupportedModelError(Exception):
+    """The model (or shard layout) cannot run through the batched kernel."""
+
+
+@dataclass
+class TaskResult:
+    """Per-client outcome of one fused local-training round."""
+
+    losses: list[float] = field(default_factory=list)
+    steps: int = 0
+    samples_seen: int = 0
+
+
+# ----------------------------------------------------------------------
+# Layer support matrix
+# ----------------------------------------------------------------------
+def _signature(layer) -> tuple | None:
+    """A hashable config tuple iff the layer type is batchable."""
+    t = type(layer)
+    if t is Linear:
+        return ("linear", layer.in_features, layer.out_features,
+                layer.bias is not None)
+    if t is Conv2d:
+        return ("conv", layer.in_channels, layer.out_channels,
+                layer.kernel_size, layer.stride, layer.padding,
+                layer.bias is not None)
+    if t is MaxPool2d:
+        return ("maxpool", layer.kernel_size, layer.stride)
+    if t is AvgPool2d:
+        return ("avgpool", layer.kernel_size, layer.stride)
+    if t is GlobalAvgPool2d:
+        return ("gap",)
+    if t is ReLU:
+        return ("relu",)
+    if t is Tanh:
+        return ("tanh",)
+    if t is Dropout:
+        return ("dropout", layer.rate)
+    if t is Flatten:
+        return ("flatten",)
+    if t is BatchNorm2d:
+        return ("bn", layer.num_channels, layer.momentum, layer.eps)
+    if t is GroupNorm:
+        return ("gn", layer.num_groups, layer.num_channels, layer.eps)
+    return None
+
+
+def supports(model: Sequential) -> bool:
+    """Whether every layer of ``model`` has a batched implementation."""
+    if len(model.output_shape) != 1:
+        return False
+    return all(_signature(layer) is not None for layer in model.layers)
+
+
+def _carve(buf: np.ndarray, offset: int, shape: tuple[int, ...]) -> np.ndarray:
+    """A (K,) + shape parameter view into the (K, d) stacked buffer."""
+    size = 1
+    for dim in shape:
+        size *= dim
+    view = buf[:, offset:offset + size].reshape((buf.shape[0],) + shape)
+    if not np.shares_memory(view, buf):  # pragma: no cover - defensive
+        raise UnsupportedModelError("stacked parameter carve copied")
+    return view
+
+
+# ----------------------------------------------------------------------
+# Fused im2col / col2im
+# ----------------------------------------------------------------------
+class _ColWorkspace:
+    """Column/scatter scratch for the fused conv and pooling handlers.
+
+    Like :class:`repro.nn.conv_utils.ConvWorkspace` but without the
+    intermediate 6-D window buffer: the fused gather writes receptive
+    fields straight into the column matrix, so the only large buffers
+    are the columns themselves and the padded images.  At ``K*batch``
+    rows the shared helper's two-pass gather-then-repack no longer fits
+    in cache; halving the passes is what keeps the fused kernel ahead
+    of the serial loop on convolutional models.
+    """
+
+    __slots__ = ("_key", "_cols", "_pad_in", "_pad_out")
+
+    def __init__(self) -> None:
+        self._key: tuple | None = None
+        self._cols: np.ndarray | None = None
+        self._pad_in: np.ndarray | None = None
+        self._pad_out: np.ndarray | None = None
+
+    def prepare(self, x_shape, k: int, stride: int, padding: int,
+                dtype) -> tuple[int, int]:
+        n, c, h, w = x_shape
+        out_h = conv_output_size(h, k, stride, padding)
+        out_w = conv_output_size(w, k, stride, padding)
+        key = (x_shape, k, stride, padding, np.dtype(dtype))
+        if key != self._key:
+            self._key = key
+            self._cols = np.empty((n * out_h * out_w, c * k * k), dtype=dtype)
+            padded = (n, c, h + 2 * padding, w + 2 * padding)
+            self._pad_in = np.zeros(padded, dtype=dtype) if padding > 0 else None
+            self._pad_out = np.empty(padded, dtype=dtype)
+        return out_h, out_w
+
+
+def _im2col_packed(x: np.ndarray, k: int, stride: int, padding: int,
+                   ws: _ColWorkspace) -> np.ndarray:
+    """Single-pass im2col, bit-identical to ``conv_utils.im2col``.
+
+    A gather moves the same values whatever the staging, so skipping
+    the shared helper's ``(N, C, kh, kw, oh, ow)`` window buffer
+    changes nothing downstream: a zero-cost strided *view* of every
+    receptive field feeds ONE ``np.copyto`` into the column matrix —
+    a single pass with a single numpy dispatch, where the shared
+    helper pays ``kh * kw`` slice copies plus a repack.
+    """
+    n, c, h, w = x.shape
+    out_h, out_w = ws.prepare(x.shape, k, stride, padding, x.dtype)
+    if padding > 0:
+        ws._pad_in[:, :, padding:-padding, padding:-padding] = x
+        x = ws._pad_in
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x, shape=(n, out_h, out_w, c, k, k),
+        strides=(sn, stride * sh, stride * sw, sc, sh, sw),
+    )
+    np.copyto(ws._cols.reshape(n, out_h, out_w, c, k, k), windows)
+    return ws._cols
+
+
+def _col2im_packed(cols: np.ndarray, x_shape: tuple[int, int, int, int],
+                   k: int, stride: int, padding: int,
+                   ws: _ColWorkspace) -> np.ndarray:
+    """Scatter-add columns back to images, bit-identical to
+    ``conv_utils.col2im``: the same zero-initialised target and the
+    same ``(i, j)`` accumulation order (so overlapping receptive
+    fields sum in the serial order, and ``+0`` absorbs signed zeros),
+    reading window slices straight from the column matrix.
+    """
+    n, c, h, w = x_shape
+    out_h, out_w = ws.prepare(x_shape, k, stride, padding, cols.dtype)
+    padded = ws._pad_out
+    padded.fill(0.0)
+    c6 = cols.reshape(n, out_h, out_w, c, k, k)
+    if stride >= k:
+        # Non-overlapping windows (pooling): every target element is
+        # hit at most once, so the whole scatter-add is one strided
+        # ``+=`` into a window view — no aliasing, and adding into the
+        # zero fill keeps the serial path's signed-zero absorption.
+        sn, sc, sh, sw = padded.strides
+        windows = np.lib.stride_tricks.as_strided(
+            padded, shape=(n, out_h, out_w, c, k, k),
+            strides=(sn, stride * sh, stride * sw, sc, sh, sw),
+        )
+        windows += c6
+        if padding > 0:
+            return padded[:, :, padding:-padding, padding:-padding]
+        return padded
+    for i in range(k):
+        i_max = i + stride * out_h
+        for j in range(k):
+            j_max = j + stride * out_w
+            padded[:, :, i:i_max:stride, j:j_max:stride] += (
+                c6[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+            )
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def _workspace(cache: dict, key: tuple) -> _ColWorkspace:
+    """Memoised per-geometry column workspace for a handler."""
+    ws = cache.get(key)
+    if ws is None:
+        ws = _ColWorkspace()
+        # reprolint: allow[R403] dict memo insert, not an ndarray scatter
+        cache[key] = ws
+    return ws
+
+
+# ----------------------------------------------------------------------
+# Per-layer batched handlers
+# ----------------------------------------------------------------------
+class _Handler:
+    """Batched forward/backward for one layer position.
+
+    ``rows`` holds the K clients' live layer instances (sorted order)
+    so stateful layers (dropout RNGs, batch-norm running stats) mutate
+    the real per-client objects exactly as the serial path would.
+    """
+
+    param_size = 0
+
+    def __init__(self, tr: "MultiClientTrainer", li: int, rows: list):
+        self.tr = tr
+        self.li = li
+        self.rows = rows
+
+    def forward(self, x, a, b, bsz):
+        raise NotImplementedError
+
+    def backward(self, g, a, b, bsz, need_input):
+        raise NotImplementedError
+
+
+class _LinearH(_Handler):
+    def __init__(self, tr, li, rows, offset):
+        super().__init__(tr, li, rows)
+        lay = rows[0]
+        self.in_f = lay.in_features
+        self.out_f = lay.out_features
+        self.has_bias = lay.bias is not None
+        self.W = _carve(tr._P, offset, (self.out_f, self.in_f))
+        self.Gw = _carve(tr._G, offset, (self.out_f, self.in_f))
+        self.param_size = self.out_f * self.in_f
+        if self.has_bias:
+            self.B = _carve(tr._P, offset + self.param_size, (self.out_f,))
+            self.Gb = _carve(tr._G, offset + self.param_size, (self.out_f,))
+            self.param_size += self.out_f
+        self._x3 = None
+
+    def forward(self, x, a, b, bsz):
+        m = b - a
+        x3 = x.reshape(m, bsz, self.in_f)
+        o3 = self.tr._buf(self.li, "o3", (m, bsz, self.out_f))
+        np.matmul(x3, self.W[a:b].transpose(0, 2, 1), out=o3)
+        if self.has_bias:
+            o3 += self.B[a:b][:, None, :]
+        self._x3 = x3
+        return o3.reshape(m * bsz, self.out_f)
+
+    def backward(self, g, a, b, bsz, need_input):
+        m = b - a
+        g3 = g.reshape(m, bsz, self.out_f)
+        wg = self.tr._buf(self.li, "wg", (m, self.out_f, self.in_f))
+        np.matmul(g3.transpose(0, 2, 1), self._x3, out=wg)
+        self.Gw[a:b] += wg
+        if self.has_bias:
+            bg = self.tr._buf(self.li, "bg", (m, self.out_f))
+            # One stacked reduce: per output element it sums the same
+            # ``bsz`` addends in the same order as the per-client
+            # ``np.sum(g3[i], axis=0)``, so results are bit-identical.
+            np.add.reduce(g3, axis=1, out=bg)
+            self.Gb[a:b] += bg
+        self._x3 = None
+        if not need_input:
+            return None
+        gi = self.tr._buf(self.li, "gi", (m, bsz, self.in_f))
+        np.matmul(g3, self.W[a:b], out=gi)
+        return gi.reshape(m * bsz, self.in_f)
+
+
+class _Conv2dH(_Handler):
+    def __init__(self, tr, li, rows, offset):
+        super().__init__(tr, li, rows)
+        lay = rows[0]
+        self.in_c = lay.in_channels
+        self.out_c = lay.out_channels
+        self.k = lay.kernel_size
+        self.s = lay.stride
+        self.p = lay.padding
+        self.has_bias = lay.bias is not None
+        ckk = self.in_c * self.k * self.k
+        self.ckk = ckk
+        self.W = _carve(tr._P, offset, (self.out_c, ckk))
+        self.Gw = _carve(tr._G, offset, (self.out_c, ckk))
+        self.param_size = self.out_c * ckk
+        if self.has_bias:
+            self.B = _carve(tr._P, offset + self.param_size, (self.out_c,))
+            self.Gb = _carve(tr._G, offset + self.param_size, (self.out_c,))
+            self.param_size += self.out_c
+        self._ws: dict[tuple, _ColWorkspace] = {}
+        self._cols3 = None
+        self._x_shape = None
+        self._geom = None
+
+    def forward(self, x, a, b, bsz):
+        m = b - a
+        n, _, h, w = x.shape
+        oh = conv_output_size(h, self.k, self.s, self.p)
+        ow = conv_output_size(w, self.k, self.s, self.p)
+        cols = _im2col_packed(x, self.k, self.s, self.p,
+                              _workspace(self._ws, x.shape))
+        cols3 = cols.reshape(m, bsz * oh * ow, self.ckk)
+        o3 = self.tr._buf(self.li, "o3", (m, bsz * oh * ow, self.out_c))
+        np.matmul(cols3, self.W[a:b].transpose(0, 2, 1), out=o3)
+        if self.has_bias:
+            o3 += self.B[a:b][:, None, :]
+        self._cols3 = cols3
+        self._x_shape = x.shape
+        self._geom = (oh, ow)
+        return o3.reshape(n, oh, ow, self.out_c).transpose(0, 3, 1, 2)
+
+    def backward(self, g, a, b, bsz, need_input):
+        m = b - a
+        oh, ow = self._geom
+        gm = g.transpose(0, 2, 3, 1).reshape(-1, self.out_c)
+        gm3 = gm.reshape(m, bsz * oh * ow, self.out_c)
+        wg = self.tr._buf(self.li, "wg", (m, self.out_c, self.ckk))
+        np.matmul(gm3.transpose(0, 2, 1), self._cols3, out=wg)
+        self.Gw[a:b] += wg
+        if self.has_bias:
+            bg = self.tr._buf(self.li, "bg", (m, self.out_c))
+            # Stacked reduce, same per-element addend order as the
+            # serial per-client sums (see _LinearH.backward).
+            np.add.reduce(gm3, axis=1, out=bg)
+            self.Gb[a:b] += bg
+        grad_in = None
+        if need_input:
+            gc = self.tr._buf(self.li, "gc", (m, bsz * oh * ow, self.ckk))
+            np.matmul(gm3, self.W[a:b], out=gc)
+            grad_in = _col2im_packed(
+                gc.reshape(m * bsz * oh * ow, self.ckk), self._x_shape,
+                self.k, self.s, self.p, _workspace(self._ws, self._x_shape),
+            )
+        self._cols3 = None
+        self._x_shape = None
+        return grad_in
+
+
+class _MaxPoolH(_Handler):
+    def __init__(self, tr, li, rows, offset):
+        super().__init__(tr, li, rows)
+        self.k = rows[0].kernel_size
+        self.s = rows[0].stride
+        self._ws: dict[tuple, _ColWorkspace] = {}
+        self._first = None
+        self._x_shape = None
+        self._geom = None
+
+    def forward(self, x, a, b, bsz):
+        n, c, h, w = x.shape
+        oh = conv_output_size(h, self.k, self.s, 0)
+        ow = conv_output_size(w, self.k, self.s, 0)
+        reshaped = x.reshape(n * c, 1, h, w)
+        cols = _im2col_packed(reshaped, self.k, self.s, 0,
+                              _workspace(self._ws, (n * c, 1, h, w)))
+        rows_n = cols.shape[0]
+        ob = self.tr._buf(self.li, "ob", (rows_n,))
+        np.max(cols, axis=1, out=ob)
+        first = self.tr._buf(self.li, "first", (rows_n,), dtype=np.intp)
+        np.argmax(cols, axis=1, out=first)
+        self._first = first
+        self._x_shape = (n, c, h, w)
+        self._geom = (oh, ow, cols.shape[1])
+        return ob.reshape(n, c, oh, ow)
+
+    def backward(self, g, a, b, bsz, need_input):
+        if not need_input:
+            self._first = None
+            return None
+        n, c, h, w = self._x_shape
+        oh, ow, window = self._geom
+        rows_n = self._first.shape[0]
+        gcols = self.tr._buf(self.li, "gcols", (rows_n, window))
+        gcols.fill(0.0)
+        ar = self.tr._arange(rows_n)
+        # Differs from the serial ``mask * grad`` only in the sign of
+        # zeros, which the +0-initialised col2im scatter absorbs.
+        # reprolint: allow[R403] first-max scatter: one write per pooling window
+        gcols[ar, self._first] = g.reshape(-1)
+        grad_in = _col2im_packed(gcols, (n * c, 1, h, w), self.k, self.s, 0,
+                                 _workspace(self._ws, (n * c, 1, h, w)))
+        self._first = None
+        self._x_shape = None
+        return grad_in.reshape(n, c, h, w)
+
+
+class _AvgPoolH(_Handler):
+    def __init__(self, tr, li, rows, offset):
+        super().__init__(tr, li, rows)
+        self.k = rows[0].kernel_size
+        self.s = rows[0].stride
+        self._ws: dict[tuple, _ColWorkspace] = {}
+        self._x_shape = None
+
+    def forward(self, x, a, b, bsz):
+        n, c, h, w = x.shape
+        oh = conv_output_size(h, self.k, self.s, 0)
+        ow = conv_output_size(w, self.k, self.s, 0)
+        cols = _im2col_packed(x.reshape(n * c, 1, h, w), self.k, self.s, 0,
+                              _workspace(self._ws, (n * c, 1, h, w)))
+        ob = self.tr._buf(self.li, "ob", (cols.shape[0],))
+        np.mean(cols, axis=1, out=ob)
+        self._x_shape = (n, c, h, w)
+        return ob.reshape(n, c, oh, ow)
+
+    def backward(self, g, a, b, bsz, need_input):
+        if not need_input:
+            self._x_shape = None
+            return None
+        n, c, h, w = self._x_shape
+        window = self.k * self.k
+        gd = self.tr._buf(self.li, "gd", (n * c * g.shape[2] * g.shape[3], 1))
+        np.divide(g.reshape(-1, 1), window, out=gd)
+        gcols = self.tr._buf(self.li, "gcols", (gd.shape[0], window))
+        gcols[:, :] = gd
+        grad_in = _col2im_packed(gcols, (n * c, 1, h, w), self.k, self.s, 0,
+                                 _workspace(self._ws, (n * c, 1, h, w)))
+        self._x_shape = None
+        return grad_in.reshape(n, c, h, w)
+
+
+class _GlobalAvgPoolH(_Handler):
+    def __init__(self, tr, li, rows, offset):
+        super().__init__(tr, li, rows)
+        self._x_shape = None
+
+    def forward(self, x, a, b, bsz):
+        n, c = x.shape[0], x.shape[1]
+        ob = self.tr._buf(self.li, "ob", (n, c))
+        np.mean(x, axis=(2, 3), out=ob)
+        self._x_shape = x.shape
+        return ob
+
+    def backward(self, g, a, b, bsz, need_input):
+        if not need_input:
+            self._x_shape = None
+            return None
+        n, c, h, w = self._x_shape
+        sm = self.tr._buf(self.li, "sm", (n, c))
+        np.divide(g, h * w, out=sm)
+        gi = self.tr._buf(self.li, "gi", (n, c, h, w))
+        gi[:, :, :, :] = sm[:, :, None, None]
+        self._x_shape = None
+        return gi
+
+
+class _ReLUH(_Handler):
+    def __init__(self, tr, li, rows, offset):
+        super().__init__(tr, li, rows)
+        self._mask = None
+
+    def forward(self, x, a, b, bsz):
+        mask = self.tr._buf(self.li, "mask", x.shape, dtype=np.bool_)
+        np.greater(x, 0, out=mask)
+        ob = self.tr._out_like(self.li, "ob", x)
+        np.maximum(x, 0.0, out=ob)
+        self._mask = mask
+        return ob
+
+    def backward(self, g, a, b, bsz, need_input):
+        if not need_input:
+            self._mask = None
+            return None
+        gi = self.tr._buf(self.li, "gi", g.shape)
+        np.multiply(g, self._mask, out=gi)
+        self._mask = None
+        return gi
+
+
+class _TanhH(_Handler):
+    def __init__(self, tr, li, rows, offset):
+        super().__init__(tr, li, rows)
+        self._out = None
+
+    def forward(self, x, a, b, bsz):
+        ob = self.tr._out_like(self.li, "ob", x)
+        np.tanh(x, out=ob)
+        self._out = ob
+        return ob
+
+    def backward(self, g, a, b, bsz, need_input):
+        if not need_input:
+            self._out = None
+            return None
+        sq = self.tr._buf(self.li, "sq", g.shape)
+        np.power(self._out, 2, out=sq)
+        np.subtract(1.0, sq, out=sq)
+        gi = self.tr._buf(self.li, "gi", g.shape)
+        np.multiply(g, sq, out=gi)
+        self._out = None
+        return gi
+
+
+class _DropoutH(_Handler):
+    def __init__(self, tr, li, rows, offset):
+        super().__init__(tr, li, rows)
+        self.rate = rows[0].rate
+        self._mask = None
+
+    def forward(self, x, a, b, bsz):
+        if self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        feat = x.shape[1:]
+        mask = self.tr._buf(self.li, "mask", x.shape)
+        for i in range(b - a):
+            # Each client's mask comes off its own layer RNG, exactly
+            # one draw per step — the serial stream order.
+            mask[i * bsz:(i + 1) * bsz] = (
+                self.rows[a + i]._rng.random((bsz,) + feat) < keep
+            ) / keep
+        ob = self.tr._buf(self.li, "ob", x.shape)
+        np.multiply(x, mask, out=ob)
+        self._mask = mask
+        return ob
+
+    def backward(self, g, a, b, bsz, need_input):
+        if self.rate == 0.0:
+            return g if need_input else None
+        mask = self._mask
+        self._mask = None
+        if not need_input:
+            return None
+        gi = self.tr._buf(self.li, "gi", g.shape)
+        np.multiply(g, mask, out=gi)
+        return gi
+
+
+class _FlattenH(_Handler):
+    def __init__(self, tr, li, rows, offset):
+        super().__init__(tr, li, rows)
+        self._x_shape = None
+
+    def forward(self, x, a, b, bsz):
+        self._x_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, g, a, b, bsz, need_input):
+        shape = self._x_shape
+        self._x_shape = None
+        if not need_input:
+            return None
+        return g.reshape(shape)
+
+
+class _BatchNormH(_Handler):
+    def __init__(self, tr, li, rows, offset):
+        super().__init__(tr, li, rows)
+        self.c = rows[0].num_channels
+        self.Pg = _carve(tr._P, offset, (self.c,))
+        self.Gg = _carve(tr._G, offset, (self.c,))
+        self.Pb = _carve(tr._P, offset + self.c, (self.c,))
+        self.Gb = _carve(tr._G, offset + self.c, (self.c,))
+        self.param_size = 2 * self.c
+        self._cache = None
+
+    def forward(self, x, a, b, bsz):
+        m = b - a
+        n, c, h, w = x.shape
+        means = self.tr._buf(self.li, "means", (m, c))
+        invs = self.tr._buf(self.li, "invs", (m, c))
+        xh = self.tr._buf(self.li, "xh", (n, c, h, w))
+        for i in range(m):
+            lay = self.rows[a + i]
+            xs = x[i * bsz:(i + 1) * bsz]
+            mean = xs.mean(axis=(0, 2, 3))
+            var = xs.var(axis=(0, 2, 3))
+            lay.running_mean *= 1.0 - lay.momentum
+            lay.running_mean += lay.momentum * mean
+            lay.running_var *= 1.0 - lay.momentum
+            lay.running_var += lay.momentum * var
+            means[i, :] = mean
+            invs[i, :] = 1.0 / np.sqrt(var + lay.eps)
+            np.subtract(xs, mean[None, :, None, None],
+                        out=xh[i * bsz:(i + 1) * bsz])
+        xh5 = xh.reshape(m, bsz, c, h, w)
+        xh5 *= invs[:, None, :, None, None]
+        # ``ob`` mimics the serial output layout (permuted after a
+        # conv), so it cannot be reshaped to 5-D as a view; apply the
+        # per-client affine row by row instead.
+        ob = self.tr._out_like(self.li, "ob", x)
+        for i in range(m):
+            os_ = ob[i * bsz:(i + 1) * bsz]
+            np.multiply(xh[i * bsz:(i + 1) * bsz],
+                        self.Pg[a + i][None, :, None, None], out=os_)
+            os_ += self.Pb[a + i][None, :, None, None]
+        self._cache = (xh, invs, (n, c, h, w))
+        return ob
+
+    def backward(self, g, a, b, bsz, need_input):
+        m = b - a
+        xh, invs, shape = self._cache
+        self._cache = None
+        n, c, h, w = shape
+        me = bsz * h * w
+        prod = self.tr._buf(self.li, "prod", (n, c, h, w))
+        np.multiply(g, xh, out=prod)
+        gs = self.tr._buf(self.li, "gs", (m, c))
+        bs_ = self.tr._buf(self.li, "bs", (m, c))
+        for i in range(m):
+            np.sum(prod[i * bsz:(i + 1) * bsz], axis=(0, 2, 3), out=gs[i])
+            np.sum(g[i * bsz:(i + 1) * bsz], axis=(0, 2, 3), out=bs_[i])
+        self.Gg[a:b] += gs
+        self.Gb[a:b] += bs_
+        if not need_input:
+            return None
+        gb = self.tr._buf(self.li, "gb", (n, c, h, w))
+        gb5 = gb.reshape(m, bsz, c, h, w)
+        g5 = g.reshape(m, bsz, c, h, w)
+        np.multiply(g5, self.Pg[a:b][:, None, :, None, None], out=gb5)
+        sg = self.tr._buf(self.li, "sg", (m, c))
+        sgx = self.tr._buf(self.li, "sgx", (m, c))
+        for i in range(m):
+            np.sum(gb[i * bsz:(i + 1) * bsz], axis=(0, 2, 3), out=sg[i])
+        np.multiply(gb, xh, out=prod)
+        for i in range(m):
+            np.sum(prod[i * bsz:(i + 1) * bsz], axis=(0, 2, 3), out=sgx[i])
+        sg /= me
+        gi = self.tr._buf(self.li, "gi", (n, c, h, w))
+        gi5 = gi.reshape(m, bsz, c, h, w)
+        xh5 = xh.reshape(m, bsz, c, h, w)
+        # Serial parses ``x_hat * sum_gx / m`` left-to-right: multiply
+        # by the undivided sum first, then divide the product by m.
+        np.multiply(xh5, sgx[:, None, :, None, None], out=gi5)
+        gi /= me
+        np.subtract(gb5, sg[:, None, :, None, None], out=gb5)
+        np.subtract(gb5, gi5, out=gi5)
+        gi5 *= invs[:, None, :, None, None]
+        return gi
+
+
+class _GroupNormH(_Handler):
+    """Group norm statistics are per-sample, so the fused pass can use
+    the serial expressions verbatim over the stacked batch; only the
+    per-client affine parameters need row-wise treatment."""
+
+    def __init__(self, tr, li, rows, offset):
+        super().__init__(tr, li, rows)
+        self.groups = rows[0].num_groups
+        self.c = rows[0].num_channels
+        self.eps = rows[0].eps
+        self.Pg = _carve(tr._P, offset, (self.c,))
+        self.Gg = _carve(tr._G, offset, (self.c,))
+        self.Pb = _carve(tr._P, offset + self.c, (self.c,))
+        self.Gb = _carve(tr._G, offset + self.c, (self.c,))
+        self.param_size = 2 * self.c
+        self._cache = None
+
+    def forward(self, x, a, b, bsz):
+        m = b - a
+        n, c, h, w = x.shape
+        grouped = x.reshape(n, self.groups, c // self.groups, h, w)
+        mean = grouped.mean(axis=(2, 3, 4), keepdims=True)
+        var = grouped.var(axis=(2, 3, 4), keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = ((grouped - mean) * inv_std).reshape(x.shape)
+        # ``x_hat`` inherits the input's (possibly permuted) layout
+        # through the reshape views above, and the serial affine output
+        # keeps it; mimic that layout and apply the per-client affine
+        # row by row.
+        ob = self.tr._out_like(self.li, "ob", x_hat)
+        for i in range(m):
+            os_ = ob[i * bsz:(i + 1) * bsz]
+            np.multiply(x_hat[i * bsz:(i + 1) * bsz],
+                        self.Pg[a + i][None, :, None, None], out=os_)
+            os_ += self.Pb[a + i][None, :, None, None]
+        self._cache = (x_hat, inv_std, (n, c, h, w))
+        return ob
+
+    def backward(self, g, a, b, bsz, need_input):
+        m = b - a
+        x_hat, inv_std, shape = self._cache
+        self._cache = None
+        n, c, h, w = shape
+        me = (c // self.groups) * h * w
+        prod = self.tr._buf(self.li, "prod", (n, c, h, w))
+        np.multiply(g, x_hat, out=prod)
+        gs = self.tr._buf(self.li, "gs", (m, c))
+        bs_ = self.tr._buf(self.li, "bs", (m, c))
+        for i in range(m):
+            np.sum(prod[i * bsz:(i + 1) * bsz], axis=(0, 2, 3), out=gs[i])
+            np.sum(g[i * bsz:(i + 1) * bsz], axis=(0, 2, 3), out=bs_[i])
+        self.Gg[a:b] += gs
+        self.Gb[a:b] += bs_
+        if not need_input:
+            return None
+        gb = self.tr._buf(self.li, "gb", (n, c, h, w))
+        gb5 = gb.reshape(m, bsz, c, h, w)
+        g5 = g.reshape(m, bsz, c, h, w)
+        np.multiply(g5, self.Pg[a:b][:, None, :, None, None], out=gb5)
+        g_grouped = gb.reshape(n, self.groups, c // self.groups, h, w)
+        x_hat_grouped = x_hat.reshape(n, self.groups, c // self.groups, h, w)
+        sum_g = g_grouped.sum(axis=(2, 3, 4), keepdims=True)
+        sum_gx = (g_grouped * x_hat_grouped).sum(axis=(2, 3, 4), keepdims=True)
+        grad_grouped = inv_std * (
+            g_grouped - sum_g / me - x_hat_grouped * sum_gx / me
+        )
+        return grad_grouped.reshape(shape)
+
+
+_HANDLER_TYPES: dict[type, type] = {
+    Linear: _LinearH,
+    Conv2d: _Conv2dH,
+    MaxPool2d: _MaxPoolH,
+    AvgPool2d: _AvgPoolH,
+    GlobalAvgPool2d: _GlobalAvgPoolH,
+    ReLU: _ReLUH,
+    Tanh: _TanhH,
+    Dropout: _DropoutH,
+    Flatten: _FlattenH,
+    BatchNorm2d: _BatchNormH,
+    GroupNorm: _GroupNormH,
+}
+
+
+# ----------------------------------------------------------------------
+# The trainer
+# ----------------------------------------------------------------------
+class MultiClientTrainer:
+    """Fused local SGD for K clients sharing one architecture.
+
+    Construction validates that all models are architecturally
+    identical and batchable, allocates the ``(K, d)`` parameter /
+    gradient / optimizer-state stacks, and carves per-layer weight
+    views.  :meth:`run` then executes one full local-training round
+    (``local_epochs`` over every shard) and writes the resulting
+    parameters and gradients back into the client models.
+
+    Instances are reusable across rounds as long as the client models,
+    datasets, and RNG objects stay the same (the engines key a cache on
+    exactly that).
+    """
+
+    def __init__(
+        self,
+        models: list[Sequential],
+        xs: list[np.ndarray],
+        ys: list[np.ndarray],
+        rngs: list[np.random.Generator],
+        *,
+        local_epochs: int,
+        batch_size: int,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        prox_mu: float = 0.0,
+        max_batches: int | None = None,
+        use_corrections: bool = False,
+    ):
+        k = len(models)
+        if k < 1 or not (len(xs) == len(ys) == len(rngs) == k):
+            raise ValueError("models/xs/ys/rngs must be equal-length, K >= 1")
+        if local_epochs < 1 or batch_size < 1 or lr <= 0:
+            raise ValueError("invalid training hyperparameters")
+        if not 0.0 <= momentum < 1.0 or weight_decay < 0.0 or prox_mu < 0.0:
+            raise ValueError("invalid training hyperparameters")
+        if max_batches is not None and max_batches < 1:
+            raise ValueError("max_batches must be positive or None")
+
+        ref = models[0]
+        sigs = tuple(_signature(layer) for layer in ref.layers)
+        if any(s is None for s in sigs) or len(ref.output_shape) != 1:
+            raise UnsupportedModelError("model contains unbatchable layers")
+        for model in models[1:]:
+            if (
+                tuple(_signature(layer) for layer in model.layers) != sigs
+                or model.input_shape != ref.input_shape
+                or model.num_params != ref.num_params
+            ):
+                raise UnsupportedModelError("client models differ")
+        num_classes = ref.output_shape[0]
+        for x, y in zip(xs, ys):
+            if x.dtype != np.float64 or x.shape[1:] != ref.input_shape:
+                raise UnsupportedModelError("shard features not float64/shape")
+            if (
+                x.shape[0] == 0
+                or y.shape != (x.shape[0],)
+                or not np.issubdtype(y.dtype, np.integer)
+                or y.min() < 0
+                or y.max() >= num_classes
+            ):
+                raise UnsupportedModelError("shard labels out of range")
+
+        # Rows sorted by descending shard size (stable) so the active
+        # set at any step is a prefix and equal-batch runs contiguous.
+        self._order = sorted(range(k), key=lambda i: (-len(ys[i]), i))
+        self._models = [models[i] for i in self._order]
+        self._xs = [xs[i] for i in self._order]
+        self._ys = [ys[i] for i in self._order]
+        self._rngs = [rngs[i] for i in self._order]
+        self._n = [len(y) for y in self._ys]
+
+        self.k = k
+        self.d = ref.num_params
+        self.num_classes = num_classes
+        self.local_epochs = local_epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.prox_mu = prox_mu
+        self.use_corrections = use_corrections
+
+        bs = batch_size
+        self._steps = []
+        for n in self._n:
+            steps = -(-n // bs)
+            if max_batches is not None:
+                steps = min(steps, max_batches)
+            self._steps.append(steps)
+        self.max_steps = self._steps[0]
+
+        self._P = np.empty((k, self.d), dtype=np.float64)
+        self._G = np.zeros((k, self.d), dtype=np.float64)
+        self._V = (np.zeros((k, self.d), dtype=np.float64)
+                   if momentum > 0.0 else None)
+        self._SP = (np.empty((k, self.d), dtype=np.float64)
+                    if prox_mu > 0.0 else None)
+        self._S = (np.empty((k, self.d), dtype=np.float64)
+                   if weight_decay > 0.0 else None)
+        self._SU = np.empty((k, self.d), dtype=np.float64)
+        self._C = (np.empty((k, self.d), dtype=np.float64)
+                   if use_corrections else None)
+
+        self._bufs: dict[tuple, np.ndarray] = {}
+        self._aranges: dict[int, np.ndarray] = {}
+
+        self.handlers: list[_Handler] = []
+        offset = 0
+        for li, layer in enumerate(ref.layers):
+            rows = [m.layers[li] for m in self._models]
+            handler = _HANDLER_TYPES[type(layer)](self, li, rows, offset)
+            offset += handler.param_size
+            self.handlers.append(handler)
+        if offset != self.d:
+            raise UnsupportedModelError("parameter layout mismatch")
+
+    # ------------------------------------------------------------------
+    def _buf(self, li: int, tag: str, shape: tuple[int, ...],
+             dtype=np.float64) -> np.ndarray:
+        key = (li, tag, shape, dtype)
+        buf = self._bufs.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            # reprolint: allow[R403] dict memo insert, not an ndarray scatter
+            self._bufs[key] = buf
+        return buf
+
+    def _out_like(self, li: int, tag: str, proto: np.ndarray,
+                  dtype=np.float64) -> np.ndarray:
+        """Scratch buffer with the layout numpy's order-``K`` ufunc
+        allocation gives over ``proto``: packed, keeping ``proto``'s
+        stride ordering.  Conv outputs are ``(N, oh, ow, oc)`` buffers
+        viewed through ``transpose(0, 3, 1, 2)``, and serial unary ops
+        (ReLU, tanh, batch-norm affine) propagate that permuted layout;
+        downstream reductions (global-average-pool means, batch-norm
+        statistics) sum in stride order, so the fused buffers must
+        carry the same strides to keep pairwise summation identical."""
+        if proto.flags.c_contiguous:
+            return self._buf(li, tag, proto.shape, dtype)
+        perm = sorted(range(proto.ndim),
+                      key=lambda axis: (-proto.strides[axis], axis))
+        base = self._buf(li, tag, tuple(proto.shape[a] for a in perm), dtype)
+        inv = [0] * len(perm)
+        for pos, axis in enumerate(perm):
+            # reprolint: allow[R403] python-list element store, no arrays
+            inv[axis] = pos
+        return base.transpose(inv)
+
+    def _arange(self, n: int) -> np.ndarray:
+        ar = self._aranges.get(n)
+        if ar is None:
+            ar = np.arange(n, dtype=np.intp)
+            # reprolint: allow[R403] dict memo insert, not an ndarray scatter
+            self._aranges[n] = ar
+        return ar
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        global_params: np.ndarray,
+        corrections: list[np.ndarray] | None = None,
+    ) -> list[TaskResult]:
+        """One fused local-training round; returns per-client results
+        in the ORIGINAL (caller) client order."""
+        if global_params.shape != (self.d,):
+            raise ValueError("global_params has wrong dimension")
+        if self.use_corrections:
+            if corrections is None or len(corrections) != self.k:
+                raise ValueError("corrections required with use_corrections")
+            for r in range(self.k):
+                self._C[r, :] = corrections[self._order[r]]
+        self._P[:, :] = global_params
+        if self._V is not None:
+            self._V.fill(0.0)
+
+        losses: list[list[float]] = [[] for _ in range(self.k)]
+        bs = self.batch_size
+        for _ in range(self.local_epochs):
+            perms = []
+            for r in range(self.k):
+                # Same shuffle draw as Dataset.batches: permute an
+                # arange on the client's own generator.
+                perm = np.arange(self._n[r], dtype=np.intp)
+                self._rngs[r].shuffle(perm)
+                perms.append(perm)
+            for s in range(self.max_steps):
+                m_act = 0
+                while m_act < self.k and self._steps[m_act] > s:
+                    m_act += 1
+                a = 0
+                while a < m_act:
+                    bsz = min(bs, self._n[a] - s * bs)
+                    b = a + 1
+                    while b < m_act and min(bs, self._n[b] - s * bs) == bsz:
+                        b += 1
+                    self._train_step(a, b, bsz, s, perms, global_params,
+                                     losses)
+                    a = b
+
+        results: list[TaskResult] = [TaskResult() for _ in range(self.k)]
+        for r in range(self.k):
+            self._models[r].set_flat_params(self._P[r])
+            self._models[r].set_flat_grads(self._G[r])
+            seen = min(self._n[r], self._steps[r] * bs)
+            results[self._order[r]] = TaskResult(
+                losses=losses[r],
+                steps=self.local_epochs * self._steps[r],
+                samples_seen=self.local_epochs * seen,
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def _train_step(self, a, b, bsz, s, perms, global_params, losses):
+        m = b - a
+        n_total = m * bsz
+        bs = self.batch_size
+        xb = self._buf(-1, "xb", (n_total,) + self._models[0].input_shape)
+        yb = self._buf(-1, "yb", (n_total,), dtype=np.intp)
+        for i in range(m):
+            r = a + i
+            idx = perms[r][s * bs:s * bs + bsz]
+            np.take(self._xs[r], idx, axis=0, out=xb[i * bsz:(i + 1) * bsz])
+            yb[i * bsz:(i + 1) * bsz] = self._ys[r][idx]
+
+        self._G[a:b].fill(0.0)
+
+        out = xb
+        for handler in self.handlers:
+            out = handler.forward(out, a, b, bsz)
+
+        # Fused softmax cross-entropy: identical expression chain to
+        # SoftmaxCrossEntropy, with per-client loss means.
+        mx = self._buf(-1, "mx", (n_total, 1))
+        np.max(out, axis=-1, keepdims=True, out=mx)
+        shifted = self._buf(-1, "shifted", (n_total, self.num_classes))
+        np.subtract(out, mx, out=shifted)
+        expb = self._buf(-1, "expb", (n_total, self.num_classes))
+        np.exp(shifted, out=expb)
+        np.sum(expb, axis=-1, keepdims=True, out=mx)
+        np.log(mx, out=mx)
+        logp = self._buf(-1, "logp", (n_total, self.num_classes))
+        np.subtract(shifted, mx, out=logp)
+        ar = self._arange(n_total)
+        picked = logp[ar, yb]
+        for i in range(m):
+            losses[a + i].append(float(-picked[i * bsz:(i + 1) * bsz].mean()))
+        gl = self._buf(-1, "gl", (n_total, self.num_classes))
+        np.exp(logp, out=gl)
+        gl[ar, yb] -= 1.0
+        gl /= bsz
+
+        g = gl
+        for li in range(len(self.handlers) - 1, -1, -1):
+            g = self.handlers[li].backward(g, a, b, bsz, need_input=li > 0)
+
+        # Row-wise optimizer, in the exact serial op order:
+        # prox -> scaffold -> weight decay -> momentum -> update.
+        if self.prox_mu > 0.0:
+            np.subtract(self._P[a:b], global_params[None, :],
+                        out=self._SP[a:b])
+            self._SP[a:b] *= self.prox_mu
+            self._G[a:b] += self._SP[a:b]
+        if self.use_corrections:
+            self._G[a:b] += self._C[a:b]
+        if self.weight_decay > 0.0:
+            np.multiply(self._P[a:b], self.weight_decay, out=self._S[a:b])
+            self._S[a:b] += self._G[a:b]
+            upd = self._S
+        else:
+            upd = self._G
+        if self._V is not None:
+            self._V[a:b] *= self.momentum
+            self._V[a:b] += upd[a:b]
+            upd = self._V
+        np.multiply(upd[a:b], self.lr, out=self._SU[a:b])
+        self._P[a:b] -= self._SU[a:b]

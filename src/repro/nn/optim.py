@@ -53,6 +53,36 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in params] if momentum else None
 
+    def configure(
+        self, lr: float, momentum: float = 0.0, weight_decay: float = 0.0
+    ) -> None:
+        """Re-point a reused optimiser at new hyperparameters.
+
+        Keeps the velocity buffers allocated when momentum stays
+        enabled (callers reuse one SGD across training rounds instead
+        of rebuilding it, see ``Client.local_train``); allocates them
+        on a 0 -> m transition and drops them on m -> 0.
+        """
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0.0:
+            raise ValueError("weight_decay must be non-negative")
+        self.lr = lr
+        self.weight_decay = weight_decay
+        if momentum and self._velocity is None:
+            self._velocity = [np.zeros_like(p.data) for p in self.params]
+        elif not momentum:
+            self._velocity = None
+        self.momentum = momentum
+
+    def reset_state(self) -> None:
+        """Zero the momentum buffers in place (fresh-optimiser state)."""
+        if self._velocity is not None:
+            for v in self._velocity:
+                v.fill(0.0)
+
     def step(self) -> None:
         for i, p in enumerate(self.params):
             grad = p.grad

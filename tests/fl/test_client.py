@@ -121,3 +121,68 @@ class TestTrainingFlops:
     def test_evaluate_range(self, client, global_params, tiny_test):
         acc = client.evaluate(global_params, tiny_test)
         assert 0.0 <= acc <= 1.0
+
+
+class TestHoistedOptimizer:
+    """The per-client SGD is built once and reused across rounds."""
+
+    def test_optimizer_and_buffers_persist_across_rounds(self, client, global_params):
+        momentum_cfg = LocalTrainingConfig(
+            local_epochs=1, batch_size=16, lr=0.1, momentum=0.9
+        )
+        client.local_train(global_params, momentum_cfg)
+        opt = client._optimizer
+        assert opt is not None
+        velocity = opt._velocity[0]
+        client.local_train(global_params, momentum_cfg, round_index=1)
+        # Same optimiser object, same velocity backing buffer: no
+        # per-round reallocation.
+        assert client._optimizer is opt
+        assert opt._velocity[0] is velocity
+
+    def test_optimizer_aliases_model_backing_buffer(self, client, global_params):
+        client.local_train(global_params, CFG)
+        flat = client._model.get_flat_params()
+        assert np.shares_memory(client._optimizer.params[0].data, flat)
+
+    def test_reuse_bit_identical_to_fresh_client(
+        self, tiny_train, tiny_model_fn, global_params
+    ):
+        momentum_cfg = LocalTrainingConfig(
+            local_epochs=1, batch_size=16, lr=0.1, momentum=0.9
+        )
+        reused = Client(0, tiny_train, tiny_model_fn, seed=5)
+        reused.local_train(global_params, momentum_cfg)
+        second = reused.local_train(global_params, momentum_cfg, round_index=1)
+        # A fresh client fast-forwarded through round 0 produces the
+        # same round-1 delta: reusing the optimiser leaks no state.
+        fresh = Client(0, tiny_train, tiny_model_fn, seed=5)
+        fresh.local_train(global_params, momentum_cfg)
+        again = fresh.local_train(global_params, momentum_cfg, round_index=1)
+        assert np.array_equal(second.delta, again.delta)
+
+    def test_hyperparameter_change_between_rounds(
+        self, tiny_train, tiny_model_fn, global_params
+    ):
+        cfg_a = LocalTrainingConfig(local_epochs=1, batch_size=16, lr=0.1,
+                                    momentum=0.9)
+        cfg_b = LocalTrainingConfig(local_epochs=1, batch_size=16, lr=0.05,
+                                    weight_decay=1e-4)
+        reused = Client(0, tiny_train, tiny_model_fn, seed=5)
+        reused.local_train(global_params, cfg_a)
+        got = reused.local_train(global_params, cfg_b, round_index=1)
+        fresh = Client(0, tiny_train, tiny_model_fn, seed=5)
+        fresh.local_train(global_params, cfg_a)
+        want = fresh.local_train(global_params, cfg_b, round_index=1)
+        assert np.array_equal(got.delta, want.delta)
+
+    def test_pickling_drops_optimizer(self, client, global_params):
+        import pickle
+
+        client.local_train(global_params, CFG)
+        clone = pickle.loads(pickle.dumps(client))
+        assert clone._optimizer is None
+        # The clone lazily rebuilds it and still trains identically.
+        update = clone.local_train(global_params, CFG, round_index=1)
+        expected = client.local_train(global_params, CFG, round_index=1)
+        assert np.array_equal(update.delta, expected.delta)

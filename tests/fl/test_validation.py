@@ -76,6 +76,28 @@ class TestTrimmedMean:
         out = trimmed_mean(deltas, trim_ratio=0.4)  # floor(1.2)=1; 2k<n holds
         np.testing.assert_array_equal(out, np.array([2.0]))
 
+    @pytest.mark.parametrize("n,ratio", [(5, 0.2), (8, 0.25), (11, 0.3), (20, 0.45)])
+    def test_partition_matches_full_sort_bitwise(self, n, ratio):
+        # The O(n) multi-kth partition must reproduce the old
+        # sort-based implementation exactly, coordinate by coordinate.
+        rng = np.random.default_rng(17)
+        deltas = [rng.normal(size=257) * 10.0 ** rng.integers(-3, 4)
+                  for _ in range(n)]
+        expected_stack = np.sort(np.stack(deltas), axis=0)
+        k = int(np.floor(ratio * n))
+        if 2 * k >= n:
+            k = (n - 1) // 2
+        expected = expected_stack[k : n - k].mean(axis=0)
+        np.testing.assert_array_equal(trimmed_mean(deltas, ratio), expected)
+
+    def test_does_not_mutate_inputs(self):
+        deltas = [np.array([3.0, 1.0]), np.array([1.0, 3.0]),
+                  np.array([2.0, 2.0])]
+        snapshots = [d.copy() for d in deltas]
+        trimmed_mean(deltas, trim_ratio=0.34)
+        for d, s in zip(deltas, snapshots):
+            np.testing.assert_array_equal(d, s)
+
 
 class TestSerials:
     def test_stamp_is_monotone(self):

@@ -1,0 +1,267 @@
+"""Serial-equivalence properties of the fused multi-client kernel.
+
+``repro.nn.batched.MultiClientTrainer`` stacks K clients' per-step
+minibatches into one tensor and runs a single fused forward/backward
+per step; the whole point is that every client's trajectory stays
+**bit-identical** to ``Client.local_train``'s serial loop.  These
+tests drive serial and fused cohorts from identical initial state and
+assert ``np.array_equal`` on deltas, flat gradients, and BN running
+statistics — over two consecutive rounds, so RNG-stream continuation
+(epoch shuffles and dropout masks) is covered, and under partial-batch
+geometries (shard size not divisible by batch size), the regime where
+layout and reduction-order bugs actually surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_image_classification
+from repro.fl.client import Client
+from repro.fl.config import LocalTrainingConfig
+from repro.nn.batched import MultiClientTrainer, supports
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Tanh,
+)
+from repro.nn.models import build_mlp, build_mnist_cnn, build_resnet_mini
+from repro.nn.normalization import BatchNorm2d, GroupNorm
+from repro.nn.sequential import Sequential
+
+pytestmark = pytest.mark.batched
+
+SHAPE = (1, 8, 8)
+
+
+def _cohorts(model_fn, n_train: int, num_clients: int, seed_base: int = 30):
+    """Two freshly built, identically seeded client cohorts."""
+    train, _ = make_image_classification(
+        n_train=n_train, n_test=8, num_classes=4, image_shape=SHAPE,
+        noise_std=0.4, seed=7,
+    )
+    parts = np.array_split(np.arange(len(train)), num_clients)
+
+    def build():
+        return [
+            Client(i, train.subset(parts[i]), model_fn, seed=seed_base + i)
+            for i in range(num_clients)
+        ]
+
+    return build(), build()
+
+
+def _assert_rounds_equal(serial, fused, cfg: LocalTrainingConfig,
+                         rounds: int = 2, scaffold: bool = False) -> None:
+    """Serial vs fused trajectories must agree bitwise for ``rounds``."""
+    gp = serial[0]._model.get_flat_params().copy()
+    sc = np.zeros_like(gp) if scaffold else None
+    kw = {"server_control": sc} if scaffold else {}
+    for rnd in range(rounds):
+        updates = [c.local_train(gp, cfg, round_index=rnd, **kw) for c in serial]
+
+        trainer = MultiClientTrainer(
+            [c._model for c in fused],
+            [c.dataset.x for c in fused],
+            [c.dataset.y for c in fused],
+            [c._rng for c in fused],
+            local_epochs=cfg.local_epochs, batch_size=cfg.batch_size,
+            lr=cfg.lr, momentum=cfg.momentum,
+            weight_decay=cfg.weight_decay, prox_mu=cfg.prox_mu,
+            max_batches=cfg.max_batches, use_corrections=scaffold,
+        )
+        corrections = None
+        if scaffold:
+            for c in fused:
+                if c.control_variate is None:
+                    c.control_variate = np.zeros_like(gp)
+            corrections = [sc - c.control_variate for c in fused]
+        results = trainer.run(gp, corrections=corrections)
+
+        for i, (u, res) in enumerate(zip(updates, results)):
+            local = fused[i]._model.get_flat_params()
+            assert np.array_equal(u.delta, local - gp), (rnd, i, "delta")
+            assert np.array_equal(
+                serial[i]._model.get_flat_grads(),
+                fused[i]._model.get_flat_grads(),
+            ), (rnd, i, "grads")
+            fused_loss = float(np.mean(res.losses)) if res.losses else 0.0
+            assert u.train_loss == fused_loss, (rnd, i, "loss")
+            if scaffold:
+                new_control = (
+                    fused[i].control_variate - sc
+                    + (gp - local) / (res.steps * cfg.lr)
+                )
+                assert np.array_equal(
+                    u.extras["control_delta"],
+                    new_control - fused[i].control_variate,
+                ), (rnd, i, "control")
+                fused[i].control_variate = new_control
+            for ls, lf in zip(serial[i]._model.layers, fused[i]._model.layers):
+                if hasattr(ls, "running_mean"):
+                    assert np.array_equal(ls.running_mean, lf.running_mean)
+                    assert np.array_equal(ls.running_var, lf.running_var)
+        gp = gp - 0.3 * np.mean([u.delta for u in updates], axis=0)
+
+
+# ---------------------------------------------------------------------------
+# Optimiser-variant coverage on fixed architectures
+# ---------------------------------------------------------------------------
+
+def _mlp():
+    return build_mlp(SHAPE, num_classes=4, hidden=(12,), seed=99)
+
+
+def _cnn():
+    return build_mnist_cnn(SHAPE, num_classes=4, channels=(4, 6),
+                           hidden=16, seed=5)
+
+
+CONFIG_CASES = {
+    "plain": LocalTrainingConfig(local_epochs=1, batch_size=8, lr=0.1),
+    "momentum_wd": LocalTrainingConfig(local_epochs=2, batch_size=8, lr=0.1,
+                                       momentum=0.9, weight_decay=1e-4),
+    "prox_max_batches": LocalTrainingConfig(local_epochs=1, batch_size=8,
+                                            lr=0.1, prox_mu=0.01,
+                                            max_batches=2),
+}
+
+
+@pytest.mark.parametrize("case", sorted(CONFIG_CASES))
+def test_mlp_configs_bit_identical(case: str) -> None:
+    serial, fused = _cohorts(_mlp, n_train=80, num_clients=5)
+    _assert_rounds_equal(serial, fused, CONFIG_CASES[case])
+
+
+def test_mlp_scaffold_corrections_bit_identical() -> None:
+    serial, fused = _cohorts(_mlp, n_train=80, num_clients=5)
+    _assert_rounds_equal(serial, fused, CONFIG_CASES["plain"], scaffold=True)
+
+
+def test_cnn_bit_identical() -> None:
+    serial, fused = _cohorts(_cnn, n_train=60, num_clients=4)
+    cfg = LocalTrainingConfig(local_epochs=1, batch_size=8, lr=0.05)
+    _assert_rounds_equal(serial, fused, cfg)
+
+
+def test_cnn_ragged_shards_bit_identical() -> None:
+    # 73 samples over 5 clients -> shard sizes 15,15,15,14,14: every
+    # client ends each epoch on a partial batch of a different size.
+    serial, fused = _cohorts(_cnn, n_train=73, num_clients=5)
+    cfg = LocalTrainingConfig(local_epochs=2, batch_size=4, lr=0.05,
+                              momentum=0.5)
+    _assert_rounds_equal(serial, fused, cfg)
+
+
+# ---------------------------------------------------------------------------
+# Property test: random layer stacks
+# ---------------------------------------------------------------------------
+
+def _random_stack(seed: int) -> list:
+    """A deterministic 'random' conv stack drawn from the supported set.
+
+    Fresh RNGs are built from ``seed`` on every call, so repeated calls
+    (one per client model) produce identical layers.
+    """
+    pick = np.random.default_rng(seed)
+    init = np.random.default_rng(1000 + seed)
+    layers: list = []
+    c, h, w = SHAPE
+    for _ in range(int(pick.integers(1, 3))):
+        oc = int(pick.integers(2, 4)) * 2  # even, so GroupNorm(2, c) fits
+        layers.append(Conv2d(c, oc, 3, init, padding=1))
+        c = oc
+        norm = int(pick.integers(0, 3))
+        if norm == 1:
+            layers.append(BatchNorm2d(c))
+        elif norm == 2:
+            layers.append(GroupNorm(2, c))
+        act = int(pick.integers(0, 3))
+        if act == 1:
+            layers.append(ReLU())
+        elif act == 2:
+            layers.append(Tanh())
+        if pick.random() < 0.35:
+            layers.append(Dropout(0.3, np.random.default_rng(17)))
+        pool = int(pick.integers(0, 3))
+        if pool and h % 2 == 0:
+            layers.append(MaxPool2d(2) if pool == 1 else AvgPool2d(2))
+            h //= 2
+            w //= 2
+    if pick.random() < 0.5:
+        layers.append(GlobalAvgPool2d())
+        layers.append(Linear(c, 4, init))
+    else:
+        layers.append(Flatten())
+        layers.append(Linear(c * h * w, 4, init))
+    return layers
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_stacks_bit_identical(seed: int) -> None:
+    def model_fn():
+        return Sequential(_random_stack(seed), input_shape=SHAPE)
+
+    assert supports(model_fn())
+    serial, fused = _cohorts(model_fn, n_train=60, num_clients=4)
+    # batch_size 4 over 15-sample shards: partial final batches, the
+    # geometry where stacked-buffer carving is most error-prone.
+    cfg = LocalTrainingConfig(local_epochs=2, batch_size=4, lr=0.05,
+                              momentum=0.9)
+    _assert_rounds_equal(serial, fused, cfg)
+
+
+# Targeted edge combos: dropout-mask RNG streams interleaved with BN's
+# EMA update, and normalisation directly consuming the permuted conv
+# output layout (the reductions most sensitive to operand strides).
+EDGE_COMBOS = {
+    "conv_drop_bn": lambda r: [
+        Conv2d(1, 4, 3, r, padding=1), Dropout(0.3, np.random.default_rng(17)),
+        BatchNorm2d(4), Flatten(), Linear(256, 4, r),
+    ],
+    "conv_bn_tanh_bn_gap": lambda r: [
+        Conv2d(1, 4, 3, r, padding=1), BatchNorm2d(4), Tanh(),
+        BatchNorm2d(4), GlobalAvgPool2d(), Linear(4, 4, r),
+    ],
+    "conv_gn_tanh_gap": lambda r: [
+        Conv2d(1, 4, 3, r, padding=1), GroupNorm(2, 4), Tanh(),
+        GlobalAvgPool2d(), Linear(4, 4, r),
+    ],
+    "conv_tanh_maxpool_gn": lambda r: [
+        Conv2d(1, 4, 3, r, padding=1), Tanh(), MaxPool2d(2),
+        GroupNorm(2, 4), Flatten(), Linear(64, 4, r),
+    ],
+}
+
+
+@pytest.mark.parametrize("combo", sorted(EDGE_COMBOS))
+def test_edge_combos_bit_identical(combo: str) -> None:
+    def model_fn():
+        return Sequential(EDGE_COMBOS[combo](np.random.default_rng(42)),
+                          input_shape=SHAPE)
+
+    serial, fused = _cohorts(model_fn, n_train=60, num_clients=4)
+    cfg = LocalTrainingConfig(local_epochs=2, batch_size=4, lr=0.05,
+                              momentum=0.9)
+    _assert_rounds_equal(serial, fused, cfg)
+
+
+# ---------------------------------------------------------------------------
+# Support surface
+# ---------------------------------------------------------------------------
+
+def test_residual_model_not_supported() -> None:
+    model = build_resnet_mini(SHAPE, num_classes=4, seed=3)
+    assert not supports(model)
+
+
+def test_supported_models() -> None:
+    assert supports(_mlp())
+    assert supports(_cnn())

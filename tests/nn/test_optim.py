@@ -64,6 +64,63 @@ class TestSGD:
         assert np.all(p.grad == 0.0)
 
 
+class TestSGDReuse:
+    """configure/reset_state let one SGD replace per-round rebuilds."""
+
+    def test_configure_keeps_velocity_buffers(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        before = opt._velocity[0]
+        opt.configure(0.2, momentum=0.5, weight_decay=1e-4)
+        assert opt._velocity[0] is before
+        assert (opt.lr, opt.momentum, opt.weight_decay) == (0.2, 0.5, 1e-4)
+
+    def test_configure_momentum_transitions(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        assert opt._velocity is None
+        opt.configure(0.1, momentum=0.9)
+        assert opt._velocity is not None
+        opt.configure(0.1)
+        assert opt._velocity is None
+
+    def test_reset_state_zeroes_in_place(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad[:] = 2.0
+        opt.step()
+        buf = opt._velocity[0]
+        assert np.any(buf != 0.0)
+        opt.reset_state()
+        assert opt._velocity[0] is buf
+        assert np.all(buf == 0.0)
+
+    def test_reconfigured_matches_fresh_bitwise(self):
+        fresh_p, reused_p = quadratic_param(), quadratic_param()
+        reused = SGD([reused_p], lr=0.3, momentum=0.2)
+        reused_p.grad[:] = 1.0
+        reused.step()  # dirty the state
+        reused_p.data[:] = fresh_p.data
+        reused.configure(0.1, momentum=0.9, weight_decay=1e-3)
+        reused.reset_state()
+        fresh = SGD([fresh_p], lr=0.1, momentum=0.9, weight_decay=1e-3)
+        for _ in range(5):
+            fresh_p.grad[:] = fresh_p.data
+            reused_p.grad[:] = reused_p.data
+            fresh.step()
+            reused.step()
+        assert np.array_equal(fresh_p.data, reused_p.data)
+
+    def test_configure_rejects_bad_values(self):
+        opt = SGD([quadratic_param()], lr=0.1)
+        with pytest.raises(ValueError):
+            opt.configure(0.0)
+        with pytest.raises(ValueError):
+            opt.configure(0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            opt.configure(0.1, weight_decay=-1.0)
+
+
 class TestAdam:
     def test_converges_on_quadratic(self):
         p = quadratic_param()
