@@ -475,6 +475,61 @@ def bench_batched_train(iters: int) -> dict:
     return stats
 
 
+def bench_population(iters: int) -> dict:
+    """One federated round over a 100k-client virtual population.
+
+    The timed step is a full ``run_population_smoke`` pass — registry
+    construction (descriptor arrays for 100 000 clients), one sync
+    round over a 20-client cohort with regenerate-mode eviction, and
+    the O(k) reservoir spot-check — so the number gates the whole
+    O(active) machinery, not just the registry dict.
+
+    ``meta`` carries the peak-RSS proxy from the registry's own
+    accounting: peak live clients/bytes versus the estimated cost of
+    materialising the population eagerly.  The bound itself
+    (``peak_live`` stays O(cohort)) is asserted inside the smoke; here
+    we additionally pin the descriptor overhead to a few bytes per
+    client so metadata growth cannot silently reintroduce O(n) bloat.
+    """
+    from repro.experiments.scalability import run_population_smoke
+
+    num_clients = 100_000
+    out_box = {}
+
+    def step() -> None:
+        out_box["out"] = run_population_smoke(
+            num_clients=num_clients, rounds=1, cohort=20,
+            mode="regenerate", engine="sync", seed=0,
+        )
+
+    stats = _time_section(step, iters, warmup=1)
+    out = out_box["out"]
+    per_client = (
+        out["peak_live_nbytes"] / out["peak_live"] if out["peak_live"] else 0.0
+    )
+    eager_nbytes = per_client * num_clients
+    assert out["descriptor_bytes_per_client"] <= 64.0, (
+        f"descriptors grew to {out['descriptor_bytes_per_client']:.0f} B/client"
+    )
+    stats["meta"] = {
+        "num_clients": num_clients,
+        "cohort": out["cohort"],
+        "peak_live": out["peak_live"],
+        "peak_live_nbytes": out["peak_live_nbytes"],
+        "descriptor_nbytes": out["descriptor_nbytes"],
+        "descriptor_bytes_per_client": out["descriptor_bytes_per_client"],
+        "eager_nbytes_estimate": eager_nbytes,
+        "memory_saving_vs_eager": (
+            eager_nbytes / out["peak_live_nbytes"]
+            if out["peak_live_nbytes"]
+            else 0.0
+        ),
+        "materializations": out["materializations"],
+        "evictions": out["evictions"],
+    }
+    return stats
+
+
 def bench_lint(iters: int) -> dict:
     """One full-repo reprolint pass (parse + every rule family).
 
@@ -522,6 +577,7 @@ SECTIONS = {
     "resilience": (bench_resilience, 10),
     "wire": (bench_wire, 20),
     "batched_train": (bench_batched_train, 8),
+    "population": (bench_population, 3),
     "lint": (bench_lint, 5),
 }
 

@@ -140,6 +140,22 @@ class LintConfig:
     )
     # Modules exempt from the module-level ``__all__`` requirement.
     all_exempt_modules: frozenset[str] = frozenset({"repro.__main__"})
+    # R7: client lifecycle ownership.  Only the population registry may
+    # construct Clients or sweep the full population; engine, strategy,
+    # and selection modules go through the registry's cohort API.
+    population_module: str = "repro.fl.population"
+    population_restricted_modules: frozenset[str] = frozenset(
+        {
+            "repro.fl.sync_engine",
+            "repro.fl.async_engine",
+            "repro.fl.batched",
+            "repro.fl.strategy",
+            "repro.fl.baselines",
+            "repro.fl.fedat",
+            "repro.core.selection",
+            "repro.core.adafl",
+        }
+    )
 
     def module_rng_allowed(self, module: str) -> bool:
         """Whether R1 is switched off for ``module``."""

@@ -1,6 +1,6 @@
 """Rule families — importing this package populates the registry.
 
-Five families ship with the repo:
+Seven families ship with the repo:
 
 * :mod:`repro.analysis.rules.determinism` — R1xx: no legacy global
   RNG or wall-clock reads outside the kernel's seeded streams;
@@ -13,7 +13,10 @@ Five families ship with the repo:
 * :mod:`repro.analysis.rules.api` — R5xx: ``__all__`` consistency,
   docstrings, and annotation coverage of the public surface;
 * :mod:`repro.analysis.rules.wirebytes` — R6xx: byte accounting goes
-  through the wire layer, not raw size formulas.
+  through the wire layer, not raw size formulas;
+* :mod:`repro.analysis.rules.population` — R7xx: client lifecycle
+  stays behind the population registry (no eager ``Client()``
+  construction or full-population sweeps in engines/strategies).
 """
 
 from repro.analysis.rules import (
@@ -21,8 +24,17 @@ from repro.analysis.rules import (
     determinism,
     hotpath,
     layering,
+    population,
     taxonomy,
     wirebytes,
 )
 
-__all__ = ["api", "determinism", "hotpath", "layering", "taxonomy", "wirebytes"]
+__all__ = [
+    "api",
+    "determinism",
+    "hotpath",
+    "layering",
+    "population",
+    "taxonomy",
+    "wirebytes",
+]

@@ -1,0 +1,124 @@
+"""R7: client lifecycle belongs to the population registry.
+
+The virtual-population refactor moved client construction and
+full-population iteration behind :mod:`repro.fl.population`: engines
+and strategies hold a :class:`~repro.fl.population.ClientPopulation`
+and only ever touch the *active cohort*.  An eager ``Client(...)``
+call or a raw sweep over the client collection in those modules
+silently reintroduces O(population) memory — exactly the regression
+the registry exists to prevent — so both are lint errors there:
+
+* **R701** — a ``Client(...)`` construction in an engine/strategy/
+  selection module.  Clients are built only by the registry's
+  ``client_fn`` (or by experiment setup code, which is unrestricted);
+  inside the restricted modules, materialise through
+  ``population[cid]``.
+* **R702** — iterating the client collection itself (``for c in
+  self.clients`` / a comprehension over a bare ``clients`` name).
+  That materialises every client; iterate ids instead
+  (``population.ids()`` / ``all_ids()`` / ``initial_ids()``) and
+  index the cohort you actually need.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileRule, Violation, register_rule
+from repro.analysis.project import Project, SourceFile
+
+__all__ = ["EagerClientConstructionRule", "FullPopulationIterationRule"]
+
+_COLLECTION_NAMES = frozenset({"clients"})
+
+
+def _restricted(source: SourceFile, project: Project) -> bool:
+    config = project.config
+    if source.module == config.population_module:
+        return False
+    return source.module in config.population_restricted_modules
+
+
+def _called_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _iterables(tree: ast.AST) -> Iterator[ast.expr]:
+    """Every expression used as the iterable of a loop/comprehension."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            for gen in node.generators:
+                yield gen.iter
+
+
+def _names_client_collection(expr: ast.expr) -> bool:
+    """``clients`` or ``<anything>.clients`` (the raw collection)."""
+    if isinstance(expr, ast.Name):
+        return expr.id in _COLLECTION_NAMES
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in _COLLECTION_NAMES
+    return False
+
+
+@register_rule
+class EagerClientConstructionRule(FileRule):
+    """R701: no ``Client(...)`` construction outside the registry."""
+
+    id = "R701"
+    summary = "eager Client() construction outside the population registry"
+
+    def check_file(
+        self, source: SourceFile, project: Project
+    ) -> Iterator[Violation]:
+        if not _restricted(source, project):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _called_name(node) != "Client":
+                continue
+            yield Violation(
+                rule=self.id,
+                path=source.rel,
+                line=node.lineno,
+                message="Client() built outside the population registry; "
+                "materialise through population[cid] so retention "
+                "policies and snapshots stay in charge of client state",
+                snippet=source.snippet(node.lineno),
+            )
+
+
+@register_rule
+class FullPopulationIterationRule(FileRule):
+    """R702: no raw iteration over the client collection."""
+
+    id = "R702"
+    summary = "full-population iteration over the raw client collection"
+
+    def check_file(
+        self, source: SourceFile, project: Project
+    ) -> Iterator[Violation]:
+        if not _restricted(source, project):
+            return
+        for expr in _iterables(source.tree):
+            if not _names_client_collection(expr):
+                continue
+            yield Violation(
+                rule=self.id,
+                path=source.rel,
+                line=expr.lineno,
+                message="iterating the client collection materialises every "
+                "client; iterate population.ids()/all_ids()/initial_ids() "
+                "and index only the active cohort",
+                snippet=source.snippet(expr.lineno),
+            )

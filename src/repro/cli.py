@@ -54,6 +54,17 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("scalability", help="20-100 client sweep")
     sub.add_parser("ablation", help="AdaFL design-choice ablation")
 
+    pop = sub.add_parser(
+        "population",
+        help="virtual-population smoke: a 100k-client round in O(active) memory",
+    )
+    pop.add_argument("--clients", type=int, default=100_000)
+    pop.add_argument("--rounds", type=int, default=2)
+    pop.add_argument("--cohort", type=int, default=20)
+    pop.add_argument("--mode", default="regenerate", choices=("regenerate", "spill"))
+    pop.add_argument("--spill-dir", default=None, help="blob directory for spill mode")
+    pop.add_argument("--engine", default="sync", choices=("sync", "async"))
+
     report = sub.add_parser("report", help="build an HTML report from saved runs")
     report.add_argument("--runs", nargs="+", required=True, help="run JSON files")
     report.add_argument("--out", default="report.html")
@@ -166,6 +177,41 @@ def _cmd_scalability(scale, seed) -> str:
         for p in points
     ]
     return format_table(["N", "AdaFL acc", "FedAvg acc", "AdaFL updates", "bytes saved"], rows)
+
+
+def _cmd_population(args, seed) -> str:
+    import tempfile
+
+    from repro.experiments.scalability import run_population_smoke
+
+    spill_dir = args.spill_dir
+    if args.mode == "spill" and spill_dir is None:
+        spill_dir = tempfile.mkdtemp(prefix="repro-spill-")
+    stats = run_population_smoke(
+        num_clients=args.clients,
+        rounds=args.rounds,
+        cohort=args.cohort,
+        mode=args.mode,
+        spill_dir=spill_dir,
+        engine=args.engine,
+        seed=seed,
+    )
+    lines = [
+        f"{args.engine} run over {stats['num_clients']:,} virtual clients "
+        f"({stats['rounds']} rounds, cohort {stats['cohort']}, {stats['mode']})",
+        f"uploads applied          : {stats['total_uploads']}",
+        f"final accuracy           : {stats['final_accuracy']:.3f}",
+        f"materializations         : {stats['materializations']} "
+        f"({stats['restores']} restored, {stats['evictions']} evicted)",
+        f"peak live clients        : {stats['peak_live']} "
+        f"(cap {stats['max_live']}, {format_bytes(stats['peak_live_nbytes'])})",
+        f"descriptor overhead      : "
+        f"{stats['descriptor_bytes_per_client']:.1f} B/client "
+        f"({format_bytes(stats['descriptor_nbytes'])} total)",
+        f"rebuild determinism      : "
+        f"{stats['sampled_rebuilds_verified']} sampled ids verified",
+    ]
+    return "\n".join(lines)
 
 
 def _cmd_ablation(scale, seed) -> str:
@@ -421,6 +467,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_overhead(scale, args.seed))
     elif args.command == "scalability":
         print(_cmd_scalability(scale, args.seed))
+    elif args.command == "population":
+        print(_cmd_population(args, args.seed))
     elif args.command == "ablation":
         print(_cmd_ablation(scale, args.seed))
     elif args.command == "report":

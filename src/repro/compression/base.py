@@ -112,6 +112,24 @@ class Compressor:
     def reset(self) -> None:
         """Clear any accumulated state (default: stateless no-op)."""
 
+    def export_state(self) -> dict:
+        """Accumulated state for eviction/spill (default: stateless).
+
+        The dict must round-trip through :meth:`import_state` on a
+        freshly built compressor of the same configuration and must
+        carry a ``"kind"`` tag naming the compressor family.
+        """
+        return {"kind": "stateless"}
+
+    def import_state(self, state: dict) -> None:
+        """Restore :meth:`export_state` output (default: stateless)."""
+        if state.get("kind") != "stateless":
+            raise ValueError(f"cannot import state kind {state.get('kind')!r}")
+
+    def state_nbytes(self) -> int:
+        """Bytes of accumulated state (population RSS accounting)."""
+        return 0
+
     def _check_grad(self, grad: np.ndarray) -> np.ndarray:
         grad = np.asarray(grad, dtype=np.float64)
         if grad.ndim != 1 or grad.size != self.dim:

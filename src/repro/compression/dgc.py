@@ -150,6 +150,55 @@ class DGCCompressor(Compressor):
         self._velocity.fill(0.0)
         self._residual.fill(0.0)
 
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Residual/momentum buffers plus the config to rebuild from.
+
+        The hook the client-population eviction machinery uses: an
+        evicted client's accumulated gradient information is spilled or
+        retained through this dict and later restored bit-exactly via
+        :meth:`import_state` (or :meth:`from_state` when no compressor
+        was re-attached by a materialization hook).
+        """
+        return {
+            "kind": "dgc",
+            "dim": self.dim,
+            "ratio": self.ratio,
+            "momentum": self.momentum,
+            "clip_norm": self.clip_norm,
+            "num_workers": self.num_workers,
+            "use_momentum_correction": self.use_momentum_correction,
+            "velocity": self._velocity,
+            "residual": self._residual,
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Adopt exported residual/momentum buffers (copied in)."""
+        if state.get("kind") != "dgc":
+            raise ValueError(f"cannot import state kind {state.get('kind')!r}")
+        if int(state["dim"]) != self.dim:
+            raise ValueError("exported state dimensionality mismatch")
+        self._velocity = np.array(state["velocity"], dtype=np.float64)
+        self._residual = np.array(state["residual"], dtype=np.float64)
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DGCCompressor":
+        """Rebuild a compressor entirely from :meth:`export_state` output."""
+        comp = cls(
+            dim=int(state["dim"]),
+            ratio=float(state["ratio"]),
+            momentum=float(state["momentum"]),
+            clip_norm=state["clip_norm"],
+            num_workers=int(state["num_workers"]),
+            use_momentum_correction=bool(state["use_momentum_correction"]),
+        )
+        comp.import_state(state)
+        return comp
+
+    def state_nbytes(self) -> int:
+        """Bytes of residual + momentum buffers (RSS accounting)."""
+        return self._velocity.nbytes + self._residual.nbytes
+
     @property
     def residual_norm(self) -> float:
         """L2 norm of untransmitted accumulated gradient (diagnostics)."""

@@ -41,6 +41,28 @@ class ErrorFeedback(Compressor):
         self._residual.fill(0.0)
         self.inner.reset()
 
+    def export_state(self) -> dict:
+        """Error memory plus the wrapped compressor's state."""
+        return {
+            "kind": "ef",
+            "dim": self.dim,
+            "residual": self._residual,
+            "inner": self.inner.export_state(),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Adopt exported error memory (copied in) and inner state."""
+        if state.get("kind") != "ef":
+            raise ValueError(f"cannot import state kind {state.get('kind')!r}")
+        if int(state["dim"]) != self.dim:
+            raise ValueError("exported state dimensionality mismatch")
+        self._residual = np.array(state["residual"], dtype=np.float64)
+        self.inner.import_state(state["inner"])
+
+    def state_nbytes(self) -> int:
+        """Bytes of the error memory plus inner compressor state."""
+        return self._residual.nbytes + self.inner.state_nbytes()
+
     @property
     def residual_norm(self) -> float:
         """L2 norm of the accumulated compression error."""

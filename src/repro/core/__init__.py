@@ -13,7 +13,12 @@ from repro.core.diagnostics import (
     pairwise_similarity,
 )
 from repro.core.fairness import coverage, fairness_report, jain_index, participation_counts
-from repro.core.selection import SelectionResult, select_clients
+from repro.core.selection import (
+    SelectionResult,
+    reservoir_sample,
+    select_clients,
+    select_from_scores,
+)
 from repro.core.utility import (
     SIMILARITY_METRICS,
     UtilityScorer,
@@ -30,6 +35,8 @@ __all__ = [
     "UtilityScorer",
     "SelectionResult",
     "select_clients",
+    "select_from_scores",
+    "reservoir_sample",
     "AdaptiveCompressionPolicy",
     "participation_counts",
     "jain_index",

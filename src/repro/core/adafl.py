@@ -27,10 +27,11 @@ import numpy as np
 
 from repro.compression.dgc import DGCCompressor
 from repro.core.compression_policy import AdaptiveCompressionPolicy
-from repro.core.selection import SelectionResult, select_clients
+from repro.core.selection import SelectionResult, select_from_scores
 from repro.core.utility import UtilityScorer
 from repro.fl.client import Client, ClientUpdate
 from repro.fl.baselines import FedAsync
+from repro.fl.population import ClientPopulation
 from repro.fl.server import Server
 from repro.fl.strategy import (
     AsyncStrategy,
@@ -117,25 +118,69 @@ class AdaFLConfig:
 
 
 class _AdaFLBase:
-    """Shared scoring and compression machinery."""
+    """Shared scoring and compression machinery.
+
+    Utility scores and upload-round bookkeeping live in the client
+    registry's preallocated metadata arrays once :meth:`_bind_population`
+    has run (NaN / -1 are the "never scored / never uploaded"
+    sentinels), so per-round work never builds an O(population) dict.
+    The pre-``prepare`` dict fallbacks keep the strategies unit-testable
+    in isolation.  Compressors are owned by the clients themselves and
+    attached through a registry materialization hook — a bound method,
+    so it survives snapshot pickling and keeps re-attaching state after
+    resume — never by an eager loop over the full population.
+    """
 
     def __init__(self, config: AdaFLConfig):
         self.config = config
         self._scores: dict[int, float] = {}
-        self._compressors: dict[int, DGCCompressor] = {}
         self._last_upload_round: dict[int, int] = {}
         self._in_flight: dict[int, object] = {}  # last un-ACKed payload per client
+        self._pop: ClientPopulation | None = None
+        self._dim = 0
+        self._num_workers = 1
 
-    def _attach_compressors(self, server: Server, clients: list[Client]) -> None:
-        for client in clients:
-            compressor = DGCCompressor(
-                dim=server.dim,
-                momentum=self.config.dgc_momentum,
-                clip_norm=self.config.dgc_clip_norm,
-                num_workers=len(clients),
-            )
-            self._compressors[client.client_id] = compressor
-            client.compressor = compressor
+    def _bind_population(self, server: Server, clients) -> None:
+        """One-time ``prepare`` body: adopt the registry, hook attach."""
+        pop = ClientPopulation.ensure(clients)
+        self._pop = pop
+        self._dim = server.dim
+        self._num_workers = len(pop)
+        pop.on_materialize(self._attach_compressor)
+
+    def _attach_compressor(self, client: Client) -> None:
+        """Materialization hook: give the client its DGC compressor.
+
+        Runs eagerly over every client on the always-live compat path
+        and per-materialization on virtual populations; restored
+        eviction state is imported into the fresh compressor afterwards
+        by :meth:`~repro.fl.client.Client.restore_state`.
+        """
+        client.compressor = DGCCompressor(
+            dim=self._dim,
+            momentum=self.config.dgc_momentum,
+            clip_norm=self.config.dgc_clip_norm,
+            num_workers=self._num_workers,
+        )
+
+    # -- score storage (registry metadata arrays, dict fallback) -------
+    def _prev_score(self, cid: int) -> float | None:
+        if self._pop is not None:
+            value = float(self._pop.scores[cid])
+            return None if np.isnan(value) else value
+        return self._scores.get(cid)
+
+    def _store_score(self, cid: int, score: float) -> None:
+        if self._pop is not None:
+            self._pop.scores[cid] = score
+        else:
+            self._scores[cid] = score
+
+    def _note_upload(self, cid: int, round_index: int) -> None:
+        if self._pop is not None:
+            self._pop.last_upload_round[cid] = round_index
+        else:
+            self._last_upload_round[cid] = round_index
 
     def _bandwidths(self, network, cid: int, t: float) -> tuple[float, float]:
         if network is None:
@@ -150,16 +195,22 @@ class _AdaFLBase:
             bw_down, bw_up, client.last_delta, server.global_delta
         )
         smoothing = self.config.score_smoothing
-        if smoothing > 0.0 and client.client_id in self._scores:
-            score = smoothing * self._scores[client.client_id] + (1.0 - smoothing) * score
-        self._scores[client.client_id] = score
+        if smoothing > 0.0:
+            prev = self._prev_score(client.client_id)
+            if prev is not None:
+                score = smoothing * prev + (1.0 - smoothing) * score
+        self._store_score(client.client_id, score)
         return score
 
     def _rotation_adjusted(self, cid: int, score: float, round_index: int) -> float:
         """Ranking score with the anti-starvation rotation bonus."""
         if self.config.rotation_bonus == 0.0:
             return score
-        last = self._last_upload_round.get(cid)
+        if self._pop is not None:
+            last_round = int(self._pop.last_upload_round[cid])
+            last = None if last_round < 0 else last_round
+        else:
+            last = self._last_upload_round.get(cid)
         waited = round_index if last is None else round_index - last
         fraction = min(1.0, waited / self.config.rotation_horizon)
         return score + self.config.rotation_bonus * fraction
@@ -167,8 +218,12 @@ class _AdaFLBase:
     def _compress(
         self, client: Client, update: ClientUpdate, round_index: int, model_version: int
     ) -> UploadPacket:
-        compressor = self._compressors[client.client_id]
-        utility = self._scores.get(client.client_id, 1.0)
+        compressor = client.compressor
+        if compressor is None:
+            raise RuntimeError("AdaFL compressor missing — was prepare() run?")
+        utility = self._prev_score(client.client_id)
+        if utility is None:
+            utility = 1.0
         ratio = self.config.policy.ratio_for(utility, round_index)
         payload = compressor.compress(update.delta, ratio=ratio)
         self._in_flight[client.client_id] = payload
@@ -189,11 +244,20 @@ class _AdaFLBase:
         payload = self._in_flight.pop(client.client_id, None)
         if payload is None or delivered:
             return
-        self._compressors[client.client_id].restore(payload)
+        client.compressor.restore(payload)
 
     @property
     def last_scores(self) -> dict[int, float]:
-        """Most recent utility scores (diagnostics / overhead study)."""
+        """Most recent utility scores (diagnostics / overhead study).
+
+        Built on demand from the registry's score array — O(scored),
+        not O(population), since unscored entries stay NaN.
+        """
+        if self._pop is not None:
+            scores = self._pop.scores
+            return {
+                int(cid): float(scores[cid]) for cid in np.flatnonzero(~np.isnan(scores))
+            }
         return dict(self._scores)
 
 
@@ -207,8 +271,8 @@ class AdaFLSync(SyncStrategy, _AdaFLBase):
         _AdaFLBase.__init__(self, config or AdaFLConfig())
         self.last_selection: SelectionResult | None = None
 
-    def prepare(self, server: Server, clients: list[Client]) -> None:
-        self._attach_compressors(server, clients)
+    def prepare(self, server: Server, clients) -> None:
+        self._bind_population(server, clients)
 
     def select(
         self,
@@ -225,8 +289,14 @@ class AdaFLSync(SyncStrategy, _AdaFLBase):
             self.last_selection = None
             return sorted(available)
 
-        scores: dict[int, float] = {}
-        for cid in available:
+        # Parallel ids/scores arrays in `available` order — no
+        # O(population) dict.  Scoring materialises each available
+        # client (the probe needs its model); AdaFL is therefore an
+        # inherently probe-everyone design, and population-scale runs
+        # bound `available` via faults/churn, not via this loop.
+        ids = np.fromiter(available, dtype=np.int64, count=len(available))
+        scores_arr = np.empty(ids.size, dtype=np.float64)
+        for pos, cid in enumerate(available):
             client = context.clients[cid]
             # Paper §IV: on receiving the global model, every client
             # interrupts its local training to compute a utility score
@@ -238,26 +308,28 @@ class AdaFLSync(SyncStrategy, _AdaFLBase):
                 client.probe_delta(context.server.params, context.local_config)
             bw_down, bw_up = self._bandwidths(context.network, cid, context.sim_time_s)
             raw = self._score_client(client, context.server, bw_down, bw_up)
-            scores[cid] = self._rotation_adjusted(cid, raw, context.round_index)
+            scores_arr[pos] = self._rotation_adjusted(cid, raw, context.round_index)
 
         if self.config.tau_mode == "relative":
-            tau = float(np.quantile(list(scores.values()), self.config.tau))
+            tau = float(np.quantile(scores_arr, self.config.tau))
             tau = min(tau, 1.0)
         else:
             tau = self.config.tau
-        result = select_clients(scores, k=self.config.k_max, tau=tau)
+        result = select_from_scores(ids, scores_arr, k=self.config.k_max, tau=tau)
         self.last_selection = result
         if not result.selected and self.config.min_selected > 0:
             # Progress guarantee: an empty round would freeze every
             # cached gradient (and hence every score) forever.
-            fallback = select_clients(scores, k=self.config.min_selected, tau=0.0)
+            fallback = select_from_scores(
+                ids, scores_arr, k=self.config.min_selected, tau=0.0
+            )
             return sorted(fallback.selected)
         return sorted(result.selected)
 
     def process_upload(
         self, client: Client, update: ClientUpdate, context: RoundContext
     ) -> UploadPacket:
-        self._last_upload_round[client.client_id] = context.round_index
+        self._note_upload(client.client_id, context.round_index)
         return self._compress(
             client, update, context.round_index, context.server.version
         )
@@ -298,13 +370,13 @@ class AdaFLAsync(AsyncStrategy, _AdaFLBase):
         self._mixer = FedAsync(alpha=alpha, poly_a=poly_a)
         self._network = network
 
-    def prepare(self, server: Server, clients: list[Client]) -> None:
-        self._attach_compressors(server, clients)
+    def prepare(self, server: Server, clients) -> None:
+        self._bind_population(server, clients)
 
     def should_train(self, client: Client, server: Server, sim_time_s: float) -> bool:
         # Warm-up is measured in server versions for the async variant.
         if self.config.policy.in_warmup(server.version):
-            self._scores[client.client_id] = 1.0
+            self._store_score(client.client_id, 1.0)
             return True
         bw_down, bw_up = self._bandwidths(self._network, client.client_id, sim_time_s)
         score = self._score_client(client, server, bw_down, bw_up)

@@ -7,13 +7,37 @@ threshold ``tau``, rank the rest by score descending, and keep at most
 * ``|selected| <= K``;
 * every selected client has ``S_i >= tau``;
 * no unselected client outscores a selected one.
+
+Two entry points share one implementation:
+
+* :func:`select_from_scores` — the population-scale path: parallel
+  ``ids``/``scores`` arrays straight from the client registry's
+  metadata, ranked with ``np.argpartition`` so the cost is
+  O(n + K log K), never a full O(n log n) sort of the population;
+* :func:`select_clients` — the historical ``{client_id: S_i}`` dict
+  API, now a thin adapter over the array path (bit-identical results,
+  including the deterministic tie-break by ascending client id).
+
+:func:`reservoir_sample` complements them for *uniform* choice: a
+single-pass Algorithm-R sample over an id stream in O(k) memory, for
+samplers that must never materialise an O(population) candidate list.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
-__all__ = ["SelectionResult", "select_clients"]
+import numpy as np
+
+__all__ = [
+    "SelectionResult",
+    "select_clients",
+    "select_from_scores",
+    "reservoir_sample",
+]
+
+_EMPTY: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -29,6 +53,76 @@ class SelectionResult:
         return len(self.selected)
 
 
+def select_from_scores(
+    ids: np.ndarray,
+    scores: np.ndarray,
+    k: int,
+    tau: float,
+    track_rejected: bool = True,
+) -> SelectionResult:
+    """Run Algorithm 1 over parallel ``ids``/``scores`` arrays.
+
+    Ties are broken by client id (ascending) so selection is
+    deterministic; the selected tuple is ordered by descending score.
+    The top-K cut uses ``argpartition`` plus an exact tie resolution at
+    the K-th score, so results match a full ``(-score, id)`` sort bit
+    for bit without ever sorting more than the selected set.
+
+    ``track_rejected=False`` skips building the ``filtered_out`` /
+    ``truncated`` tuples — at population scale those are O(n) Python
+    objects that diagnostics-only callers never read.
+    """
+    if k < 1:
+        raise ValueError("K must be at least 1")
+    if not 0.0 <= tau <= 1.0:
+        raise ValueError("tau must be in [0, 1]")
+    ids = np.asarray(ids, dtype=np.int64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if ids.shape != scores.shape or ids.ndim != 1:
+        raise ValueError("ids and scores must be parallel 1-D arrays")
+
+    pass_mask = scores >= tau  # NaN compares False: unscored never pass
+    filtered_out = (
+        tuple(int(i) for i in np.sort(ids[~pass_mask])) if track_rejected else _EMPTY
+    )
+    f_ids = ids[pass_mask]
+    f_scores = scores[pass_mask]
+    n = int(f_ids.size)
+    k_prime = min(k, n)
+    if k_prime == 0:
+        return SelectionResult(_EMPTY, filtered_out, _EMPTY)
+
+    if n > k_prime:
+        # O(n) cut: the K-th ranked score, then exact (-score, id)
+        # tie resolution at the boundary.
+        part = np.argpartition(-f_scores, k_prime - 1)
+        kth_score = f_scores[part[k_prime - 1]]
+        strict_mask = f_scores > kth_score
+        num_strict = int(np.count_nonzero(strict_mask))
+        need = k_prime - num_strict
+        tie_ids = f_ids[f_scores == kth_score]
+        if need < tie_ids.size:
+            tie_pick = np.partition(tie_ids, need - 1)[:need]
+        else:
+            tie_pick = tie_ids
+        sel_ids = np.concatenate([f_ids[strict_mask], tie_pick])
+        sel_scores = np.concatenate(
+            [f_scores[strict_mask], np.full(tie_pick.size, kth_score)]
+        )
+    else:
+        sel_ids = f_ids
+        sel_scores = f_scores
+
+    order = np.lexsort((sel_ids, -sel_scores))
+    selected = tuple(int(i) for i in sel_ids[order])
+    if track_rejected and n > k_prime:
+        truncated_mask = ~np.isin(f_ids, sel_ids, assume_unique=False)
+        truncated = tuple(int(i) for i in np.sort(f_ids[truncated_mask]))
+    else:
+        truncated = _EMPTY
+    return SelectionResult(selected, filtered_out, truncated)
+
+
 def select_clients(
     scores: dict[int, float],
     k: int,
@@ -36,19 +130,34 @@ def select_clients(
 ) -> SelectionResult:
     """Run Algorithm 1 over a ``{client_id: S_i}`` score map.
 
-    Ties are broken by client id (ascending) so selection is
-    deterministic; the selected tuple is ordered by descending score.
+    Thin adapter over :func:`select_from_scores`; kept for callers
+    holding per-round score dicts rather than registry arrays.
+    """
+    n = len(scores)
+    ids = np.fromiter(scores.keys(), dtype=np.int64, count=n)
+    vals = np.fromiter(scores.values(), dtype=np.float64, count=n)
+    return select_from_scores(ids, vals, k, tau)
+
+
+def reservoir_sample(
+    ids: Iterable[int], k: int, rng: np.random.Generator
+) -> list[int]:
+    """Uniform ``k``-sample from an id stream in one pass, O(k) memory.
+
+    Algorithm R: the candidate stream is consumed once and never
+    materialised, so sampling a 100k-client registry costs the same
+    memory as sampling ten clients.  The result preserves reservoir
+    order (not sorted); callers needing determinism across runs pass a
+    seeded generator.
     """
     if k < 1:
-        raise ValueError("K must be at least 1")
-    if not 0.0 <= tau <= 1.0:
-        raise ValueError("tau must be in [0, 1]")
-
-    filtered = [(cid, s) for cid, s in scores.items() if s >= tau]
-    rejected = tuple(sorted(cid for cid, s in scores.items() if s < tau))
-    # Sort by (-score, id): descending score, deterministic tie-break.
-    filtered.sort(key=lambda item: (-item[1], item[0]))
-    k_prime = min(k, len(filtered))
-    selected = tuple(cid for cid, _ in filtered[:k_prime])
-    truncated = tuple(sorted(cid for cid, _ in filtered[k_prime:]))
-    return SelectionResult(selected=selected, filtered_out=rejected, truncated=truncated)
+        raise ValueError("k must be at least 1")
+    reservoir: list[int] = []
+    for seen, cid in enumerate(ids):
+        if seen < k:
+            reservoir.append(int(cid))
+            continue
+        slot = int(rng.integers(0, seen + 1))
+        if slot < k:
+            reservoir[slot] = int(cid)
+    return reservoir

@@ -9,11 +9,14 @@ from repro.data.augment import (
 from repro.data.dataset import Dataset
 from repro.data.drift import DriftingSource
 from repro.data.partition import (
+    PartitionPlan,
     PartitionStats,
     dirichlet_partition,
     iid_partition,
     label_skew_partition,
     partition_dataset,
+    partition_indices,
+    partition_plan,
     partition_stats,
     quantity_skew_partition,
     shard_partition,
@@ -40,6 +43,9 @@ __all__ = [
     "dirichlet_partition",
     "label_skew_partition",
     "quantity_skew_partition",
+    "partition_indices",
+    "partition_plan",
+    "PartitionPlan",
     "partition_dataset",
     "PartitionStats",
     "partition_stats",

@@ -21,6 +21,9 @@ __all__ = [
     "dirichlet_partition",
     "label_skew_partition",
     "quantity_skew_partition",
+    "partition_indices",
+    "PartitionPlan",
+    "partition_plan",
     "partition_dataset",
     "PartitionStats",
     "partition_stats",
@@ -198,6 +201,79 @@ def quantity_skew_partition(
     )
 
 
+def partition_indices(
+    dataset: Dataset,
+    num_clients: int,
+    scheme: str = "iid",
+    rng: np.random.Generator | None = None,
+    **kwargs,
+) -> list[np.ndarray]:
+    """Compute per-client index arrays by scheme name.
+
+    Schemes: ``iid``, ``shard`` (the paper's non-IID), ``dirichlet``,
+    ``label_skew``, ``quantity_skew``.  Indices only — no per-client
+    ``Dataset`` objects are created, so the result is what a virtual
+    client population stores as shard *specs* and materialises lazily.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if scheme == "iid":
+        return iid_partition(len(dataset), num_clients, rng)
+    if scheme == "shard":
+        return shard_partition(dataset.y, num_clients, rng=rng, **kwargs)
+    if scheme == "dirichlet":
+        return dirichlet_partition(dataset.y, num_clients, rng=rng, **kwargs)
+    if scheme == "label_skew":
+        return label_skew_partition(dataset.y, num_clients, rng=rng, **kwargs)
+    if scheme == "quantity_skew":
+        return quantity_skew_partition(len(dataset), num_clients, rng=rng, **kwargs)
+    raise ValueError(
+        f"unknown partition scheme {scheme!r}; "
+        "expected iid, shard, dirichlet, label_skew, or quantity_skew"
+    )
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A partition held as index arrays, with shards cut on demand.
+
+    The plan keeps one reference to the source dataset plus one index
+    array per client — a few bytes per sample — so holding the plan for
+    a 100k-client population costs O(total samples), not O(clients x
+    shard copy).  ``shard(cid)`` cuts the actual per-client ``Dataset``
+    only when that client materialises.
+    """
+
+    dataset: Dataset
+    indices: tuple[np.ndarray, ...]
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.indices)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def shard(self, cid: int) -> Dataset:
+        """Materialise client ``cid``'s dataset (a fresh subset copy)."""
+        return self.dataset.subset(self.indices[cid])
+
+    def sizes(self) -> np.ndarray:
+        """Per-client sample counts, without cutting any shard."""
+        return np.array([len(idx) for idx in self.indices])
+
+
+def partition_plan(
+    dataset: Dataset,
+    num_clients: int,
+    scheme: str = "iid",
+    rng: np.random.Generator | None = None,
+    **kwargs,
+) -> PartitionPlan:
+    """Build a lazy :class:`PartitionPlan` by scheme name."""
+    parts = partition_indices(dataset, num_clients, scheme, rng, **kwargs)
+    return PartitionPlan(dataset=dataset, indices=tuple(parts))
+
+
 def partition_dataset(
     dataset: Dataset,
     num_clients: int,
@@ -207,26 +283,12 @@ def partition_dataset(
 ) -> list[Dataset]:
     """Split a dataset into per-client datasets by scheme name.
 
-    Schemes: ``iid``, ``shard`` (the paper's non-IID), ``dirichlet``,
-    ``label_skew``, ``quantity_skew``.
+    Eager counterpart of :func:`partition_plan`: cuts every shard up
+    front.  Bit-identical to the historical behaviour (the index
+    computation is shared with :func:`partition_indices`).
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
-    if scheme == "iid":
-        parts = iid_partition(len(dataset), num_clients, rng)
-    elif scheme == "shard":
-        parts = shard_partition(dataset.y, num_clients, rng=rng, **kwargs)
-    elif scheme == "dirichlet":
-        parts = dirichlet_partition(dataset.y, num_clients, rng=rng, **kwargs)
-    elif scheme == "label_skew":
-        parts = label_skew_partition(dataset.y, num_clients, rng=rng, **kwargs)
-    elif scheme == "quantity_skew":
-        parts = quantity_skew_partition(len(dataset), num_clients, rng=rng, **kwargs)
-    else:
-        raise ValueError(
-            f"unknown partition scheme {scheme!r}; "
-            "expected iid, shard, dirichlet, label_skew, or quantity_skew"
-        )
-    return [dataset.subset(idx) for idx in parts]
+    plan = partition_plan(dataset, num_clients, scheme, rng, **kwargs)
+    return [plan.shard(i) for i in range(plan.num_clients)]
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,7 @@ from repro.fl.persist import (
     save_checkpoint,
     save_run_result,
 )
+from repro.fl.population import ClientPopulation, PopulationStats, RetentionPolicy
 from repro.fl.server import Server
 from repro.fl.snapshot import load_snapshot, save_snapshot
 from repro.fl.strategy import AsyncStrategy, RoundContext, SyncStrategy, weighted_average
@@ -32,6 +33,9 @@ from repro.fl.validation import UpdateValidator, ValidationConfig, trimmed_mean
 __all__ = [
     "Client",
     "ClientUpdate",
+    "ClientPopulation",
+    "RetentionPolicy",
+    "PopulationStats",
     "Server",
     "LocalTrainingConfig",
     "FederationConfig",

@@ -44,6 +44,7 @@ from repro.fl.client import Client, ClientUpdate
 from repro.fl.config import FederationConfig
 from repro.fl.faults import FaultInjector
 from repro.fl.metrics import MetricsReducer, RunResult
+from repro.fl.population import ClientPopulation
 from repro.fl.server import Server
 from repro.fl.strategy import AsyncStrategy
 from repro.fl.validation import UpdateValidator, verify_frame
@@ -99,7 +100,7 @@ class AsyncEngine:
     def __init__(
         self,
         server: Server,
-        clients: list[Client],
+        clients: "list[Client] | ClientPopulation",
         strategy: AsyncStrategy,
         config: FederationConfig,
         network: NetworkConditions | None = None,
@@ -112,10 +113,12 @@ class AsyncEngine:
         snapshot_every: int | None = None,
         on_snapshot=None,
     ):
-        if not clients:
+        if clients is None or not len(clients):
             raise ValueError("need at least one client")
+        # The engine resolves every client through the population
+        # registry; a plain list becomes the always-live compat wrapper.
+        self.clients = ClientPopulation.ensure(clients)
         self.server = server
-        self.clients = clients
         self.strategy = strategy
         self.config = config
         self.faults = faults if faults is not None else FaultInjector()
@@ -151,6 +154,17 @@ class AsyncEngine:
         # (see repro.fl.batched).  Session-local: deliberately excluded
         # from snapshot_state, a resumed engine rebuilds on first use.
         self._batched_cache: dict = {}
+        # The trainer cache holds references into client models; when
+        # the registry evicts a client those references go stale, so
+        # the eviction watcher drops the affected cohorts.  Watchers
+        # are transient — re-registered here on every (re)construction.
+        self.clients.on_evict(self._on_client_evicted)
+
+    def _on_client_evicted(self, cid: int) -> None:
+        if self._batched_cache:
+            dead = [k for k in self._batched_cache if cid in k[0]]
+            for k in dead:
+                del self._batched_cache[k]
 
     @property
     def sim_time_s(self) -> float:
@@ -183,8 +197,10 @@ class AsyncEngine:
                 num_clients=len(self.clients),
                 model_bytes=self.strategy.encode_model(self.server).payload_nbytes,
             )
-            for client in self.clients:
-                self._dispatch_model(client.client_id)
+            # Boot the reactive loop: every client (or the capped
+            # cohort at population scale) receives the initial model.
+            for cid in self.clients.initial_ids(self.config.async_cohort):
+                self._dispatch_model(cid)
 
         horizon = self.config.max_sim_time_s
         # A snapshot can land exactly at the update budget (the run
@@ -397,6 +413,9 @@ class AsyncEngine:
                     self.server.params, local_cfg, round_index=self.server.version
                 )
             self._finish_model_arrival(client, update)
+        # The arrival burst is fully processed: trim materialised
+        # clients back to the retention cap (no-op when always-live).
+        self.clients.evict_to_cap()
 
     def _gate_model_arrival(self, payload: dict) -> Client | None:
         """Admission control for one model arrival.
@@ -449,6 +468,7 @@ class AsyncEngine:
             self._halted.append(cid)
             return None
         client.halted = False
+        self.clients.note_seen((cid,), self.server.version)
         return client
 
     def _finish_model_arrival(self, client: Client, update: ClientUpdate) -> None:

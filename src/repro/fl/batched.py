@@ -31,7 +31,7 @@ _UNSUPPORTED = object()
 
 
 def train_clients_batched(
-    clients: list[Client],
+    cohort: list[Client],
     global_params: np.ndarray,
     config: LocalTrainingConfig,
     round_index: int = 0,
@@ -46,11 +46,11 @@ def train_clients_batched(
     buffers, conv workspaces) is reused across rounds for the same
     cohort and config.
     """
-    if len(clients) < 2:
+    if len(cohort) < 2:
         return None
     kwargs_by_cid = kwargs_by_cid or {}
     controls: list[np.ndarray | None] = []
-    for c in clients:
+    for c in cohort:
         kw = kwargs_by_cid.get(c.client_id, {})
         if any(k != "server_control" for k in kw):
             return None
@@ -59,17 +59,17 @@ def train_clients_batched(
     if any((sc is not None) != use_scaffold for sc in controls):
         return None
 
-    key = (tuple(c.client_id for c in clients), config, use_scaffold)
+    key = (tuple(c.client_id for c in cohort), config, use_scaffold)
     trainer = cache.get(key) if cache is not None else None
     if trainer is _UNSUPPORTED:
         return None
     if trainer is None:
         try:
             trainer = MultiClientTrainer(
-                [c._model for c in clients],
-                [c.dataset.x for c in clients],
-                [c.dataset.y for c in clients],
-                [c._rng for c in clients],
+                [c._model for c in cohort],
+                [c.dataset.x for c in cohort],
+                [c.dataset.y for c in cohort],
+                [c._rng for c in cohort],
                 local_epochs=config.local_epochs,
                 batch_size=config.batch_size,
                 lr=config.lr,
@@ -88,17 +88,17 @@ def train_clients_batched(
 
     corrections = None
     if use_scaffold:
-        for c in clients:
+        for c in cohort:
             if c.control_variate is None:
                 c.control_variate = np.zeros_like(global_params)
         corrections = [
-            sc - c.control_variate for c, sc in zip(clients, controls)
+            sc - c.control_variate for c, sc in zip(cohort, controls)
         ]
 
     results = trainer.run(global_params, corrections=corrections)
 
     updates: dict[int, ClientUpdate] = {}
-    for c, sc, res in zip(clients, controls, results):
+    for c, sc, res in zip(cohort, controls, results):
         local_params = c._model.get_flat_params()
         delta = local_params - global_params
         c.last_delta = delta

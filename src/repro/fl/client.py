@@ -81,6 +81,78 @@ class Client:
         state["_optimizer"] = None
         return state
 
+    # ------------------------------------------------------------------
+    # Eviction support (repro.fl.population)
+    # ------------------------------------------------------------------
+    def extract_state(self) -> dict:
+        """Cross-round state that must survive eviction.
+
+        Everything *not* regenerable from ``(client_id, dataset,
+        model_fn, seed)`` alone: the shuffling RNG position, layer
+        runtime state (dropout RNGs, batch-norm running stats),
+        strategy attachments (SCAFFOLD variate, cached delta, halt
+        flag), and compressor residual/momentum buffers.  Model
+        parameters and optimiser momentum are deliberately excluded:
+        ``local_train`` overwrites the parameters from the broadcast at
+        entry and resets the optimiser state every round, so neither
+        carries information across rounds.
+        """
+        compressor = self.compressor
+        return {
+            "rng": self._rng.bit_generator.state,
+            "halted": self.halted,
+            "control_variate": self.control_variate,
+            "last_delta": self.last_delta,
+            "compressor": None if compressor is None else compressor.export_state(),
+            "layers": _layer_runtime_state(self._model),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`extract_state` output onto a fresh replica.
+
+        A compressor already attached by a materialization hook is
+        refilled in place; otherwise one is rebuilt from the exported
+        state (currently DGC, the only compressor strategies attach).
+        """
+        self._rng.bit_generator.state = state["rng"]
+        self.halted = bool(state["halted"])
+        self.control_variate = state["control_variate"]
+        self.last_delta = state["last_delta"]
+        comp_state = state["compressor"]
+        if comp_state is not None:
+            if self.compressor is not None:
+                self.compressor.import_state(comp_state)
+            elif comp_state.get("kind") == "dgc":
+                from repro.compression.dgc import DGCCompressor
+
+                self.compressor = DGCCompressor.from_state(comp_state)
+            else:
+                raise ValueError(
+                    f"cannot rebuild compressor kind {comp_state.get('kind')!r}; "
+                    "attach one via a population materialization hook"
+                )
+        _restore_layer_runtime_state(self._model, state["layers"])
+
+    def state_nbytes(self) -> int:
+        """Approximate heavy bytes this materialised client holds.
+
+        Counts the dominant O(d)/O(data) arrays — flat parameter and
+        gradient buffers, optimiser momentum, the dataset shard, and
+        strategy attachments — which is what the population registry's
+        peak-RSS proxy accounts.
+        """
+        d = self._model.num_params
+        total = 2 * 8 * d  # flat parameter + gradient buffers
+        total += self.dataset.x.nbytes + self.dataset.y.nbytes
+        if self._optimizer is not None:
+            total += 8 * d  # hoisted momentum buffer
+        for arr in (self.control_variate, self.last_delta):
+            if arr is not None:
+                total += arr.nbytes
+        if self.compressor is not None:
+            total += self.compressor.state_nbytes()
+        return total
+
     @property
     def num_samples(self) -> int:
         return len(self.dataset)
@@ -237,3 +309,42 @@ class Client:
         self._model.set_flat_params(global_params)
         preds = self._model.predict(dataset.x, batch_size=batch_size)
         return float((preds == dataset.y).mean())
+
+
+def _layer_runtime_state(model: Sequential) -> list[dict | None]:
+    """Per-layer non-parameter state: dropout RNGs, batch-norm stats.
+
+    Parameters live in the flat buffers and are overwritten from the
+    broadcast, but a Dropout layer owns a persistent RNG and BatchNorm
+    accumulates running statistics — both must survive eviction for
+    re-materialised replicas to be bit-identical.
+    """
+    entries: list[dict | None] = []
+    for layer in model.layers:
+        entry: dict = {}
+        rng = getattr(layer, "_rng", None)
+        if isinstance(rng, np.random.Generator):
+            entry["rng"] = rng.bit_generator.state
+        mean = getattr(layer, "running_mean", None)
+        if isinstance(mean, np.ndarray):
+            # Eviction-time capture, not per-step work: the snapshot
+            # must own its arrays so later training can't mutate it.
+            entry["running_mean"] = mean.copy()  # reprolint: allow[R402]
+            entry["running_var"] = layer.running_var.copy()  # reprolint: allow[R402]
+        entries.append(entry or None)
+    return entries
+
+
+def _restore_layer_runtime_state(
+    model: Sequential, entries: list[dict | None]
+) -> None:
+    if len(entries) != len(model.layers):
+        raise ValueError("layer state does not match the model architecture")
+    for layer, entry in zip(model.layers, entries):
+        if not entry:
+            continue
+        if "rng" in entry:
+            layer._rng.bit_generator.state = entry["rng"]
+        if "running_mean" in entry:
+            layer.running_mean[...] = entry["running_mean"]
+            layer.running_var[...] = entry["running_var"]

@@ -58,6 +58,12 @@ class FederationConfig:
     # Async engine settings.
     max_sim_time_s: float = 2000.0
     max_updates: int | None = None
+    # Async engine at population scale: cap the initial model fan-out
+    # to the first N client ids.  None broadcasts to everyone — the
+    # legacy behaviour, required for bit-identical trajectories — but
+    # is O(population) work and memory; virtual-population runs set a
+    # cohort so only O(active) clients ever enter the reactive loop.
+    async_cohort: int | None = None
     # Transfer retry schedules.  None keeps each engine's historical
     # default: single-attempt legs for the synchronous engine and both
     # uplinks, and the async engine's constant-backoff downlink retry
@@ -88,3 +94,5 @@ class FederationConfig:
             raise ValueError("max_sim_time_s must be positive")
         if self.max_updates is not None and self.max_updates <= 0:
             raise ValueError("max_updates must be positive or None")
+        if self.async_cohort is not None and self.async_cohort <= 0:
+            raise ValueError("async_cohort must be positive or None")

@@ -67,6 +67,16 @@ class FaultInjector:
         ids = rng.choice(num_clients, size=num_bad, replace=False)
         return cls(mode=mode, straggler_ids=frozenset(int(i) for i in ids), **kwargs)
 
+    @property
+    def trivially_available(self) -> bool:
+        """True when :meth:`available` cannot return False for anyone.
+
+        Lets engines skip the per-client availability loop for the
+        common fault-free case — at population scale the O(population)
+        Python loop would dominate the round.
+        """
+        return self.mode != "dropout" or not self.straggler_ids
+
     def available(self, client_id: int, round_index: int) -> bool:
         """Can this client participate in this round at all?"""
         if self.mode != "dropout" or client_id not in self.straggler_ids:

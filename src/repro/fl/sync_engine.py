@@ -44,6 +44,7 @@ from repro.fl.client import Client
 from repro.fl.config import FederationConfig
 from repro.fl.faults import FaultInjector
 from repro.fl.metrics import MetricsReducer, RunResult
+from repro.fl.population import ClientPopulation
 from repro.fl.server import Server
 from repro.fl.strategy import RoundContext, SyncStrategy
 from repro.fl.validation import UpdateValidator, trimmed_mean, verify_frame
@@ -71,7 +72,7 @@ class SyncEngine:
     def __init__(
         self,
         server: Server,
-        clients: list[Client],
+        clients: "list[Client] | ClientPopulation",
         strategy: SyncStrategy,
         config: FederationConfig,
         network: NetworkConditions | None = None,
@@ -84,10 +85,12 @@ class SyncEngine:
         snapshot_every: int | None = None,
         on_snapshot=None,
     ):
-        if not clients:
+        if clients is None or not len(clients):
             raise ValueError("need at least one client")
+        # The engine resolves every client through the population
+        # registry; a plain list becomes the always-live compat wrapper.
+        self.clients = ClientPopulation.ensure(clients)
         self.server = server
-        self.clients = clients
         self.strategy = strategy
         self.config = config
         self.faults = faults if faults is not None else FaultInjector()
@@ -120,6 +123,17 @@ class SyncEngine:
         # (see repro.fl.batched).  Session-local: deliberately excluded
         # from snapshot_state, a resumed engine rebuilds on first use.
         self._batched_cache: dict = {}
+        # The trainer cache holds references into client models; when
+        # the registry evicts a client those references go stale, so
+        # the eviction watcher drops the affected cohorts.  Watchers
+        # are transient — re-registered here on every (re)construction.
+        self.clients.on_evict(self._on_client_evicted)
+
+    def _on_client_evicted(self, cid: int) -> None:
+        if self._batched_cache:
+            dead = [k for k in self._batched_cache if cid in k[0]]
+            for k in dead:
+                del self._batched_cache[k]
 
     @property
     def sim_time_s(self) -> float:
@@ -231,6 +245,33 @@ class SyncEngine:
             return None
         return self._kernel.stream("retry", cid)
 
+    def _available_ids(self, round_index: int, t0: float, crash) -> list[int]:
+        """Ids that can open this round (availability gates only).
+
+        The fault-free fast path returns the registry's cached id list
+        — O(1), never an O(population) Python loop; descriptor checks
+        only run when churn/crash/fault models are actually attached.
+        """
+        if (
+            self._churn is None
+            and crash is None
+            and self.faults.trivially_available
+        ):
+            return self.clients.all_ids()
+        available = []
+        for cid in self.clients.ids():
+            if self._churn is not None and not self._churn.is_online(cid, t0):
+                self._trace.emit(DROPPED, t0, cid, reason="offline", cause="churn")
+                continue
+            if crash is not None and crash.is_down(cid, t0):
+                self._trace.emit(DROPPED, t0, cid, reason="offline", cause="crash")
+                continue
+            if not self.faults.available(cid, round_index):
+                self._trace.emit(DROPPED, t0, cid, reason="offline", cause="fault")
+                continue
+            available.append(cid)
+        return available
+
     def _run_round(self, round_index: int, local_cfg):
         chaos = self._chaos
         crash = chaos.crash if chaos is not None else None
@@ -257,20 +298,9 @@ class SyncEngine:
             local_config=local_cfg,
             trace=self._trace,
         )
-        available = []
-        for c in self.clients:
-            cid = c.client_id
-            if self._churn is not None and not self._churn.is_online(cid, t0):
-                self._trace.emit(DROPPED, t0, cid, reason="offline", cause="churn")
-                continue
-            if crash is not None and crash.is_down(cid, t0):
-                self._trace.emit(DROPPED, t0, cid, reason="offline", cause="crash")
-                continue
-            if not self.faults.available(cid, round_index):
-                self._trace.emit(DROPPED, t0, cid, reason="offline", cause="fault")
-                continue
-            available.append(cid)
+        available = self._available_ids(round_index, t0, crash)
         selected = self.strategy.select(available, self._rng, context)
+        self.clients.note_seen(selected, round_index)
         self._trace.emit(
             SELECTED, t0, round=round_index, clients=list(selected), available=available
         )
@@ -487,6 +517,9 @@ class SyncEngine:
             round=round_index,
             participants=[u.client_id for u in accepted],
         )
+        # Barrier closed: trim materialised clients back to the
+        # retention cap (no-op on the always-live compat path).
+        self.clients.evict_to_cap()
         return self._reducer.records[-1]
 
     # ------------------------------------------------------------------

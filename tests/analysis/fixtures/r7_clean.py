@@ -1,0 +1,13 @@
+"""R7 fixture: cohort-scoped lifecycle through the registry (clean)."""
+
+
+def boot(self, cohort_ids):
+    # Materialise only the active cohort, via the registry.
+    return [self.clients[cid] for cid in cohort_ids]
+
+
+def broadcast(self, params):
+    for cid in self.clients.ids():  # id sweep is O(1) memory — fine
+        self.queue.push(cid)
+    for cid in self.clients.initial_ids(8):
+        self.clients[cid].receive(params)

@@ -1,0 +1,17 @@
+"""R7 fixture: eager client lifecycle in an engine module (offending)."""
+
+from repro.fl.client import Client
+
+
+def boot(dataset, model_fn, parts):
+    clients = [
+        Client(i, dataset.subset(parts[i]), model_fn, seed=i)  # R701 (in comp)
+        for i in range(len(parts))
+    ]
+    return clients
+
+
+def broadcast(self, params):
+    for c in self.clients:  # R702: sweeps the whole population
+        c.receive(params)
+    return [c.client_id for c in self.clients]  # R702 again

@@ -230,3 +230,40 @@ class TestR6WireBytes:
             [("r6_offending.py", "repro.compression.base")], select=["R6"]
         )
         assert rule_ids(result) == []
+
+
+class TestR7Population:
+    def test_offending(self):
+        result = lint_fixture(
+            [("r7_offending.py", "repro.fl.sync_engine")], select=["R7"]
+        )
+        assert rule_ids(result) == ["R701", "R702", "R702"]
+
+    def test_clean(self):
+        result = lint_fixture(
+            [("r7_clean.py", "repro.fl.sync_engine")], select=["R7"]
+        )
+        assert rule_ids(result) == []
+
+    def test_unrestricted_modules_are_exempt(self):
+        # Experiment setup code may build clients eagerly.
+        result = lint_fixture(
+            [("r7_offending.py", "repro.experiments.scalability")], select=["R7"]
+        )
+        assert rule_ids(result) == []
+
+    def test_registry_itself_is_exempt(self):
+        result = lint_fixture(
+            [("r7_offending.py", "repro.fl.population")],
+            select=["R7"],
+            population_restricted_modules=frozenset({"repro.fl.population"}),
+        )
+        assert rule_ids(result) == []
+
+    def test_restricted_set_is_configurable(self):
+        result = lint_fixture(
+            [("r7_offending.py", "fix.myengine")],
+            select=["R7"],
+            population_restricted_modules=frozenset({"fix.myengine"}),
+        )
+        assert rule_ids(result) == ["R701", "R702", "R702"]

@@ -1,10 +1,11 @@
 """Tests for Algorithm 1 (adaptive node selection)."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.selection import select_clients
+from repro.core.selection import reservoir_sample, select_clients, select_from_scores
 
 
 class TestBasics:
@@ -83,3 +84,75 @@ class TestAlgorithmConstraints:
             assert min(scores[i] for i in selected) >= max(unselected_passing) - 1e-12
         # Bookkeeping partitions the input.
         assert selected | set(result.filtered_out) | set(result.truncated) == set(scores)
+
+
+class TestArrayPath:
+    """``select_from_scores`` is the O(n + K log K) array-native core;
+    the dict adapter must agree with it exactly."""
+
+    def test_nan_scores_fail_threshold(self):
+        ids = np.array([0, 1, 2], dtype=np.int64)
+        scores = np.array([0.9, np.nan, 0.7])
+        result = select_from_scores(ids, scores, k=3, tau=0.0)
+        assert result.selected == (0, 2)
+        assert result.filtered_out == (1,)
+
+    def test_argpartition_cut_matches_full_sort_tiebreak(self):
+        # Five-way tie straddling the K-th boundary: the exact
+        # (-score, id) order must survive the partial sort.
+        ids = np.array([9, 3, 7, 1, 5], dtype=np.int64)
+        scores = np.full(5, 0.5)
+        result = select_from_scores(ids, scores, k=3, tau=0.0)
+        assert result.selected == (1, 3, 5)
+        assert result.truncated == (7, 9)
+
+    def test_track_rejected_off_skips_bookkeeping(self):
+        ids = np.arange(6, dtype=np.int64)
+        scores = np.linspace(1.0, 0.0, 6)
+        result = select_from_scores(ids, scores, k=2, tau=0.3, track_rejected=False)
+        assert result.selected == (0, 1)
+        assert result.filtered_out == ()
+        assert result.truncated == ()
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        scores=st.dictionaries(
+            st.integers(0, 30), st.floats(0.0, 1.0), min_size=0, max_size=20
+        ),
+        k=st.integers(1, 10),
+        tau=st.floats(0.0, 1.0),
+    )
+    def test_dict_and_array_paths_agree(self, scores, k, tau):
+        via_dict = select_clients(scores, k=k, tau=tau)
+        ids = np.fromiter(scores, dtype=np.int64, count=len(scores))
+        vals = np.fromiter(scores.values(), dtype=np.float64, count=len(scores))
+        via_array = select_from_scores(ids, vals, k=k, tau=tau)
+        assert via_array == via_dict
+
+
+class TestReservoirSample:
+    def test_returns_all_when_k_covers_stream(self):
+        rng = np.random.default_rng(0)
+        assert reservoir_sample(range(4), 10, rng) == [0, 1, 2, 3]
+
+    def test_deterministic_given_rng(self):
+        a = reservoir_sample(range(1000), 5, np.random.default_rng(42))
+        b = reservoir_sample(range(1000), 5, np.random.default_rng(42))
+        assert a == b
+        assert len(a) == 5
+        assert len(set(a)) == 5
+
+    def test_uniform_ish_coverage(self):
+        # Algorithm R: every element equally likely. With 200 draws of
+        # 10 from 40, each id appears ~50 times; assert a loose band.
+        counts = np.zeros(40, dtype=np.int64)
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            for cid in reservoir_sample(range(40), 10, rng):
+                counts[cid] += 1
+        assert counts.min() > 20
+        assert counts.max() < 90
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            reservoir_sample(range(4), 0, np.random.default_rng(0))

@@ -158,3 +158,38 @@ class TestPartitionDataset:
     def test_stats_empty_raises(self):
         with pytest.raises(ValueError):
             partition_stats([])
+
+
+class TestPartitionPlan:
+    """Index-only plans: the O(population)-safe partition representation."""
+
+    @pytest.fixture
+    def dataset(self):
+        rng = np.random.default_rng(11)
+        return Dataset(rng.normal(size=(60, 1, 2, 2)), np.arange(60) % 6, 6)
+
+    def test_plan_matches_eager_partition(self, dataset):
+        from repro.data.partition import partition_plan
+
+        plan = partition_plan(dataset, 6, "shard", np.random.default_rng(3))
+        eager = partition_dataset(dataset, 6, "shard", np.random.default_rng(3))
+        assert plan.num_clients == 6
+        assert len(plan) == 6
+        for cid in range(6):
+            shard = plan.shard(cid)
+            assert np.array_equal(shard.x, eager[cid].x)
+            assert np.array_equal(shard.y, eager[cid].y)
+
+    def test_plan_sizes_without_materializing(self, dataset):
+        from repro.data.partition import partition_plan
+
+        plan = partition_plan(dataset, 5, "iid", np.random.default_rng(0))
+        sizes = plan.sizes()
+        assert list(sizes) == [len(plan.indices[i]) for i in range(5)]
+        assert sizes.sum() == 60
+
+    def test_partition_indices_cover_dataset(self, dataset):
+        from repro.data.partition import partition_indices
+
+        parts = partition_indices(dataset, 6, "dirichlet", np.random.default_rng(2))
+        check_disjoint_and_complete(parts, 60)

@@ -13,6 +13,15 @@ runs the baseline pins.
 Cases deliberately avoid lossy *downlinks* in the async runs: lost
 model broadcasts are the one behaviour the refactor intentionally
 changed (per-attempt byte charging + re-rolled retries).
+
+Every case also accepts an optional ``policy=`` (a
+:class:`~repro.fl.population.RetentionPolicy`): ``None`` keeps the
+historical always-live ``list[Client]`` construction, while a spill or
+regenerate policy rebuilds the *same* federation as a virtual
+:class:`~repro.fl.population.ClientPopulation` whose clients are
+materialised from seed on demand and evicted under LRU pressure.  The
+eviction-determinism suite runs all six cases under all three policies
+against the one committed baseline.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from repro.fl.client import Client
 from repro.fl.config import FederationConfig, LocalTrainingConfig
 from repro.fl.faults import FaultInjector
 from repro.fl.metrics import RunResult
+from repro.fl.population import ClientPopulation, RetentionPolicy
 from repro.fl.server import Server
 from repro.fl.sync_engine import SyncEngine
 from repro.network.conditions import ClientNetwork, NetworkConditions
@@ -46,17 +56,46 @@ def _model_fn():
     return build_mlp(SHAPE, num_classes=4, hidden=(12,), seed=99)
 
 
-def _federation(seed_base: int):
+class _ClientFactory:
+    """Picklable ``client_fn``: rebuild client ``cid`` from literal seeds.
+
+    Everything is deterministic per call (the dataset seed and the
+    model seed are fixed), so a re-materialised client is bit-identical
+    to the eagerly built one — the property the eviction-determinism
+    suite pins.
+    """
+
+    def __init__(self, seed_base: int):
+        self.seed_base = seed_base
+
+    def __call__(self, cid: int) -> Client:
+        train, _ = make_image_classification(
+            n_train=80, n_test=40, num_classes=4, image_shape=SHAPE,
+            noise_std=0.4, seed=7,
+        )
+        parts = np.array_split(np.arange(len(train)), NUM_CLIENTS)
+        return Client(cid, train.subset(parts[cid]), _model_fn,
+                      seed=self.seed_base + cid)
+
+
+def _federation(seed_base: int, policy: RetentionPolicy | None = None):
     train, test = make_image_classification(
         n_train=80, n_test=40, num_classes=4, image_shape=SHAPE,
         noise_std=0.4, seed=7,
     )
+    server = Server(_model_fn, test)
+    if policy is not None:
+        return server, ClientPopulation(
+            num_clients=NUM_CLIENTS,
+            client_fn=_ClientFactory(seed_base),
+            policy=policy,
+        )
     parts = np.array_split(np.arange(len(train)), NUM_CLIENTS)
     clients = [
         Client(i, train.subset(parts[i]), _model_fn, seed=seed_base + i)
         for i in range(NUM_CLIENTS)
     ]
-    return Server(_model_fn, test), clients
+    return server, clients
 
 
 def _sync_config(rounds: int, deadline: float | None = None) -> FederationConfig:
@@ -92,14 +131,14 @@ def _jittery_net(uplink_loss: float = 0.0) -> NetworkConditions:
     )
 
 
-def run_sync_fedavg_nonet(trace=None) -> RunResult:
-    server, clients = _federation(10)
+def run_sync_fedavg_nonet(trace=None, policy=None) -> RunResult:
+    server, clients = _federation(10, policy)
     return SyncEngine(server, clients, FedAvg(participation_rate=1.0),
                       _sync_config(4), trace=trace).run()
 
 
-def run_sync_fedavg_net_faults(trace=None) -> RunResult:
-    server, clients = _federation(10)
+def run_sync_fedavg_net_faults(trace=None, policy=None) -> RunResult:
+    server, clients = _federation(10, policy)
     faults = FaultInjector(mode="dataloss", straggler_ids={1}, loss_prob=0.5)
     return SyncEngine(
         server, clients, FedAvg(participation_rate=0.8),
@@ -108,20 +147,20 @@ def run_sync_fedavg_net_faults(trace=None) -> RunResult:
     ).run()
 
 
-def run_sync_adafl(trace=None) -> RunResult:
-    server, clients = _federation(30)
+def run_sync_adafl(trace=None, policy=None) -> RunResult:
+    server, clients = _federation(30, policy)
     return SyncEngine(server, clients, AdaFLSync(), _sync_config(6),
                       network=_jittery_net(), trace=trace).run()
 
 
-def run_async_fedasync_nonet(trace=None) -> RunResult:
-    server, clients = _federation(20)
+def run_async_fedasync_nonet(trace=None, policy=None) -> RunResult:
+    server, clients = _federation(20, policy)
     return AsyncEngine(server, clients, FedAsync(), _async_config(12),
                        trace=trace).run()
 
 
-def run_async_fedasync_net(trace=None) -> RunResult:
-    server, clients = _federation(20)
+def run_async_fedasync_net(trace=None, policy=None) -> RunResult:
+    server, clients = _federation(20, policy)
     rates = np.full(NUM_CLIENTS, 1e9)
     rates[0] /= 3.0
     return AsyncEngine(server, clients, FedAsync(), _async_config(15),
@@ -129,8 +168,8 @@ def run_async_fedasync_net(trace=None) -> RunResult:
                        device_flops=rates, trace=trace).run()
 
 
-def run_async_fedbuff_nonet(trace=None) -> RunResult:
-    server, clients = _federation(20)
+def run_async_fedbuff_nonet(trace=None, policy=None) -> RunResult:
+    server, clients = _federation(20, policy)
     return AsyncEngine(server, clients, FedBuff(buffer_size=3),
                        _async_config(12), trace=trace).run()
 
