@@ -568,6 +568,89 @@ def bench_lint(iters: int) -> dict:
     return stats
 
 
+def bench_transport(iters: int) -> dict:
+    """Socket-transport overhead: the same 4-client sync run, TCP vs memory.
+
+    The pinned number is the TCP wall-clock (a regression here means
+    the socket path — framing, serials, heartbeats, prefetch — got
+    slower); ``meta`` records the in-memory time for the identical
+    spec and the resulting overhead ratio.  Worker processes are
+    spawned once (interpreter startup is setup cost, not per-round
+    overhead) and each iteration drives a fresh engine over the same
+    live links, mirroring how a long federation amortises connects.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.experiments.presets import FAST
+    from repro.experiments.runner import (
+        FederationSpec,
+        _federation_config,
+        build_federation,
+    )
+    from repro.fl.baselines import FedAvg
+    from repro.fl.sync_engine import SyncEngine
+    from repro.transport import (
+        SocketTransport,
+        WorkerSetup,
+        spawn_worker,
+        terminate_workers,
+    )
+
+    scale = _replace(
+        FAST, num_clients=4, num_rounds=2, train_samples=80, test_samples=40,
+        eval_every=4,
+    )
+    spec = FederationSpec(
+        dataset="mnist", model="mnist_cnn", distribution="iid", scale=scale, seed=3
+    )
+    config = _federation_config(spec)
+    num_workers = 2
+
+    def mem_step() -> None:
+        fed = build_federation(spec)
+        SyncEngine(
+            fed.server, fed.clients, FedAvg(participation_rate=1.0), config
+        ).run()
+
+    mem = _time_section(mem_step, iters, warmup=1)
+
+    setup = WorkerSetup(
+        builder=build_federation,
+        builder_arg=spec,
+        strategy=FedAvg(participation_rate=1.0),
+        config=config,
+    )
+    transport = SocketTransport(
+        "127.0.0.1:0",
+        num_workers=num_workers,
+        num_clients=scale.num_clients,
+        setup=setup,
+    )
+    procs = [spawn_worker(transport.address, i) for i in range(num_workers)]
+    try:
+        transport.wait_ready(60.0)
+
+        def tcp_step() -> None:
+            fed = build_federation(spec)
+            SyncEngine(
+                fed.server, None, FedAvg(participation_rate=1.0), config,
+                transport=transport,
+            ).run()
+
+        stats = _time_section(tcp_step, iters, warmup=1)
+    finally:
+        transport.close()
+        terminate_workers(procs)
+    stats["meta"] = {
+        "num_clients": scale.num_clients,
+        "num_workers": num_workers,
+        "rounds": scale.num_rounds,
+        "mem_min_s": mem["min_s"],
+        "overhead_x": stats["min_s"] / mem["min_s"],
+    }
+    return stats
+
+
 SECTIONS = {
     "flat_roundtrip": (bench_flat_roundtrip, 50),
     "local_train": (bench_local_train, 5),
@@ -579,6 +662,7 @@ SECTIONS = {
     "batched_train": (bench_batched_train, 8),
     "population": (bench_population, 3),
     "lint": (bench_lint, 5),
+    "transport": (bench_transport, 3),
 }
 
 

@@ -48,14 +48,34 @@ ALLOWED_DEPS: Mapping[str, frozenset[str]] = {
     "analysis": frozenset(),
     "network": frozenset({"sim"}),
     "embedded": frozenset({"nn"}),
+    "transport": frozenset({"compression", "sim", "wire"}),
     "fl": frozenset(
-        {"compression", "data", "embedded", "network", "nn", "sim", "wire"}
+        {
+            "compression",
+            "data",
+            "embedded",
+            "network",
+            "nn",
+            "sim",
+            "transport",
+            "wire",
+        }
     ),
     "core": frozenset(
         {"compression", "data", "fl", "network", "nn", "sim", "wire"}
     ),
     "experiments": frozenset(
-        {"compression", "core", "data", "embedded", "fl", "network", "nn", "sim"}
+        {
+            "compression",
+            "core",
+            "data",
+            "embedded",
+            "fl",
+            "network",
+            "nn",
+            "sim",
+            "transport",
+        }
     ),
     "cli": frozenset(
         {
@@ -69,6 +89,7 @@ ALLOWED_DEPS: Mapping[str, frozenset[str]] = {
             "network",
             "nn",
             "sim",
+            "transport",
             "wire",
         }
     ),
@@ -155,6 +176,13 @@ class LintConfig:
             "repro.core.selection",
             "repro.core.adafl",
         }
+    )
+    # R8: the only package that may touch raw sockets or spawn
+    # processes.  Everything else goes through its API, so the
+    # frame/CRC/deadline discipline and worker teardown stay airtight.
+    transport_package: str = "repro.transport"
+    raw_transport_modules: frozenset[str] = frozenset(
+        {"socket", "subprocess", "multiprocessing", "asyncio"}
     )
 
     def module_rng_allowed(self, module: str) -> bool:

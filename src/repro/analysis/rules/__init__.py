@@ -1,6 +1,6 @@
 """Rule families — importing this package populates the registry.
 
-Seven families ship with the repo:
+Eight families ship with the repo:
 
 * :mod:`repro.analysis.rules.determinism` — R1xx: no legacy global
   RNG or wall-clock reads outside the kernel's seeded streams;
@@ -16,7 +16,9 @@ Seven families ship with the repo:
   through the wire layer, not raw size formulas;
 * :mod:`repro.analysis.rules.population` — R7xx: client lifecycle
   stays behind the population registry (no eager ``Client()``
-  construction or full-population sweeps in engines/strategies).
+  construction or full-population sweeps in engines/strategies);
+* :mod:`repro.analysis.rules.transport` — R8xx: raw sockets and
+  process spawning stay inside ``repro.transport``.
 """
 
 from repro.analysis.rules import (
@@ -26,6 +28,7 @@ from repro.analysis.rules import (
     layering,
     population,
     taxonomy,
+    transport,
     wirebytes,
 )
 
@@ -36,5 +39,6 @@ __all__ = [
     "layering",
     "population",
     "taxonomy",
+    "transport",
     "wirebytes",
 ]

@@ -1,0 +1,61 @@
+"""R8: raw I/O primitives stay behind the transport layer.
+
+The socket transport makes hard promises — every byte between server
+and workers is a CRC'd :mod:`repro.wire` frame, every blocking recv
+has a deadline, every worker process is spawned (and reaped) through
+one launcher.  Those promises only hold if nobody *else* opens
+sockets or forks processes: a stray ``socket.socket()`` in an engine
+bypasses the frame/deadline discipline, and a stray ``subprocess``
+call escapes the terminate/kill teardown that keeps test runs from
+leaking orphans.
+
+* **R801** — an import of a raw transport primitive (``socket``,
+  ``subprocess``, ``multiprocessing``, ``asyncio``) anywhere in the
+  root package outside :mod:`repro.transport`.  Code that needs bytes
+  moved or workers spawned goes through the transport package's API.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.core import FileRule, Violation, register_rule
+from repro.analysis.project import Project, SourceFile
+
+__all__ = ["RawTransportImportRule"]
+
+
+def _in_package(module: str, package: str) -> bool:
+    return module == package or module.startswith(package + ".")
+
+
+@register_rule
+class RawTransportImportRule(FileRule):
+    """R801: no raw socket/process imports outside the transport layer."""
+
+    id = "R801"
+    summary = "raw socket/process import outside the transport layer"
+
+    def check_file(
+        self, source: SourceFile, project: Project
+    ) -> Iterator[Violation]:
+        config = project.config
+        if not _in_package(source.module, config.package):
+            return
+        if _in_package(source.module, config.transport_package):
+            return
+        banned = config.raw_transport_modules
+        for edge in source.imports():
+            top = edge.target.split(".")[0]
+            if top not in banned:
+                continue
+            yield Violation(
+                rule=self.id,
+                path=source.rel,
+                line=edge.line,
+                message=f"'{top}' imported outside "
+                f"{config.transport_package}; raw sockets and process "
+                "spawning bypass the frame/deadline/teardown discipline — "
+                "use the transport package's API instead",
+                snippet=source.snippet(edge.line),
+            )

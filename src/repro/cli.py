@@ -91,6 +91,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot-every", type=int, default=1,
         help="snapshot period in rounds (sync) or updates (async)",
     )
+    quick.add_argument(
+        "--transport", default="memory", choices=("memory", "tcp"),
+        help="memory: in-process clients; tcp: spawn worker processes "
+        "and run the round protocol over real sockets",
+    )
+    quick.add_argument(
+        "--workers", type=int, default=4,
+        help="worker process count for --transport tcp",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="federated server over sockets; workers dial in with `repro worker`",
+    )
+    serve.add_argument("--listen", default="127.0.0.1:0", help="host:port or unix:/path")
+    serve.add_argument("--workers", type=int, default=4, help="worker slots to wait for")
+    serve.add_argument("--dataset", default="mnist", choices=("mnist", "cifar10", "cifar100"))
+    serve.add_argument("--model", default="mnist_cnn")
+    serve.add_argument("--distribution", default="iid", choices=("iid", "shard", "dirichlet", "label_skew", "quantity_skew"))
+    serve.add_argument(
+        "--method",
+        default="adafl",
+        choices=("adafl", *sorted(SYNC_BASELINES), *sorted(ASYNC_BASELINES)),
+    )
+    serve.add_argument("--engine", default="sync", choices=("sync", "async"))
+    serve.add_argument("--rounds", type=int, default=None)
+    serve.add_argument("--quorum", type=float, default=None, help="quorum fraction (sync)")
+    serve.add_argument("--out", default=None, help="write run JSON here")
+    serve.add_argument("--trace", default=None, help="record the event trace as JSONL here")
+    serve.add_argument(
+        "--ready-timeout-s", type=float, default=300.0,
+        help="how long to wait for all workers to dial in",
+    )
+
+    wk = sub.add_parser("worker", help="client worker: dial a `repro serve` server")
+    wk.add_argument("--connect", required=True, help="server address (host:port or unix:/path)")
+    wk.add_argument("--index", type=int, default=None, help="worker slot to claim")
+    wk.add_argument(
+        "--idle-exit-s", type=float, default=600.0,
+        help="exit after this much request silence (orphan reaping)",
+    )
 
     tr = sub.add_parser("trace", help="summarize a recorded JSONL event trace")
     tr.add_argument("path", help="trace file written by --trace / JsonlSink")
@@ -223,58 +264,25 @@ def _cmd_ablation(scale, seed) -> str:
     return format_table(["variant", "accuracy", "updates", "uplink"], rows)
 
 
-def _cmd_quickrun(args, scale) -> str:
-    from dataclasses import replace
+def _quickrun_strategy(args, scale):
+    """Resolve ``--method``/``--engine`` into a strategy instance."""
+    if args.engine == "async":
+        if args.method == "adafl":
+            from repro.core.adafl import AdaFLAsync
 
-    if args.rounds is not None:
-        scale = replace(scale, num_rounds=args.rounds)
-    spec = FederationSpec(
-        dataset=args.dataset,
-        model=args.model,
-        distribution=args.distribution,
-        scale=scale,
-        seed=args.seed,
-    )
-    trace = None
-    if args.trace:
-        from repro.sim import EventTrace, JsonlSink
+            return AdaFLAsync(default_adafl_config(scale, async_mode=True))
+        if args.method in ASYNC_BASELINES:
+            return ASYNC_BASELINES[args.method]()
+        raise SystemExit(f"method {args.method!r} is synchronous; use --engine sync")
+    if args.method in ASYNC_BASELINES:
+        raise SystemExit(f"method {args.method!r} is asynchronous; use --engine async")
+    if args.method == "adafl":
+        return AdaFLSync(default_adafl_config(scale))
+    return SYNC_BASELINES[args.method]()
 
-        trace = EventTrace([JsonlSink(args.trace)])
-    try:
-        if args.engine == "async":
-            if args.method == "adafl":
-                from repro.core.adafl import AdaFLAsync
 
-                strategy = AdaFLAsync(default_adafl_config(scale, async_mode=True))
-            elif args.method in ASYNC_BASELINES:
-                strategy = ASYNC_BASELINES[args.method]()
-            else:
-                raise SystemExit(
-                    f"method {args.method!r} is synchronous; use --engine sync"
-                )
-            # Same total update budget a full-participation sync run
-            # would have, so --rounds bounds async runs too.
-            budget = scale.num_rounds * scale.num_clients
-            result = run_async(
-                spec, strategy, max_updates=budget, trace=trace,
-                snapshot_path=args.snapshot, snapshot_every=args.snapshot_every,
-            )
-        else:
-            if args.method in ASYNC_BASELINES:
-                raise SystemExit(
-                    f"method {args.method!r} is asynchronous; use --engine async"
-                )
-            if args.method == "adafl":
-                strategy = AdaFLSync(default_adafl_config(scale))
-            else:
-                strategy = SYNC_BASELINES[args.method]()
-            result = run_sync(
-                spec, strategy, trace=trace,
-                snapshot_path=args.snapshot, snapshot_every=args.snapshot_every,
-            )
-    finally:
-        if trace is not None:
-            trace.close()
+def _run_summary(args, result) -> str:
+    """The quickrun/serve result block: curve, totals, output paths."""
     if args.out:
         save_run_result(result, args.out)
     rounds, accs = result.accuracy_curve()
@@ -287,6 +295,127 @@ def _cmd_quickrun(args, scale) -> str:
     if args.trace:
         lines.append(f"trace written : {args.trace}")
     return "\n".join(lines)
+
+
+def _cmd_quickrun(args, scale) -> str:
+    from dataclasses import replace
+
+    if args.rounds is not None:
+        scale = replace(scale, num_rounds=args.rounds)
+    remote = args.transport == "tcp"
+    if remote and args.snapshot:
+        raise SystemExit("--transport tcp does not support --snapshot")
+    spec = FederationSpec(
+        dataset=args.dataset,
+        model=args.model,
+        distribution=args.distribution,
+        scale=scale,
+        seed=args.seed,
+    )
+    strategy = _quickrun_strategy(args, scale)
+    trace = None
+    if args.trace:
+        from repro.sim import EventTrace, JsonlSink
+
+        trace = EventTrace([JsonlSink(args.trace)])
+    try:
+        if args.engine == "async":
+            # Same total update budget a full-participation sync run
+            # would have, so --rounds bounds async runs too.
+            budget = scale.num_rounds * scale.num_clients
+            if remote:
+                from repro.experiments.socket_run import run_async_sockets
+
+                result = run_async_sockets(
+                    spec, strategy, max_updates=budget, trace=trace,
+                    num_workers=args.workers,
+                )
+            else:
+                result = run_async(
+                    spec, strategy, max_updates=budget, trace=trace,
+                    snapshot_path=args.snapshot, snapshot_every=args.snapshot_every,
+                )
+        else:
+            if remote:
+                from repro.experiments.socket_run import run_sync_sockets
+
+                result = run_sync_sockets(
+                    spec, strategy, trace=trace, num_workers=args.workers
+                )
+            else:
+                result = run_sync(
+                    spec, strategy, trace=trace,
+                    snapshot_path=args.snapshot, snapshot_every=args.snapshot_every,
+                )
+    finally:
+        if trace is not None:
+            trace.close()
+    return _run_summary(args, result)
+
+
+def _cmd_serve(args, scale) -> str:
+    """Open a socket server, wait for external workers, run the federation."""
+    import dataclasses
+
+    from repro.experiments.runner import _federation_config, build_federation
+    from repro.fl.async_engine import AsyncEngine
+    from repro.fl.sync_engine import SyncEngine
+    from repro.transport import SocketTransport, WorkerSetup
+
+    if args.rounds is not None:
+        scale = dataclasses.replace(scale, num_rounds=args.rounds)
+    spec = FederationSpec(
+        dataset=args.dataset,
+        model=args.model,
+        distribution=args.distribution,
+        scale=scale,
+        seed=args.seed,
+    )
+    strategy = _quickrun_strategy(args, scale)
+    budget = scale.num_rounds * scale.num_clients if args.engine == "async" else None
+    config = _federation_config(spec, max_updates=budget)
+    if args.quorum is not None:
+        config = dataclasses.replace(config, quorum_frac=args.quorum)
+    setup = WorkerSetup(
+        builder=build_federation, builder_arg=spec, strategy=strategy, config=config
+    )
+    transport = SocketTransport(
+        args.listen,
+        num_workers=args.workers,
+        num_clients=scale.num_clients,
+        setup=setup,
+    )
+    trace = None
+    if args.trace:
+        from repro.sim import EventTrace, JsonlSink
+
+        trace = EventTrace([JsonlSink(args.trace)])
+    try:
+        print(f"listening on {transport.address}")
+        print(
+            f"waiting for {args.workers} worker(s): "
+            f"repro worker --connect {transport.address}"
+        )
+        transport.wait_ready(args.ready_timeout_s)
+        fed = build_federation(spec)
+        engine_cls = AsyncEngine if args.engine == "async" else SyncEngine
+        engine = engine_cls(
+            fed.server, None, strategy, config, trace=trace, transport=transport
+        )
+        result = engine.run()
+    finally:
+        transport.close()
+        if trace is not None:
+            trace.close()
+    return _run_summary(args, result)
+
+
+def _cmd_worker(args) -> int:
+    """Run one worker process to completion; returns its exit code."""
+    from repro.transport import Worker
+
+    worker = Worker(args.connect, index=args.index, idle_exit_s=args.idle_exit_s)
+    return worker.run()
 
 
 def _cmd_chaos(args, scale) -> str:
@@ -452,7 +581,12 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     scale = get_scale(args.scale)
+    if args.command == "serve":
+        print(_cmd_serve(args, scale))
+        return 0
     if args.command == "fig1":
         print(_cmd_fig1(scale, args.seed))
     elif args.command == "fig3":

@@ -1,0 +1,163 @@
+"""Multi-process federated runs: engines over the socket transport.
+
+Mirrors :mod:`repro.experiments.runner`'s ``run_sync``/``run_async``
+but with the clients living in real worker processes: the server opens
+a :class:`~repro.transport.SocketTransport`, spawns K workers
+(``python -m repro.transport.worker``), optionally threads every
+connection through a :class:`~repro.transport.ChaosProxy`, and runs
+the engine against the remote population.
+
+The headline property — proven by the equivalence tests — is that a
+socket run with no chaos produces a :class:`~repro.fl.metrics.RunResult`
+*byte-identical* to the in-memory run of the same spec: the workers
+build the same federation from the same spec (same shards, same
+seeds), the sim clock never observes wall time, and every payload
+crosses the wire as the same CRC'd frames the in-memory engines
+account for.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.experiments.runner import (
+    FederationSpec,
+    _federation_config,
+    build_federation,
+)
+from repro.fl.async_engine import AsyncEngine
+from repro.fl.metrics import RunResult
+from repro.fl.strategy import AsyncStrategy, SyncStrategy
+from repro.fl.sync_engine import SyncEngine
+from repro.sim import EventTrace
+from repro.transport import (
+    ChaosConfig,
+    ChaosProxy,
+    SocketTransport,
+    TransportConfig,
+    WorkerSetup,
+    spawn_worker,
+    terminate_workers,
+)
+
+__all__ = [
+    "SocketSession",
+    "socket_session",
+    "run_sync_sockets",
+    "run_async_sockets",
+]
+
+
+@dataclass
+class SocketSession:
+    """A live multi-process federation: engine, transport, workers.
+
+    Exposed (rather than hidden inside a run function) so chaos tests
+    can reach in — kill a worker process mid-round, read proxy fault
+    counters — while the run is in flight.
+    """
+
+    engine: SyncEngine | AsyncEngine
+    transport: SocketTransport
+    procs: list
+    proxy: ChaosProxy | None
+
+    def run(self) -> RunResult:
+        """Drive the engine to completion (workers stay up throughout)."""
+        return self.engine.run()
+
+    def close(self) -> None:
+        """Tear down transport, proxy, and worker processes."""
+        self.transport.close()
+        if self.proxy is not None:
+            self.proxy.close()
+        terminate_workers(self.procs)
+
+
+@contextmanager
+def socket_session(
+    spec: FederationSpec,
+    strategy: SyncStrategy | AsyncStrategy,
+    mode: str = "sync",
+    num_workers: int = 4,
+    chaos: ChaosConfig | None = None,
+    transport_config: TransportConfig | None = None,
+    quorum_frac: float | None = None,
+    validation=None,
+    max_updates: int | None = None,
+    trace: EventTrace | None = None,
+    address: str = "127.0.0.1:0",
+    ready_timeout_s: float = 60.0,
+) -> Iterator[SocketSession]:
+    """Open a multi-process federation and yield the live session.
+
+    The server process builds its own replica of the federation (for
+    the server model and test set); each spawned worker builds the
+    same one from the pickled spec and serves its share of the
+    clients.  With ``chaos`` set, workers dial through a
+    :class:`~repro.transport.ChaosProxy` that injects the configured
+    faults into the real byte stream.
+    """
+    if mode not in ("sync", "async"):
+        raise ValueError(f"mode must be 'sync' or 'async', not {mode!r}")
+    config = _federation_config(spec, max_updates=max_updates, validation=validation)
+    if quorum_frac is not None:
+        config = dataclasses.replace(config, quorum_frac=quorum_frac)
+    setup = WorkerSetup(
+        builder=build_federation,
+        builder_arg=spec,
+        strategy=strategy,
+        config=config,
+    )
+    transport = SocketTransport(
+        address,
+        num_workers=num_workers,
+        num_clients=spec.scale.num_clients,
+        setup=setup,
+        config=transport_config,
+    )
+    proxy = None
+    procs: list = []
+    try:
+        worker_target = transport.address
+        if chaos is not None and chaos.active:
+            proxy = ChaosProxy(transport.address, chaos)
+            worker_target = proxy.address
+        procs = [spawn_worker(worker_target, i) for i in range(num_workers)]
+        transport.wait_ready(ready_timeout_s)
+        fed = build_federation(spec)
+        if mode == "sync":
+            engine = SyncEngine(
+                fed.server, None, strategy, config, trace=trace, transport=transport
+            )
+        else:
+            engine = AsyncEngine(
+                fed.server, None, strategy, config, trace=trace, transport=transport
+            )
+        yield SocketSession(
+            engine=engine, transport=transport, procs=procs, proxy=proxy
+        )
+    finally:
+        transport.close()
+        if proxy is not None:
+            proxy.close()
+        terminate_workers(procs)
+
+
+def run_sync_sockets(
+    spec: FederationSpec, strategy: SyncStrategy, **kwargs
+) -> RunResult:
+    """Run one synchronous federation over real sockets, start to finish."""
+    with socket_session(spec, strategy, mode="sync", **kwargs) as session:
+        return session.run()
+
+
+def run_async_sockets(
+    spec: FederationSpec, strategy: AsyncStrategy, **kwargs
+) -> RunResult:
+    """Run one asynchronous federation over real sockets, start to finish."""
+    with socket_session(spec, strategy, mode="async", **kwargs) as session:
+        return session.run()

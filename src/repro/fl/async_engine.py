@@ -49,6 +49,7 @@ from repro.fl.server import Server
 from repro.fl.strategy import AsyncStrategy
 from repro.fl.validation import UpdateValidator, verify_frame
 from repro.network.conditions import NetworkConditions
+from repro.transport.base import PeerGone
 from repro.sim import (
     AGGREGATED,
     DROPPED,
@@ -112,12 +113,26 @@ class AsyncEngine:
         snapshot_path=None,
         snapshot_every: int | None = None,
         on_snapshot=None,
+        transport=None,
     ):
-        if clients is None or not len(clients):
-            raise ValueError("need at least one client")
-        # The engine resolves every client through the population
-        # registry; a plain list becomes the always-live compat wrapper.
-        self.clients = ClientPopulation.ensure(clients)
+        # A remote transport owns the client processes; its population
+        # facade replaces any clients argument.  In-memory transports
+        # (None or InMemoryTransport) keep the historical path exactly.
+        self._transport = transport
+        self._remote = bool(transport is not None and getattr(transport, "remote", False))
+        if self._remote:
+            if snapshot_path is not None:
+                raise ValueError(
+                    "snapshots are not supported over a remote transport "
+                    "(worker-side client state is not reachable)"
+                )
+            self.clients = ClientPopulation.ensure(transport.population())
+        else:
+            if clients is None or not len(clients):
+                raise ValueError("need at least one client")
+            # The engine resolves every client through the population
+            # registry; a plain list becomes the always-live compat wrapper.
+            self.clients = ClientPopulation.ensure(clients)
         self.server = server
         self.strategy = strategy
         self.config = config
@@ -126,7 +141,7 @@ class AsyncEngine:
         self._churn = churn
         self._chaos = chaos
         if chaos is not None:
-            chaos.bind(config.seed, len(clients))
+            chaos.bind(config.seed, len(self.clients))
         self._validator = (
             UpdateValidator(config.validation) if config.validation is not None else None
         )
@@ -134,7 +149,7 @@ class AsyncEngine:
         self._ul_policy = config.uplink_retry or RetryPolicy.single()
         self._kernel = SimKernel(
             seed=config.seed,
-            num_clients=len(clients),
+            num_clients=len(self.clients),
             network=network,
             device_flops=device_flops,
             trace=trace,
@@ -144,6 +159,10 @@ class AsyncEngine:
         self._rng = self._kernel.rng
         self._trace = self._kernel.trace
         self._reducer = self._trace.add_sink(MetricsReducer())
+        if transport is not None:
+            # Reconnect jitter draws from the kernel's named streams
+            # and drops surface on the engine's trace bus.
+            transport.bind_kernel(self._kernel, self._trace)
         self._halted: list[int] = []
         self._total_updates = 0
         self.snapshot_path = snapshot_path
@@ -397,7 +416,7 @@ class AsyncEngine:
             return
         batched = None
         ids = [c.client_id for c in trainees]
-        if len(trainees) > 1 and len(set(ids)) == len(ids):
+        if len(trainees) > 1 and len(set(ids)) == len(ids) and not self._remote:
             batched = train_clients_batched(
                 trainees,
                 self.server.params,
@@ -405,13 +424,34 @@ class AsyncEngine:
                 round_index=self.server.version,
                 cache=self._batched_cache,
             )
+        elif self._remote and len(trainees) > 1:
+            # Remote analogue of the opportunistic fusion: pipeline the
+            # burst's train requests so the owning worker processes run
+            # in parallel; replies are consumed in serial order below.
+            self._transport.prefetch_train(
+                ids, self.server.params, self.server.version, {}
+            )
         for client in trainees:
             if batched is not None:
                 update = batched[client.client_id]
             else:
-                update = client.local_train(
-                    self.server.params, local_cfg, round_index=self.server.version
-                )
+                try:
+                    update = client.local_train(
+                        self.server.params, local_cfg, round_index=self.server.version
+                    )
+                except PeerGone as exc:
+                    # The owning worker process died: terminal for this
+                    # client — no restart event will ever revive it.
+                    self._trace.emit(
+                        DROPPED,
+                        self._kernel.now,
+                        client.client_id,
+                        reason="crash",
+                        cause="transport",
+                        terminal=True,
+                        attempts=exc.attempts,
+                    )
+                    continue
             self._finish_model_arrival(client, update)
         # The arrival burst is fully processed: trim materialised
         # clients back to the retention cap (no-op when always-live).
@@ -427,6 +467,14 @@ class AsyncEngine:
         cid = payload["cid"]
         client = self.clients[cid]
         now = self._kernel.now
+        if self._remote and cid in self._transport.down_cids():
+            # The owning worker process is dead; the model arrival is
+            # undeliverable and the client sits the rest of the run out
+            # (UNCOUNTED, like a device that never came online).
+            self._trace.emit(
+                DROPPED, now, cid, reason="offline", cause="transport"
+            )
+            return None
         if payload.pop("resumed", False):
             self._trace.emit(WOKEN, now, cid, cause="online")
         if payload.pop("restarted", False):
@@ -492,7 +540,21 @@ class AsyncEngine:
                     {"cid": cid, "forced": False, "attempt": 1},
                 )
                 return
-        packet = self.strategy.process_upload(client, update, now + compute_s)
+        try:
+            packet = self.strategy.process_upload(client, update, now + compute_s)
+        except PeerGone as exc:
+            # The worker died between training and upload encoding
+            # (compression is a worker-side RPC for remote clients).
+            self._trace.emit(
+                DROPPED,
+                now + compute_s,
+                cid,
+                reason="crash",
+                cause="transport",
+                terminal=True,
+                attempts=exc.attempts,
+            )
+            return
         if self._validator is not None:
             self._validator.stamp(update)
         delta = packet.delta
@@ -528,7 +590,13 @@ class AsyncEngine:
             # is destroyed in transit.
             delivered = False
             self._trace.emit(DROPPED, arrival, cid, reason="fault")
-        self.strategy.on_upload_result(client, delivered, now + compute_s)
+        try:
+            self.strategy.on_upload_result(client, delivered, now + compute_s)
+        except PeerGone:
+            # NACK restore against a dead worker: its residual state is
+            # gone with it; the death itself surfaces as drops through
+            # the down-worker gate, so don't double-count here.
+            pass
         if delivered:
             stale = self._chaos.stale if self._chaos is not None else None
             duplicate = False

@@ -73,6 +73,13 @@ class FederationConfig:
     # Server-side update validation; None disables every screen (the
     # historical trust-everything behaviour, bit-identical trajectories).
     validation: ValidationConfig | None = None
+    # Synchronous engine: minimum fraction of the selected cohort whose
+    # uploads must survive for the round to aggregate.  When fewer
+    # arrive (e.g. worker processes died mid-round over a remote
+    # transport), the round is voided — the server keeps its model and
+    # the AGGREGATED event carries ``quorum_missed=True``.  None keeps
+    # the historical behaviour: aggregate whatever arrived.
+    quorum_frac: float | None = None
     # Fuse the selected clients' local training into one stacked-buffer
     # kernel (repro.nn.batched) when the cohort allows it; trajectories
     # are bit-identical to the serial path, so this defaults to on.
@@ -96,3 +103,5 @@ class FederationConfig:
             raise ValueError("max_updates must be positive or None")
         if self.async_cohort is not None and self.async_cohort <= 0:
             raise ValueError("async_cohort must be positive or None")
+        if self.quorum_frac is not None and not 0.0 < self.quorum_frac <= 1.0:
+            raise ValueError("quorum_frac must be in (0, 1] or None")

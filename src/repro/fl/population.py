@@ -115,6 +115,10 @@ class ClientPopulation:
     client lists.
     """
 
+    # Registry-facade marker recognised by :meth:`ensure` (shared with
+    # non-subclass facades like the transport's remote population).
+    is_population = True
+
     def __init__(
         self,
         clients: list[Client] | None = None,
@@ -377,8 +381,13 @@ class ClientPopulation:
     # -- construction helpers ------------------------------------------
     @classmethod
     def ensure(cls, clients) -> "ClientPopulation":
-        """Wrap a ``list[Client]`` (compat) or pass a population through."""
-        if isinstance(clients, cls):
+        """Wrap a ``list[Client]`` (compat) or pass a population through.
+
+        The duck check (``is_population``) admits registry facades that
+        are not subclasses — e.g. the socket transport's remote
+        population, whose clients live in worker processes.
+        """
+        if isinstance(clients, cls) or getattr(clients, "is_population", False):
             return clients
         return cls(list(clients))
 

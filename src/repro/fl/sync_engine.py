@@ -37,6 +37,8 @@ hooks they implement.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.fl.batched import train_clients_batched
@@ -49,6 +51,7 @@ from repro.fl.server import Server
 from repro.fl.strategy import RoundContext, SyncStrategy
 from repro.fl.validation import UpdateValidator, trimmed_mean, verify_frame
 from repro.network.conditions import NetworkConditions
+from repro.transport.base import PeerGone
 from repro.sim import (
     AGGREGATED,
     DROPPED,
@@ -84,12 +87,26 @@ class SyncEngine:
         snapshot_path=None,
         snapshot_every: int | None = None,
         on_snapshot=None,
+        transport=None,
     ):
-        if clients is None or not len(clients):
-            raise ValueError("need at least one client")
-        # The engine resolves every client through the population
-        # registry; a plain list becomes the always-live compat wrapper.
-        self.clients = ClientPopulation.ensure(clients)
+        # A remote transport owns the client processes; its population
+        # facade replaces any clients argument.  In-memory transports
+        # (None or InMemoryTransport) keep the historical path exactly.
+        self._transport = transport
+        self._remote = bool(transport is not None and getattr(transport, "remote", False))
+        if self._remote:
+            if snapshot_path is not None:
+                raise ValueError(
+                    "snapshots are not supported over a remote transport "
+                    "(worker-side client state is not reachable)"
+                )
+            self.clients = ClientPopulation.ensure(transport.population())
+        else:
+            if clients is None or not len(clients):
+                raise ValueError("need at least one client")
+            # The engine resolves every client through the population
+            # registry; a plain list becomes the always-live compat wrapper.
+            self.clients = ClientPopulation.ensure(clients)
         self.server = server
         self.strategy = strategy
         self.config = config
@@ -97,7 +114,7 @@ class SyncEngine:
         self._churn = churn
         self._chaos = chaos
         if chaos is not None:
-            chaos.bind(config.seed, len(clients))
+            chaos.bind(config.seed, len(self.clients))
         self._validator = (
             UpdateValidator(config.validation) if config.validation is not None else None
         )
@@ -105,7 +122,7 @@ class SyncEngine:
         self._ul_policy = config.uplink_retry or RetryPolicy.single()
         self._kernel = SimKernel(
             seed=config.seed,
-            num_clients=len(clients),
+            num_clients=len(self.clients),
             network=network,
             device_flops=device_flops,
             trace=trace,
@@ -115,6 +132,10 @@ class SyncEngine:
         self._rng = self._kernel.rng
         self._trace = self._kernel.trace
         self._reducer = self._trace.add_sink(MetricsReducer())
+        if transport is not None:
+            # Reconnect jitter draws from the kernel's named streams
+            # and drops surface on the engine's trace bus.
+            transport.bind_kernel(self._kernel, self._trace)
         self.snapshot_path = snapshot_path
         self.snapshot_every = snapshot_every if snapshot_every is not None else 1
         self._on_snapshot = on_snapshot
@@ -245,6 +266,32 @@ class SyncEngine:
             return None
         return self._kernel.stream("retry", cid)
 
+    def _drop_transport_crash(self, t: float, cid: int, exc: PeerGone) -> None:
+        """Terminal drop: the owning worker process is unreachable."""
+        self._trace.emit(
+            DROPPED,
+            t,
+            cid,
+            reason="crash",
+            cause="transport",
+            terminal=True,
+            attempts=exc.attempts,
+        )
+
+    def _upload_result(self, client, delivered: bool, context) -> None:
+        """ACK/NACK the strategy, tolerating a dead remote peer.
+
+        A NACK triggers AdaFL's residual restore — a worker RPC for
+        remote clients.  If the worker died in the meantime the
+        restore is moot (its residual state is gone with it); the
+        death itself surfaces as drops through the liveness sweep, so
+        double-counting here would skew the taxonomy.
+        """
+        try:
+            self.strategy.on_upload_result(client, delivered, context)
+        except PeerGone:
+            pass
+
     def _available_ids(self, round_index: int, t0: float, crash) -> list[int]:
         """Ids that can open this round (availability gates only).
 
@@ -299,7 +346,43 @@ class SyncEngine:
             trace=self._trace,
         )
         available = self._available_ids(round_index, t0, crash)
-        selected = self.strategy.select(available, self._rng, context)
+        if self._remote:
+            # Liveness sweep before selection: clients owned by dead
+            # worker processes are unreachable this round (UNCOUNTED —
+            # they were never selected, like churn offline).
+            self._transport.heartbeat()
+            down = self._transport.down_cids()
+            if down:
+                kept = []
+                for cid in available:
+                    if cid in down:
+                        self._trace.emit(
+                            DROPPED, t0, cid, reason="offline", cause="transport"
+                        )
+                    else:
+                        kept.append(cid)
+                available = kept
+        while True:
+            try:
+                selected = self.strategy.select(available, self._rng, context)
+                break
+            except PeerGone as exc:
+                # A worker died while the strategy probed its clients
+                # (AdaFL's scoring touches every available client).
+                # Terminal for the client, then re-select among
+                # survivors — fault-path only, never under chaos=None.
+                if exc.cid is not None:
+                    self._trace.emit(
+                        DROPPED,
+                        t0,
+                        exc.cid,
+                        reason="crash",
+                        cause="transport",
+                        terminal=True,
+                        attempts=exc.attempts,
+                    )
+                down = self._transport.down_cids()
+                available = [cid for cid in available if cid not in down]
         self.clients.note_seen(selected, round_index)
         self._trace.emit(
             SELECTED, t0, round=round_index, clients=list(selected), available=available
@@ -322,6 +405,7 @@ class SyncEngine:
             self.config.batched_compute
             and self.network is None
             and len(selected) > 1
+            and not self._remote
         ):
             kwargs_by = {
                 cid: self.strategy.client_train_kwargs(self.clients[cid])
@@ -334,6 +418,21 @@ class SyncEngine:
                 round_index=round_index,
                 kwargs_by_cid=kwargs_by,
                 cache=self._batched_cache,
+            )
+        elif self._remote and self.network is None and len(selected) > 1:
+            # The remote analogue of batched compute: pipeline the
+            # whole cohort's train requests so worker processes run in
+            # parallel; the loop below consumes replies in the exact
+            # serial order.  Only safe with no network model — with one,
+            # downlink losses decide who trains, and pre-training a
+            # client the in-memory run would skip advances its RNG and
+            # forks the trajectory.
+            kwargs_by = {
+                cid: self.strategy.client_train_kwargs(self.clients[cid])
+                for cid in selected
+            }
+            self._transport.prefetch_train(
+                selected, self.server.params, round_index, kwargs_by
             )
 
         # One model-frame encode serves every participant this round;
@@ -388,9 +487,14 @@ class SyncEngine:
                 update = batched[cid]
             else:
                 kwargs = self.strategy.client_train_kwargs(client)
-                update = client.local_train(
-                    self.server.params, local_cfg, round_index=round_index, **kwargs
-                )
+                try:
+                    update = client.local_train(
+                        self.server.params, local_cfg, round_index=round_index, **kwargs
+                    )
+                except PeerGone as exc:
+                    self._drop_transport_crash(t0 + down_s, cid, exc)
+                    durations.append(down_s)
+                    continue
             compute_s = self._kernel.compute(cid, update.flops, t0 + down_s)
 
             if crash is not None:
@@ -405,7 +509,14 @@ class SyncEngine:
                     durations.append(crash_t - t0)
                     continue
 
-            packet = self.strategy.process_upload(client, update, context)
+            try:
+                packet = self.strategy.process_upload(client, update, context)
+            except PeerGone as exc:
+                # The worker died between training and upload encoding
+                # (compression is a worker-side RPC for remote clients).
+                self._drop_transport_crash(t0 + down_s + compute_s, cid, exc)
+                durations.append(down_s + compute_s)
+                continue
             if self._validator is not None:
                 self._validator.stamp(update)
             delta = packet.delta
@@ -447,7 +558,7 @@ class SyncEngine:
                 # round at the deadline and discards the late update.
                 durations.append(deadline)
                 self._trace.emit(DROPPED, t0 + deadline, cid, reason="deadline")
-                self.strategy.on_upload_result(client, False, context)
+                self._upload_result(client, False, context)
                 continue
             durations.append(total_s)
 
@@ -460,11 +571,11 @@ class SyncEngine:
                 self._trace.emit(
                     DROPPED, t0 + total_s, cid, reason="uplink_lost", **data
                 )
-                self.strategy.on_upload_result(client, False, context)
+                self._upload_result(client, False, context)
                 continue
             if self.faults.upload_lost(cid, self._rng):
                 self._trace.emit(DROPPED, t0 + total_s, cid, reason="fault")
-                self.strategy.on_upload_result(client, False, context)
+                self._upload_result(client, False, context)
                 continue
             if outage is not None and outage.is_down(t0 + total_s):
                 # The update arrived while the server was unreachable.
@@ -475,9 +586,9 @@ class SyncEngine:
                     reason="server_down",
                     until=outage.next_up(t0 + total_s),
                 )
-                self.strategy.on_upload_result(client, False, context)
+                self._upload_result(client, False, context)
                 continue
-            self.strategy.on_upload_result(client, True, context)
+            self._upload_result(client, True, context)
 
             if corruption is not None:
                 delta, tampered = corruption.corrupt_upload(cid, delta, frame_bytes)
@@ -504,6 +615,16 @@ class SyncEngine:
             round_time = min(round_time, deadline)
         t_close = t0 + round_time
 
+        # Quorum gate: a round that lost too many participants (worker
+        # crashes, partitions) is voided rather than aggregated from a
+        # skewed sliver of the cohort.
+        quorum_missed = False
+        if self.config.quorum_frac is not None and selected:
+            needed = max(1, math.ceil(self.config.quorum_frac * len(selected)))
+            if len({u.client_id for u in delivered}) < needed:
+                delivered = []
+                quorum_missed = True
+
         if self._validator is None:
             accepted = delivered
             self.strategy.aggregate(self.server, delivered, context)
@@ -511,11 +632,13 @@ class SyncEngine:
             accepted = self._aggregate_validated(delivered, context, t_close)
 
         self._kernel.advance_to(t_close)
+        quorum_extra = {"quorum_missed": True} if quorum_missed else {}
         self._trace.emit(
             AGGREGATED,
             self.sim_time_s,
             round=round_index,
             participants=[u.client_id for u in accepted],
+            **quorum_extra,
         )
         # Barrier closed: trim materialised clients back to the
         # retention cap (no-op on the always-live compat path).

@@ -53,17 +53,20 @@ from repro.wire.frame import Frame as _Frame
 __all__ = ["ValidationConfig", "UpdateValidator", "trimmed_mean", "verify_frame"]
 
 
-def verify_frame(frame_bytes: bytes) -> str | None:
+def verify_frame(
+    frame_bytes: bytes, max_payload_nbytes: int | None = None
+) -> str | None:
     """``"corrupt_frame"`` if the buffer fails frame validation.
 
     Parses the wire frame and checks the header CRC-32 against the
-    payload; any malformation — bad magic, truncated payload, CRC
-    mismatch from a flipped bit — yields the rejection reason.  Unlike
-    the numeric screens this runs unconditionally: a damaged frame is
-    never decodable, whatever the validation config says.
+    payload; any malformation — bad magic, truncated payload, a
+    declared length above ``max_payload_nbytes``, CRC mismatch from a
+    flipped bit — yields the rejection reason.  Unlike the numeric
+    screens this runs unconditionally: a damaged frame is never
+    decodable, whatever the validation config says.
     """
     try:
-        _Frame.from_bytes(frame_bytes)
+        _Frame.from_bytes(frame_bytes, max_payload_nbytes=max_payload_nbytes)
     except FrameError:
         return "corrupt_frame"
     return None

@@ -1,0 +1,236 @@
+"""Chaos proxy: a TCP forwarder that injects real wire-level faults.
+
+Sits between the workers and the server (workers dial the proxy, the
+proxy dials the real server) and damages the byte stream in flight:
+
+* **corruption** — flip one random bit in a forwarded chunk; the
+  receiver's frame CRC catches it, the connection is poisoned, and the
+  attempt surfaces as a ``corrupt_frame`` drop — the socket-era proof
+  of the PR 3 fault taxonomy and the PR 5 server-side validation;
+* **resets** — abruptly close both halves of a connection
+  (probabilistically per chunk, or after a byte budget), exercising
+  the reconnect + exactly-once retry path;
+* **delays** — added per-chunk latency, exercising deadline headroom;
+* **half-open partitions** — silently swallow one direction while the
+  other stays up, the classic failure TCP keepalives miss; only the
+  transport's application-level deadline detects it.
+
+Fault draws come from ``numpy`` generators seeded per
+``(seed, connection, direction)`` — deterministic given the config, no
+wall-clock entropy — though overall timing still depends on OS
+scheduling, which is exactly the point: the *engine's* determinism
+must survive a nondeterministic network.
+
+The proxy is a real network element (its own listener, its own
+sockets), not a mock: every fault the tests assert on actually
+happened to bytes on a kernel socket buffer.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.transport.sockets import dial, open_listener
+
+__all__ = ["ChaosConfig", "ChaosProxy"]
+
+_CHUNK = 65536
+_UPLINK = "uplink"  # worker -> server
+_DOWNLINK = "downlink"  # server -> worker
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """What the proxy does to the stream, and how reproducibly.
+
+    Probabilities are per forwarded chunk (<= 64 KiB), so effective
+    per-frame fault rates scale with payload size — big model frames
+    span many chunks and are proportionally likelier to be hit, just
+    like real links.
+    """
+
+    seed: int = 0
+    corrupt_prob: float = 0.0
+    delay_s: float = 0.0
+    reset_prob: float = 0.0
+    reset_after_bytes: int | None = None
+    half_open: str | None = None  # "uplink", "downlink", or None
+
+    def __post_init__(self) -> None:
+        for name in ("corrupt_prob", "reset_prob"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        if self.reset_after_bytes is not None and self.reset_after_bytes < 1:
+            raise ValueError("reset_after_bytes must be positive or None")
+        if self.half_open not in (None, _UPLINK, _DOWNLINK):
+            raise ValueError("half_open must be 'uplink', 'downlink', or None")
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.corrupt_prob > 0
+            or self.delay_s > 0
+            or self.reset_prob > 0
+            or self.reset_after_bytes is not None
+            or self.half_open is not None
+        )
+
+
+class _Pipe:
+    """One proxied connection: a worker socket paired with a server socket."""
+
+    def __init__(self, client: socket.socket, upstream: socket.socket):
+        self.client = client
+        self.upstream = upstream
+        self._lock = threading.Lock()
+        self._dead = False
+
+    def kill(self) -> None:
+        with self._lock:
+            if self._dead:
+                return
+            self._dead = True
+        for sock in (self.client, self.upstream):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class ChaosProxy:
+    """A live man-in-the-middle between workers and the server.
+
+    Point workers at :attr:`address`; the proxy dials ``target`` once
+    per accepted connection and pumps bytes both ways, applying the
+    configured faults.  ``stats`` counts every fault actually injected
+    (tests assert against it to distinguish "no fault fired" from
+    "fault fired and was survived").
+    """
+
+    def __init__(
+        self,
+        target: str,
+        config: ChaosConfig,
+        listen: str = "127.0.0.1:0",
+    ):
+        self.target = target
+        self.config = config
+        self.stats = {"corrupted": 0, "resets": 0, "swallowed_chunks": 0}
+        self._stats_lock = threading.Lock()
+        self._pipes: list[_Pipe] = []
+        self._conn_index = 0
+        self._closed = False
+        self._listener, self.address = open_listener(listen)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-chaos-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for pipe in list(self._pipes):
+            pipe.kill()
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _count(self, key: str) -> None:
+        with self._stats_lock:
+            self.stats[key] += 1
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                upstream = dial(self.target, timeout_s=10.0)
+            except OSError:
+                try:
+                    client.close()
+                except OSError:
+                    pass
+                continue
+            pipe = _Pipe(client, upstream)
+            self._pipes.append(pipe)
+            conn = self._conn_index
+            self._conn_index += 1
+            for direction, src, dst in (
+                (_UPLINK, client, upstream),
+                (_DOWNLINK, upstream, client),
+            ):
+                threading.Thread(
+                    target=self._pump,
+                    args=(pipe, direction, src, dst, conn),
+                    name=f"repro-chaos-{direction}-{conn}",
+                    daemon=True,
+                ).start()
+
+    def _pump(
+        self,
+        pipe: _Pipe,
+        direction: str,
+        src: socket.socket,
+        dst: socket.socket,
+        conn: int,
+    ) -> None:
+        cfg = self.config
+        rng = np.random.default_rng(
+            (cfg.seed, conn, 0 if direction == _UPLINK else 1)
+        )
+        forwarded = 0
+        while True:
+            try:
+                chunk = src.recv(_CHUNK)
+            except OSError:
+                break
+            if not chunk:
+                break
+            if cfg.half_open == direction:
+                # The connection stays up; the bytes just never arrive.
+                self._count("swallowed_chunks")
+                continue
+            if cfg.delay_s > 0:
+                time.sleep(cfg.delay_s)
+            if cfg.reset_prob > 0 and rng.random() < cfg.reset_prob:
+                self._count("resets")
+                break
+            if cfg.corrupt_prob > 0 and rng.random() < cfg.corrupt_prob:
+                chunk = self._flip_bit(chunk, rng)
+                self._count("corrupted")
+            forwarded += len(chunk)
+            try:
+                dst.sendall(chunk)
+            except OSError:
+                break
+            if (
+                cfg.reset_after_bytes is not None
+                and forwarded >= cfg.reset_after_bytes
+            ):
+                self._count("resets")
+                break
+        pipe.kill()
+
+    @staticmethod
+    def _flip_bit(chunk: bytes, rng: np.random.Generator) -> bytes:
+        buf = bytearray(chunk)
+        pos = int(rng.integers(len(buf)))
+        buf[pos] ^= 1 << int(rng.integers(8))
+        return bytes(buf)

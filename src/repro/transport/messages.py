@@ -1,0 +1,109 @@
+"""Message envelopes: every transport message is one sealed wire frame.
+
+A message is a Python dict pickled and wrapped in a CRC'd blob frame
+(:func:`repro.wire.frame.seal`), so the socket layer inherits the wire
+layer's integrity guarantees verbatim: a bit flipped on the stream is
+a :class:`~repro.wire.frame.FrameCorruptionError` at the receiver,
+never a silently mangled request.  Numeric payloads embedded in a
+message (model parameters, deltas, compressed gradients) travel as
+*nested real frames* — dense float64 for full-fidelity vectors, the
+codec frame for compressed uploads — each with its own CRC, exactly
+the bytes the in-memory engines account for.
+
+Requests carry a per-link monotone ``serial``; the worker's
+:class:`ReplyCache` makes retried requests exactly-once: a serial seen
+before returns the cached reply without re-executing (re-running a
+training request would advance the client's RNG a second time and
+fork the trajectory).
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+from repro.wire.codecs import DenseFloat64Codec
+from repro.wire.frame import Frame, FrameError, seal, unseal
+
+__all__ = [
+    "HEARTBEAT",
+    "pack_message",
+    "unpack_message",
+    "vector_to_frame_bytes",
+    "vector_from_frame_bytes",
+    "ReplyCache",
+]
+
+# The liveness keep-alive: skipped by reply readers, resets deadlines.
+HEARTBEAT = {"hb": True}
+
+
+def pack_message(obj: dict[str, Any]) -> bytes:
+    """Pickle ``obj`` and wrap it in a sealed (CRC'd) blob frame."""
+    return seal(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def unpack_message(buf: bytes) -> dict[str, Any]:
+    """Unwrap and unpickle one sealed message (CRC already implied)."""
+    obj = pickle.loads(unseal(buf))
+    if not isinstance(obj, dict):
+        raise FrameError(f"transport message is a {type(obj).__name__}, not a dict")
+    return obj
+
+
+def vector_to_frame_bytes(vec: np.ndarray, model_version: int = 0) -> bytes:
+    """Encode a float64 vector as a dense64 frame (bit-exact transport)."""
+    values = np.ascontiguousarray(vec, dtype=np.float64)
+    frame = Frame(
+        codec_id=DenseFloat64Codec.codec_id,
+        flags=0,
+        dim=values.size,
+        model_version=model_version,
+        payload=values.tobytes(),
+    )
+    return frame.to_bytes()
+
+
+def vector_from_frame_bytes(
+    buf: bytes, max_payload_nbytes: int | None = None
+) -> tuple[np.ndarray, int]:
+    """Decode a dense64 frame back to ``(vector, model_version)``.
+
+    The returned array owns its memory (a copy of the frame payload),
+    so callers may mutate it freely.
+    """
+    frame = Frame.from_bytes(buf, max_payload_nbytes=max_payload_nbytes)
+    if frame.codec_id != DenseFloat64Codec.codec_id:
+        raise FrameError(
+            f"expected a dense64 vector frame, got codec {frame.codec_id}"
+        )
+    data = DenseFloat64Codec().decode(frame.dim, frame.payload, frame.flags)
+    return np.array(data["values"], dtype=np.float64), frame.model_version
+
+
+class ReplyCache:
+    """Bounded serial -> reply map backing exactly-once request semantics.
+
+    The worker records every reply it sends; a request whose serial was
+    already served (a server-side retry after a reconnect) returns the
+    cached reply instead of re-executing.  The cap only needs to cover
+    the server's in-flight window (pipelined train prefetches plus
+    retries), so a small bound suffices.
+    """
+
+    def __init__(self, cap: int = 256):
+        if cap < 1:
+            raise ValueError("cap must be >= 1")
+        self._cap = cap
+        self._replies: OrderedDict[int, dict[str, Any]] = OrderedDict()
+
+    def get(self, serial: int) -> dict[str, Any] | None:
+        return self._replies.get(serial)
+
+    def put(self, serial: int, reply: dict[str, Any]) -> None:
+        self._replies[serial] = reply
+        while len(self._replies) > self._cap:
+            self._replies.popitem(last=False)

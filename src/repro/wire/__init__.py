@@ -22,8 +22,12 @@ from repro.wire.frame import (
     Frame,
     FrameCorruptionError,
     FrameError,
+    FrameOversized,
+    FrameTruncated,
     MAGIC,
+    MAX_PAYLOAD_NBYTES,
     WIRE_VERSION,
+    read_frame,
     seal,
     unseal,
 )
@@ -50,8 +54,12 @@ __all__ = [
     "Frame",
     "FrameCorruptionError",
     "FrameError",
+    "FrameOversized",
+    "FrameTruncated",
     "MAGIC",
+    "MAX_PAYLOAD_NBYTES",
     "WIRE_VERSION",
+    "read_frame",
     "seal",
     "unseal",
     "Codec",

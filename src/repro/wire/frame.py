@@ -24,6 +24,15 @@ rejection instead of a silent numeric perturbation.
 Versioning: decoders accept exactly the versions they know
 (``version <= WIRE_VERSION``); an unknown magic or future version is a
 :class:`FrameError`, never a silent reinterpretation.
+
+Stream hardening: a decoder fed attacker-shaped or line-damaged bytes
+must fail *typed* and fail *before* allocating.  The declared payload
+length is bounds-checked against ``max_payload_nbytes``
+(:class:`FrameOversized`) before any payload buffer exists, and a
+buffer or stream that ends early raises :class:`FrameTruncated` —
+never a raw ``struct.error`` or ``MemoryError``.  :func:`read_frame`
+applies both checks while reading a frame off a byte stream (the
+socket transport's receive path).
 """
 
 from __future__ import annotations
@@ -31,15 +40,20 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass, field
+from typing import Callable
 
 __all__ = [
     "MAGIC",
     "WIRE_VERSION",
     "FRAME_OVERHEAD",
     "BLOB_CODEC_ID",
+    "MAX_PAYLOAD_NBYTES",
     "Frame",
     "FrameError",
     "FrameCorruptionError",
+    "FrameTruncated",
+    "FrameOversized",
+    "read_frame",
     "seal",
     "unseal",
 ]
@@ -55,6 +69,13 @@ FRAME_OVERHEAD = _HEADER.size  # 24 bytes
 # Codec id used by :func:`seal` for opaque byte envelopes (snapshots).
 BLOB_CODEC_ID = 7
 
+# Default cap on a declared payload length.  A garbage header can
+# claim up to 4 GiB; refusing anything above this bound *before*
+# allocating keeps one damaged stream from taking the server down.
+# 256 MiB comfortably covers every model and pickled setup bundle in
+# the repo while staying far below typical container memory limits.
+MAX_PAYLOAD_NBYTES = 256 * 1024 * 1024
+
 _U32_MAX = 2**32 - 1
 
 
@@ -64,6 +85,14 @@ class FrameError(ValueError):
 
 class FrameCorruptionError(FrameError):
     """The header parsed but the payload fails its CRC-32 check."""
+
+
+class FrameTruncated(FrameError):
+    """The buffer or stream ended before the declared frame did."""
+
+
+class FrameOversized(FrameError):
+    """The header declares a payload above the ``max_payload_nbytes`` cap."""
 
 
 @dataclass(frozen=True)
@@ -119,30 +148,35 @@ class Frame:
         return header + self.payload
 
     @classmethod
-    def from_bytes(cls, buf: bytes | bytearray | memoryview) -> "Frame":
+    def from_bytes(
+        cls,
+        buf: bytes | bytearray | memoryview,
+        max_payload_nbytes: int | None = None,
+    ) -> "Frame":
         """Parse and integrity-check one frame.
 
-        Raises :class:`FrameError` on a malformed buffer (short, bad
-        magic, unknown version, length mismatch) and
+        Raises :class:`FrameTruncated` on a buffer that ends before the
+        declared frame does, :class:`FrameOversized` when the declared
+        payload length exceeds ``max_payload_nbytes`` (checked before
+        the payload is sliced), plain :class:`FrameError` on any other
+        malformation (bad magic, unknown version, trailing bytes), and
         :class:`FrameCorruptionError` when the payload CRC does not
         match the header — the signature of in-flight bit corruption.
         """
         buf = bytes(buf)
         if len(buf) < FRAME_OVERHEAD:
-            raise FrameError(
+            raise FrameTruncated(
                 f"buffer of {len(buf)} bytes is shorter than a frame header"
             )
-        magic, version, codec_id, flags, reserved, dim, model_version, length, crc = (
-            _HEADER.unpack_from(buf)
+        codec_id, flags, version, dim, model_version, length, crc = _parse_header(
+            buf[:FRAME_OVERHEAD], max_payload_nbytes
         )
-        if magic != MAGIC:
-            raise FrameError(f"bad magic {magic!r} (want {MAGIC!r})")
-        if not 1 <= version <= WIRE_VERSION:
-            raise FrameError(f"unsupported wire version {version}")
-        if reserved != 0:
-            raise FrameError(f"reserved header byte is {reserved}, not zero")
         payload = buf[FRAME_OVERHEAD:]
-        if len(payload) != length:
+        if len(payload) < length:
+            raise FrameTruncated(
+                f"payload length field says {length} bytes, buffer has {len(payload)}"
+            )
+        if len(payload) > length:
             raise FrameError(
                 f"payload length field says {length} bytes, buffer has {len(payload)}"
             )
@@ -158,6 +192,76 @@ class Frame:
             payload=payload,
             version=version,
         )
+
+
+def _parse_header(
+    header: bytes, max_payload_nbytes: int | None
+) -> tuple[int, int, int, int, int, int, int]:
+    """Validate a 24-byte header; returns the decoded fields.
+
+    The declared payload length is checked against the cap *here*, so
+    both buffer and stream decoders refuse an oversized frame before a
+    payload buffer is ever allocated.
+    """
+    magic, version, codec_id, flags, reserved, dim, model_version, length, crc = (
+        _HEADER.unpack(header)
+    )
+    if magic != MAGIC:
+        raise FrameError(f"bad magic {magic!r} (want {MAGIC!r})")
+    if not 1 <= version <= WIRE_VERSION:
+        raise FrameError(f"unsupported wire version {version}")
+    if reserved != 0:
+        raise FrameError(f"reserved header byte is {reserved}, not zero")
+    if max_payload_nbytes is not None and length > max_payload_nbytes:
+        raise FrameOversized(
+            f"declared payload of {length} bytes exceeds the "
+            f"{max_payload_nbytes}-byte cap"
+        )
+    return codec_id, flags, version, dim, model_version, length, crc
+
+
+def read_frame(
+    read: Callable[[int], bytes],
+    max_payload_nbytes: int | None = MAX_PAYLOAD_NBYTES,
+) -> Frame:
+    """Read exactly one frame off a byte stream.
+
+    ``read(n)`` must return *up to* ``n`` bytes (a socket ``recv`` or
+    file ``read``); an empty return means end of stream.  The header is
+    read and validated — including the ``max_payload_nbytes`` bound —
+    before the payload buffer is requested, so a garbage length field
+    can never trigger a giant allocation.  A stream that ends mid-frame
+    raises :class:`FrameTruncated`; CRC failures raise
+    :class:`FrameCorruptionError` exactly as :meth:`Frame.from_bytes`.
+    """
+    header = _read_exactly(read, FRAME_OVERHEAD, "frame header")
+    codec_id, flags, version, dim, model_version, length, crc = _parse_header(
+        header, max_payload_nbytes
+    )
+    payload = _read_exactly(read, length, "frame payload") if length else b""
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise FrameCorruptionError(f"payload CRC mismatch (header {crc:#010x})")
+    return Frame(
+        codec_id=codec_id,
+        flags=flags,
+        dim=dim,
+        model_version=model_version,
+        payload=payload,
+        version=version,
+    )
+
+
+def _read_exactly(read: Callable[[int], bytes], n: int, what: str) -> bytes:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = read(remaining)
+        if not chunk:
+            got = n - remaining
+            raise FrameTruncated(f"stream ended after {got}/{n} bytes of {what}")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
 
 
 def seal(data: bytes, model_version: int = 0) -> bytes:

@@ -1,0 +1,12 @@
+"""R8 fixture: moving bytes the sanctioned way — via the transport API."""
+
+from repro.transport import SocketTransport, spawn_worker
+
+__all__ = ["open_a_federation"]
+
+
+def open_a_federation(address: str, setup):
+    """Spawn one worker against a transport; no raw primitives touched."""
+    transport = SocketTransport(address, num_workers=1, num_clients=1, setup=setup)
+    proc = spawn_worker(transport.address, 0)
+    return transport, proc

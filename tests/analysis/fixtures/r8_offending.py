@@ -1,0 +1,18 @@
+"""R8 fixture: raw transport primitives imported outside the layer."""
+
+import socket
+import subprocess
+
+from repro.fl.config import FederationConfig
+
+__all__ = ["leak_a_socket"]
+
+
+def leak_a_socket(config: FederationConfig):
+    """Open a raw socket and a child process, bypassing the transport."""
+    import multiprocessing
+
+    sock = socket.socket()
+    proc = subprocess.Popen(["true"])
+    pool = multiprocessing.Pool(1)
+    return sock, proc, pool

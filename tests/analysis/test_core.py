@@ -120,8 +120,8 @@ class TestBaseline:
 class TestRegistry:
     def test_all_families_registered(self):
         families = {rule_id[:2] for rule_id in RULE_REGISTRY}
-        assert families == {"R1", "R2", "R3", "R4", "R5", "R6", "R7"}
-        assert len(RULE_REGISTRY) == 21
+        assert families == {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}
+        assert len(RULE_REGISTRY) == 22
 
     def test_select_by_family_and_id(self):
         assert {r.id for r in iter_rules(["R2"])} == {"R201", "R202", "R203"}

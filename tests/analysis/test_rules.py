@@ -267,3 +267,42 @@ class TestR7Population:
             population_restricted_modules=frozenset({"fix.myengine"}),
         )
         assert rule_ids(result) == ["R701", "R702", "R702"]
+
+
+class TestR8Transport:
+    def test_offending(self):
+        result = lint_fixture(
+            [("r8_offending.py", "repro.fl.sync_engine")], select=["R8"]
+        )
+        assert rule_ids(result) == ["R801", "R801", "R801"]
+        blob = " | ".join(v.message for v in result.violations)
+        assert "socket" in blob
+        assert "subprocess" in blob
+        assert "multiprocessing" in blob
+
+    def test_clean(self):
+        result = lint_fixture(
+            [("r8_clean.py", "repro.experiments.socket_run")], select=["R8"]
+        )
+        assert rule_ids(result) == []
+
+    def test_transport_layer_is_exempt(self):
+        result = lint_fixture(
+            [("r8_offending.py", "repro.transport.sockets")], select=["R8"]
+        )
+        assert rule_ids(result) == []
+
+    def test_out_of_package_code_is_exempt(self):
+        # The rule guards the shipped package, not tests or scripts.
+        result = lint_fixture(
+            [("r8_offending.py", "scripts.bench_hotpath")], select=["R8"]
+        )
+        assert rule_ids(result) == []
+
+    def test_banned_set_is_configurable(self):
+        result = lint_fixture(
+            [("r8_offending.py", "repro.fl.sync_engine")],
+            select=["R8"],
+            raw_transport_modules=frozenset({"socket"}),
+        )
+        assert rule_ids(result) == ["R801"]

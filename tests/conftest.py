@@ -8,12 +8,45 @@ experiments use.
 
 from __future__ import annotations
 
+import signal
+
 import numpy as np
 import pytest
 
 from repro.data.dataset import Dataset
 from repro.data.synthetic import make_image_classification
 from repro.nn.models import build_mlp
+
+# Default hard deadline for @pytest.mark.transport tests.  These spawn
+# real worker processes and block on real sockets, so a deadlock or a
+# lost wakeup would otherwise hang CI forever; SIGALRM cuts the test
+# with a stack trace instead.  Override per test with
+# ``@pytest.mark.transport(timeout=N)``.
+TRANSPORT_TEST_TIMEOUT_S = 120
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Enforce a wall-clock deadline on transport-marked tests."""
+    marker = item.get_closest_marker("transport")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    timeout = int(marker.kwargs.get("timeout", TRANSPORT_TEST_TIMEOUT_S))
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"transport test exceeded its {timeout}s hard deadline "
+            "(deadlock or lost wakeup in the socket protocol?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(timeout)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -1,0 +1,141 @@
+"""ChaosConfig validation and proxy mechanics on a plain echo stream."""
+
+import socket as socket_mod
+import threading
+
+import pytest
+
+from repro.transport import ChaosConfig, ChaosProxy
+from repro.transport.sockets import open_listener
+
+
+class TestChaosConfig:
+    def test_inactive_by_default(self):
+        assert not ChaosConfig().active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"corrupt_prob": 0.1},
+            {"delay_s": 0.01},
+            {"reset_prob": 0.5},
+            {"reset_after_bytes": 1024},
+            {"half_open": "uplink"},
+        ],
+    )
+    def test_any_fault_activates(self, kwargs):
+        assert ChaosConfig(**kwargs).active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"corrupt_prob": -0.1},
+            {"corrupt_prob": 1.5},
+            {"reset_prob": 2.0},
+            {"delay_s": -1.0},
+            {"reset_after_bytes": 0},
+            {"half_open": "sideways"},
+        ],
+    )
+    def test_bad_values_refused(self, kwargs):
+        with pytest.raises(ValueError):
+            ChaosConfig(**kwargs)
+
+
+@pytest.fixture
+def echo_server():
+    """A tiny upstream that echoes whatever it receives."""
+    listener, address = open_listener("127.0.0.1:0")
+    stop = threading.Event()
+
+    def serve():
+        listener.settimeout(0.2)
+        conns = []
+        while not stop.is_set():
+            try:
+                conn, _ = listener.accept()
+            except socket_mod.timeout:
+                continue
+            conn.settimeout(0.2)
+            conns.append(conn)
+            threading.Thread(target=echo, args=(conn,), daemon=True).start()
+        for conn in conns:
+            conn.close()
+
+    def echo(conn):
+        while not stop.is_set():
+            try:
+                data = conn.recv(4096)
+            except (socket_mod.timeout, OSError):
+                continue
+            if not data:
+                return
+            try:
+                conn.sendall(data)
+            except OSError:
+                return
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    yield address
+    stop.set()
+    thread.join(2.0)
+    listener.close()
+
+
+class TestChaosProxy:
+    def test_clean_passthrough(self, echo_server):
+        with ChaosProxy(echo_server, ChaosConfig()) as proxy:
+            sock = socket_mod.create_connection(
+                tuple_of(proxy.address), timeout=5.0
+            )
+            sock.sendall(b"federated")
+            assert _recv_exactly(sock, 9) == b"federated"
+            sock.close()
+        assert proxy.stats["corrupted"] == 0
+        assert proxy.stats["resets"] == 0
+
+    def test_corruption_flips_bits_and_counts(self, echo_server):
+        config = ChaosConfig(seed=3, corrupt_prob=1.0)
+        with ChaosProxy(echo_server, config) as proxy:
+            sock = socket_mod.create_connection(
+                tuple_of(proxy.address), timeout=5.0
+            )
+            payload = b"\x00" * 64
+            sock.sendall(payload)
+            echoed = _recv_exactly(sock, 64)
+            sock.close()
+        # Both pump directions corrupt independently; at probability
+        # one the payload cannot come back intact.
+        assert echoed != payload
+        assert proxy.stats["corrupted"] >= 1
+
+    def test_half_open_swallows_one_direction(self, echo_server):
+        config = ChaosConfig(half_open="uplink")
+        with ChaosProxy(echo_server, config) as proxy:
+            sock = socket_mod.create_connection(
+                tuple_of(proxy.address), timeout=5.0
+            )
+            sock.settimeout(0.3)
+            sock.sendall(b"lost to the void")
+            with pytest.raises(socket_mod.timeout):
+                sock.recv(16)
+            sock.close()
+        assert proxy.stats["swallowed_chunks"] >= 1
+
+
+def tuple_of(address: str) -> tuple[str, int]:
+    host, port = address.rsplit(":", 1)
+    return host, int(port)
+
+
+def _recv_exactly(sock, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -1,0 +1,178 @@
+"""Multi-process federation: equivalence, chaos survival, crash quorum.
+
+Every test here spawns real worker processes and moves every payload
+over real loopback sockets; the ``transport`` marker puts a hard
+SIGALRM deadline on each test so a protocol deadlock can never hang
+CI.  The headline assertions:
+
+* **equivalence** — a 10-client run over sockets with no chaos is
+  *byte-identical* to the in-memory run of the same spec (the
+  acceptance bar for the whole transport layer);
+* **chaos closure** — under injected corruption/resets every observed
+  drop maps to the existing fault taxonomy and the run still
+  completes;
+* **graceful degradation** — kill -9 of workers mid-round produces
+  terminal ``crash`` drops, an ``offline`` cohort next round, a
+  ``quorum_missed`` aggregation, and a completed run.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.presets import FAST
+from repro.experiments.runner import FederationSpec, run_async, run_sync
+from repro.experiments.socket_run import socket_session
+from repro.fl.baselines import FedAsync, FedAvg
+from repro.sim import EventTrace, RingBufferSink
+from repro.sim.trace import (
+    AGGREGATED,
+    COUNTED_DROP_REASONS,
+    DROPPED,
+    REJECTED_DROP_REASONS,
+    SELECTED,
+)
+from repro.transport import ChaosConfig
+
+pytestmark = pytest.mark.transport
+
+KNOWN_DROP_REASONS = (
+    frozenset(COUNTED_DROP_REASONS) | frozenset(REJECTED_DROP_REASONS) | {"offline"}
+)
+
+
+def _spec(seed: int = 0, num_rounds: int = 3) -> FederationSpec:
+    scale = dataclasses.replace(FAST, num_rounds=num_rounds)
+    return FederationSpec(
+        dataset="mnist", model="mnist_cnn", distribution="iid",
+        scale=scale, seed=seed,
+    )
+
+
+def _drops(ring: RingBufferSink) -> list:
+    return [e for e in ring.events() if e.type == DROPPED]
+
+
+class TestEquivalence:
+    def test_sync_run_is_byte_identical_to_in_memory(self):
+        spec = _spec(seed=0)
+        mem = run_sync(spec, FedAvg(participation_rate=1.0))
+        with socket_session(
+            spec, FedAvg(participation_rate=1.0), num_workers=4
+        ) as session:
+            sock = session.run()
+        assert sock.records == mem.records
+
+    @pytest.mark.transport(timeout=240)
+    def test_async_run_is_byte_identical_to_in_memory(self):
+        spec = _spec(seed=1)
+        mem = run_async(spec, FedAsync(), max_updates=20)
+        with socket_session(
+            spec, FedAsync(), mode="async", num_workers=3, max_updates=20
+        ) as session:
+            sock = session.run()
+        assert sock.records == mem.records
+
+
+class TestChaosClosure:
+    def test_corruption_maps_to_taxonomy_and_run_completes(self):
+        spec = _spec(seed=2)
+        ring = RingBufferSink()
+        trace = EventTrace([ring])
+        chaos = ChaosConfig(seed=7, corrupt_prob=0.05)
+        with socket_session(
+            spec, FedAvg(participation_rate=1.0), num_workers=3,
+            chaos=chaos, trace=trace,
+        ) as session:
+            result = session.run()
+            proxy = session.proxy
+        assert len(result.records) == spec.scale.num_rounds
+        assert proxy.stats["corrupted"] >= 1
+        drops = _drops(ring)
+        assert {e.data["reason"] for e in drops} <= KNOWN_DROP_REASONS
+        corrupt = [e for e in drops if e.data["reason"] == "corrupt_frame"]
+        assert corrupt, "corruption never reached a CRC check"
+        for event in corrupt:
+            assert event.data["cause"] == "transport"
+            assert event.data["attempt"] >= 1
+
+    def test_resets_force_reconnects_but_the_run_survives(self):
+        spec = _spec(seed=3)
+        ring = RingBufferSink()
+        trace = EventTrace([ring])
+        chaos = ChaosConfig(seed=11, reset_prob=0.002)
+        with socket_session(
+            spec, FedAvg(participation_rate=1.0), num_workers=3,
+            chaos=chaos, trace=trace,
+        ) as session:
+            result = session.run()
+            proxy = session.proxy
+        assert len(result.records) == spec.scale.num_rounds
+        assert {e.data["reason"] for e in _drops(ring)} <= KNOWN_DROP_REASONS
+
+
+class _KillAtSelected:
+    """Trace sink that SIGKILLs worker processes at a round's selection.
+
+    Killing from inside the event stream lands between selection and
+    the training RPCs — the mid-round window where the engine must
+    discover the death via the retry path, not the round-start
+    heartbeat.
+    """
+
+    def __init__(self, round_index: int, procs_to_kill):
+        self.round_index = round_index
+        self.procs = procs_to_kill
+        self.fired = False
+
+    def emit(self, event) -> None:
+        if self.fired or event.type != SELECTED:
+            return
+        if event.data.get("round") != self.round_index:
+            return
+        self.fired = True
+        for proc in self.procs:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    def close(self) -> None:
+        pass
+
+
+class TestCrashDegradation:
+    @pytest.mark.transport(timeout=240)
+    def test_kill_nine_mid_round_degrades_to_quorum(self):
+        spec = _spec(seed=4)
+        ring = RingBufferSink()
+        killer = _KillAtSelected(round_index=1, procs_to_kill=[])
+        trace = EventTrace([killer, ring])
+        with socket_session(
+            spec, FedAvg(participation_rate=1.0), num_workers=3,
+            quorum_frac=0.8, trace=trace,
+        ) as session:
+            # Kill 2 of 3 workers: two thirds of the selected cohort
+            # dies mid-round, so the 0.8 quorum cannot be met.
+            killer.procs = session.procs[:2]
+            result = session.run()
+        assert killer.fired
+        assert len(result.records) == spec.scale.num_rounds
+
+        drops = _drops(ring)
+        reasons = {e.data["reason"] for e in drops}
+        assert reasons <= KNOWN_DROP_REASONS
+        crashes = [e for e in drops if e.data["reason"] == "crash"]
+        assert crashes, "worker death never surfaced as a crash drop"
+        for event in crashes:
+            assert event.data["cause"] == "transport"
+            assert event.data["terminal"] is True
+        # The dead workers' clients are reported offline at the next
+        # round's heartbeat instead of being selected into a stall.
+        offline = [e for e in drops if e.data["reason"] == "offline"]
+        assert offline
+
+        aggregated = [e for e in ring.events() if e.type == AGGREGATED]
+        missed = [e for e in aggregated if e.data.get("quorum_missed")]
+        assert missed, "losing 2/3 workers must miss an 0.8 quorum"
+        # Rounds that met quorum carry no quorum key at all.
+        met = [e for e in aggregated if "quorum_missed" not in e.data]
+        assert met, "the pre-kill round should aggregate normally"

@@ -1,0 +1,115 @@
+"""Socket plumbing: addresses, framed send/recv, deadlines, caps.
+
+These use real loopback sockets but no worker processes, so they run
+in milliseconds and need no ``transport`` marker.
+"""
+
+import socket as socket_mod
+import threading
+
+import pytest
+
+from repro.transport import TransportTimeout
+from repro.transport.sockets import (
+    dial,
+    open_listener,
+    parse_address,
+    recv_message,
+    send_message,
+)
+from repro.wire import FrameOversized
+
+
+class TestParseAddress:
+    def test_tcp(self):
+        family, target = parse_address("10.0.0.2:9000")
+        assert family == socket_mod.AF_INET
+        assert target == ("10.0.0.2", 9000)
+
+    def test_tcp_defaults_to_loopback_host(self):
+        _, target = parse_address(":9000")
+        assert target == ("127.0.0.1", 9000)
+
+    def test_unix(self):
+        family, target = parse_address("unix:/tmp/fed.sock")
+        assert family == socket_mod.AF_UNIX
+        assert target == "/tmp/fed.sock"
+
+    def test_garbage_refused(self):
+        with pytest.raises(ValueError):
+            parse_address("no-port-here")
+
+
+@pytest.fixture
+def loopback_pair():
+    """A connected (client, server) socket pair over real loopback TCP."""
+    listener, address = open_listener("127.0.0.1:0")
+    accepted = {}
+
+    def accept():
+        accepted["sock"], _ = listener.accept()
+
+    thread = threading.Thread(target=accept)
+    thread.start()
+    client = dial(address, 5.0)
+    thread.join(5.0)
+    server = accepted["sock"]
+    yield client, server
+    for sock in (client, server, listener):
+        sock.close()
+
+
+class TestFramedStream:
+    def test_port_zero_resolves(self):
+        listener, address = open_listener("127.0.0.1:0")
+        try:
+            host, port = address.rsplit(":", 1)
+            assert host == "127.0.0.1"
+            assert int(port) > 0
+        finally:
+            listener.close()
+
+    def test_message_roundtrip(self, loopback_pair):
+        client, server = loopback_pair
+        msg = {"op": "train", "serial": 3, "params": b"\x00" * 1000}
+        send_message(client, msg)
+        assert recv_message(server, 5.0, 1 << 20) == msg
+
+    def test_messages_keep_their_boundaries(self, loopback_pair):
+        # Length-prefixed frames on one stream: no coalescing, no tearing.
+        client, server = loopback_pair
+        for serial in range(5):
+            send_message(client, {"serial": serial})
+        for serial in range(5):
+            assert recv_message(server, 5.0, 1 << 20) == {"serial": serial}
+
+    def test_recv_deadline(self, loopback_pair):
+        _, server = loopback_pair
+        with pytest.raises(TransportTimeout):
+            recv_message(server, 0.05, 1 << 20)
+
+    def test_payload_cap_refused_before_allocation(self, loopback_pair):
+        client, server = loopback_pair
+        send_message(client, {"blob": b"\x00" * 4096})
+        with pytest.raises(FrameOversized):
+            recv_message(server, 5.0, 1024)
+
+    def test_send_lock_serialises_writers(self, loopback_pair):
+        # Heartbeat thread and reply path share one socket; under the
+        # lock, concurrent writers never interleave frame bytes.
+        client, server = loopback_pair
+        lock = threading.Lock()
+        threads = [
+            threading.Thread(
+                target=send_message, args=(client, {"serial": i}, lock)
+            )
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5.0)
+        serials = sorted(
+            recv_message(server, 5.0, 1 << 20)["serial"] for _ in range(8)
+        )
+        assert serials == list(range(8))

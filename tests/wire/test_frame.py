@@ -101,3 +101,94 @@ class TestSealedEnvelope:
         buf[-1] ^= 0x10
         with pytest.raises(FrameCorruptionError):
             unseal(bytes(buf))
+
+
+class TestStreamReader:
+    """read_frame: one frame off a byte stream, bounded before allocation."""
+
+    def test_roundtrip_from_stream(self):
+        import io
+
+        from repro.wire import read_frame
+
+        frame = _frame()
+        stream = io.BytesIO(frame.to_bytes())
+        back = read_frame(stream.read)
+        assert back == frame
+        assert stream.read() == b""  # nothing consumed past the frame
+
+    def test_chunked_reads_reassemble(self):
+        # read(n) may return fewer bytes than asked (socket recv
+        # semantics); one byte at a time must still reassemble.
+        from repro.wire import read_frame
+
+        buf = _frame().to_bytes()
+        pos = [0]
+
+        def dribble(n):
+            if pos[0] >= len(buf):
+                return b""
+            chunk = buf[pos[0] : pos[0] + 1]
+            pos[0] += 1
+            return chunk
+
+        assert read_frame(dribble) == _frame()
+
+    def test_truncated_header_raises(self):
+        import io
+
+        from repro.wire import FrameTruncated, read_frame
+
+        stream = io.BytesIO(_frame().to_bytes()[: FRAME_OVERHEAD - 3])
+        with pytest.raises(FrameTruncated):
+            read_frame(stream.read)
+
+    def test_truncated_payload_raises(self):
+        import io
+
+        from repro.wire import FrameTruncated, read_frame
+
+        buf = _frame().to_bytes()
+        stream = io.BytesIO(buf[: len(buf) - 4])
+        with pytest.raises(FrameTruncated):
+            read_frame(stream.read)
+
+    def test_corrupt_payload_raises(self):
+        import io
+
+        from repro.wire import read_frame
+
+        buf = bytearray(_frame().to_bytes())
+        buf[-1] ^= 0x40
+        with pytest.raises(FrameCorruptionError):
+            read_frame(io.BytesIO(bytes(buf)).read)
+
+    def test_oversized_declared_length_refused_before_allocation(self):
+        import io
+
+        from repro.wire import FrameOversized, read_frame
+
+        buf = _frame(payload=b"x" * 64).to_bytes()
+        reads = []
+
+        def tracked_read(n, stream=io.BytesIO(buf)):
+            reads.append(n)
+            return stream.read(n)
+
+        with pytest.raises(FrameOversized):
+            read_frame(tracked_read, max_payload_nbytes=16)
+        # Only the header was ever requested; the payload read (and
+        # its allocation) never happened.
+        assert all(n <= FRAME_OVERHEAD for n in reads)
+
+    def test_from_bytes_honours_cap(self):
+        from repro.wire import FrameOversized
+
+        buf = _frame(payload=b"x" * 64).to_bytes()
+        with pytest.raises(FrameOversized):
+            Frame.from_bytes(buf, max_payload_nbytes=16)
+
+    def test_default_cap_is_export(self):
+        from repro.wire import MAX_PAYLOAD_NBYTES
+
+        assert MAX_PAYLOAD_NBYTES == 256 * 1024 * 1024
