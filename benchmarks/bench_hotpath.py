@@ -40,6 +40,11 @@ Sections
 ``lint``
     A full-repo reprolint pass (``repro lint``), asserted to stay
     under the 5-second single-core developer budget.
+``lint_flow``
+    The flow-sensitive rule families alone (R9 RNG taint, R10 dtype
+    propagation, R11 resource lifecycle): CFG construction plus the
+    dataflow fixpoints over the whole repo, asserted under 10 seconds
+    so the flow pass can ride the same pre-commit path.
 
 Run directly::
 
@@ -568,6 +573,43 @@ def bench_lint(iters: int) -> dict:
     return stats
 
 
+def bench_lint_flow(iters: int) -> dict:
+    """The flow-sensitive families (R9–R11) over the whole repo.
+
+    CFG building and the dataflow fixpoints dominate this section —
+    parse cost is shared with ``lint`` — and the 10-second budget is
+    the contract that keeps flow analysis cheap enough to run by
+    default in ``scripts/check_lint.py`` rather than as an opt-in.
+    """
+    from repro.analysis import (
+        default_lint_paths,
+        default_src_root,
+        run_lint,
+    )
+
+    paths = default_lint_paths()
+    src_root = default_src_root()
+
+    result_box = {}
+
+    def step() -> None:
+        result_box["result"] = run_lint(
+            paths, src_root, select=["R9", "R10", "R11"]
+        )
+
+    stats = _time_section(step, iters, warmup=1)
+    assert stats["min_s"] < 10.0, (
+        f"flow-family lint pass took {stats['min_s']:.2f}s; budget is 10s"
+    )
+    result = result_box["result"]
+    stats["meta"] = {
+        "files_checked": result.files_checked,
+        "rules_run": len(result.rules_run),
+        "violations": len(result.violations),
+    }
+    return stats
+
+
 def bench_transport(iters: int) -> dict:
     """Socket-transport overhead: the same 4-client sync run, TCP vs memory.
 
@@ -662,6 +704,7 @@ SECTIONS = {
     "batched_train": (bench_batched_train, 8),
     "population": (bench_population, 3),
     "lint": (bench_lint, 5),
+    "lint_flow": (bench_lint_flow, 5),
     "transport": (bench_transport, 3),
 }
 

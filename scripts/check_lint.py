@@ -1,9 +1,11 @@
 #!/usr/bin/env python
 """CI gate over reprolint, the repo's static invariant checker.
 
-Runs the full ``repro lint`` pass (every rule family, baseline
-applied) and exits with the linter's stable exit code, so CI can gate
-on static invariants the same way ``check_bench.py`` gates on perf:
+Runs the full ``repro lint`` pass — every rule family, the
+flow-sensitive R9–R11 (CFG + dataflow) included by default, baseline
+applied — and exits with the linter's stable exit code, so CI can
+gate on static invariants the same way ``check_bench.py`` gates on
+perf:
 
 * ``0`` — clean: no violations, no stale baseline entries;
 * ``1`` — violations, or baseline entries that no longer match any

@@ -14,10 +14,17 @@ guarantees the runtime suites only verify after the fact:
 * **R4 hot-path hygiene** — explicit dtypes, no copy-inducing
   constructs, no array scatters in benchmark-pinned modules;
 * **R5 API surface** — ``__all__`` consistency, docstrings, and
-  annotation coverage on public callables.
+  annotation coverage on public callables;
+* **R9–R11 flow-sensitive families** — built on an intraprocedural
+  CFG (:mod:`repro.analysis.cfg`) and a monotone-fixpoint dataflow
+  solver (:mod:`repro.analysis.dataflow`): RNG-stream discipline
+  (R9), dtype/promotion hygiene on benchmark-pinned hot paths (R10),
+  and resource/exception lifecycle in transport and population code
+  (R11).
 
-Entry points: ``repro lint`` (CLI), ``scripts/check_lint.py`` (CI
-gate), :func:`repro.analysis.runner.run_lint` (library).  The package
+Entry points: ``repro lint`` (CLI, with ``--diff <ref>`` incremental
+mode and ``--format sarif``), ``scripts/check_lint.py`` (CI gate),
+:func:`repro.analysis.runner.run_lint` (library).  The package
 depends only on the standard library — it never imports the code it
 analyses.
 """
@@ -39,8 +46,14 @@ from repro.analysis.core import (
     parse_pragmas,
     rule_catalogue,
 )
+from repro.analysis.incremental import lint_diff
 from repro.analysis.project import LintError, Project, SourceFile
-from repro.analysis.report import render_catalogue, render_json, render_text
+from repro.analysis.report import (
+    render_catalogue,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.analysis.runner import exit_code, lint_project, run_lint
 
 __all__ = [
@@ -59,11 +72,13 @@ __all__ = [
     "default_src_root",
     "exit_code",
     "iter_rules",
+    "lint_diff",
     "lint_project",
     "load_baseline",
     "parse_pragmas",
     "render_catalogue",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_catalogue",
     "run_lint",

@@ -184,6 +184,33 @@ class LintConfig:
     raw_transport_modules: frozenset[str] = frozenset(
         {"socket", "subprocess", "multiprocessing", "asyncio"}
     )
+    # R9 (flow): methods whose return value is a seeded RNG stream.
+    # The kernel module itself is exempt — it *owns* the per-key
+    # generator cache, so storing/returning streams there is the point.
+    stream_methods: frozenset[str] = frozenset({"stream", "client_rng"})
+    stream_factory_modules: frozenset[str] = frozenset({"repro.sim.kernel"})
+    # R11 (flow): where the resource-lifecycle rules run, and what
+    # counts as acquiring/releasing a leakable resource.  Acquirers
+    # match on the trailing dotted name of the call (``sockets.dial``
+    # matches ``dial``); tuple acquirers bind the resource to the
+    # first element of a tuple-unpack target (``sock, _ = accept()``).
+    lifecycle_module_prefixes: tuple[str, ...] = (
+        "repro.transport",
+        "repro.fl.population",
+    )
+    resource_acquirers: frozenset[str] = frozenset(
+        {"socket.socket", "open", "dial", "os.fdopen"}
+    )
+    resource_tuple_acquirers: frozenset[str] = frozenset(
+        {"accept", "open_listener", "socketpair"}
+    )
+    resource_release_methods: frozenset[str] = frozenset({"close"})
+    resource_release_funcs: frozenset[str] = frozenset(
+        {"close_quietly", "_close_quietly"}
+    )
+    # R1103: destructive one-way takes from shared containers that
+    # must be committed (re-stored) before any raise can escape.
+    destructive_take_methods: frozenset[str] = frozenset({"discard"})
 
     def module_rng_allowed(self, module: str) -> bool:
         """Whether R1 is switched off for ``module``."""

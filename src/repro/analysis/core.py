@@ -94,8 +94,13 @@ class Rule:
 
     @property
     def family(self) -> str:
-        """The family prefix, e.g. ``R1`` for ``R101``."""
-        return self.id[:2]
+        """The family prefix, e.g. ``R1`` for ``R101``, ``R11`` for ``R1103``.
+
+        Ids are ``R<family><index>`` with a two-digit index, so the
+        family is everything but the last two characters — this keeps
+        multi-digit families (``R10``, ``R11``) grouping correctly.
+        """
+        return self.id[:-2]
 
     def check_file(self, source: "SourceFile", project: "Project") -> Iterable[Violation]:
         """Yield violations found in one file (file rules only)."""
@@ -189,7 +194,7 @@ def is_allowed(pragmas: dict[int, frozenset[str]], line: int, rule_id: str) -> b
     ids = pragmas.get(line)
     if not ids:
         return False
-    return "*" in ids or rule_id in ids or rule_id[:2] in ids
+    return "*" in ids or rule_id in ids or rule_id[:-2] in ids
 
 
 @dataclass

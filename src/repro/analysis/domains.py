@@ -1,0 +1,305 @@
+"""Abstract value domains — numpy dtypes for the R10 rule family.
+
+A tiny non-relational domain: each variable maps to one abstract
+dtype.  Array-valued expressions carry ``f32``/``f64``/``int``/
+``bool``/``obj``; python scalars carry the *weak* kinds ``pyfloat``/
+``pyint``/``pybool`` (NEP 50: a python scalar adopts the array's
+dtype instead of promoting it).  ``None`` means unknown — the domain
+only reports on pairs it actually knows, so unknowns silence rather
+than spam.
+
+:func:`promote` mirrors the numpy promotion table closely enough for
+lint purposes and additionally *classifies* the promotions the hot
+path must not contain: a float32 operand silently widening to float64
+(``PROMOTES``) and an int-array/float-array mix forcing an upcast
+copy of the int side (``MIXED``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "F32",
+    "F64",
+    "INT",
+    "BOOL",
+    "OBJ",
+    "PYFLOAT",
+    "PYINT",
+    "PYBOOL",
+    "ARRAY_KINDS",
+    "WEAK_KINDS",
+    "MIXED",
+    "PROMOTES",
+    "infer_dtype",
+    "join_dtype",
+    "parse_dtype_expr",
+    "promote",
+]
+
+F32 = "float32"
+F64 = "float64"
+INT = "int"
+BOOL = "bool"
+OBJ = "object"
+PYFLOAT = "pyfloat"
+PYINT = "pyint"
+PYBOOL = "pybool"
+
+ARRAY_KINDS = frozenset({F32, F64, INT, BOOL, OBJ})
+WEAK_KINDS = frozenset({PYFLOAT, PYINT, PYBOOL})
+
+# Promotion classifications returned alongside the result dtype.
+PROMOTES = "float32→float64"
+MIXED = "int/float mix"
+
+_DTYPE_NAMES = {
+    "float32": F32,
+    "single": F32,
+    "f4": F32,
+    "float64": F64,
+    "double": F64,
+    "f8": F64,
+    "float": F64,  # np.float_ / dtype("float") are 64-bit
+    "float_": F64,
+    "int8": INT,
+    "int16": INT,
+    "int32": INT,
+    "int64": INT,
+    "int": INT,
+    "intp": INT,
+    "uint8": INT,
+    "uint16": INT,
+    "uint32": INT,
+    "uint64": INT,
+    "bool": BOOL,
+    "bool_": BOOL,
+    "object": OBJ,
+    "object_": OBJ,
+    "O": OBJ,
+}
+
+# Calls returning an array of the same dtype as their first argument
+# (for float inputs; int inputs mostly give float64, which we treat
+# as unknown rather than model precisely).
+_FLOAT_PRESERVING_CALLS = frozenset(
+    {
+        "abs",
+        "absolute",
+        "add",
+        "ascontiguousarray",
+        "clip",
+        "concatenate",
+        "copy",
+        "cumsum",
+        "diff",
+        "dot",
+        "exp",
+        "flatten",
+        "log",
+        "matmul",
+        "maximum",
+        "minimum",
+        "multiply",
+        "negative",
+        "ravel",
+        "reshape",
+        "sign",
+        "sqrt",
+        "square",
+        "stack",
+        "subtract",
+        "sum",
+        "tanh",
+        "transpose",
+        "where",
+    }
+)
+
+
+def parse_dtype_expr(node: ast.expr | None) -> str | None:
+    """The abstract dtype a ``dtype=`` argument denotes, if decidable.
+
+    Handles ``np.float32``, string literals, ``np.dtype("f4")``,
+    builtin ``float``/``int``/``bool``/``object`` names.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return _DTYPE_NAMES.get(node.value)
+    if isinstance(node, ast.Attribute):
+        return _DTYPE_NAMES.get(node.attr)
+    if isinstance(node, ast.Name):
+        return _DTYPE_NAMES.get(node.id)
+    if isinstance(node, ast.Call):  # np.dtype("float32")
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        if name == "dtype" and node.args:
+            return parse_dtype_expr(node.args[0])
+    return None
+
+
+def join_dtype(a: str | None, b: str | None) -> str | None:
+    """Lattice join: agreeing dtypes survive, anything else is unknown."""
+    return a if a == b else None
+
+
+def promote(a: str | None, b: str | None) -> tuple[str | None, str | None]:
+    """(result dtype, flag) of a binary op between ``a`` and ``b``.
+
+    The flag is :data:`PROMOTES` for a silent float32→float64 widening,
+    :data:`MIXED` for an int-array × float-array upcast copy, else
+    ``None``.  Unknown operands yield unknown and never flag.
+    """
+    if a is None or b is None:
+        return None, None
+    if OBJ in (a, b):
+        return OBJ, None
+    if a == b:
+        return a, None
+    weak_a, weak_b = a in WEAK_KINDS, b in WEAK_KINDS
+    if weak_a and weak_b:
+        order = {PYBOOL: 0, PYINT: 1, PYFLOAT: 2}
+        return (a if order[a] >= order[b] else b), None
+    if weak_a or weak_b:
+        array, weak = (b, a) if weak_a else (a, b)
+        # NEP 50 weak promotion: the array dtype wins, except a python
+        # float touching an int/bool array which becomes float64.
+        if weak == PYFLOAT and array in (INT, BOOL):
+            return F64, None
+        return array, None
+    # Both array kinds, different.
+    if {a, b} == {F32, F64}:
+        return F64, PROMOTES
+    if BOOL in (a, b):
+        return (a if b == BOOL else b), None
+    if INT in (a, b):
+        other = a if b == INT else b
+        # int64 × float32 promotes all the way to float64.
+        result = F64 if other in (F32, F64) else other
+        return result, MIXED
+    return None, None
+
+
+def _call_name(func: ast.expr) -> str:
+    """Trailing identifier of a call target (``np.sum`` → ``sum``)."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _dtype_kwarg(call: ast.Call) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == "dtype":
+            return kw.value
+    return None
+
+
+def infer_dtype(expr: ast.expr, env: dict[str, str]) -> str | None:
+    """Abstract dtype of ``expr`` under variable environment ``env``.
+
+    ``env`` maps local names — and ``"self.X"`` pseudo-names for
+    instance attributes — to abstract dtypes.  Anything the domain
+    cannot decide is ``None`` (unknown), never a guess.
+    """
+    if isinstance(expr, ast.Constant):
+        if isinstance(expr.value, bool):
+            return PYBOOL
+        if isinstance(expr.value, int):
+            return PYINT
+        if isinstance(expr.value, float):
+            return PYFLOAT
+        return None
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id)
+    if isinstance(expr, ast.Attribute):
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            return env.get(f"self.{expr.attr}")
+        if expr.attr == "T":
+            return infer_dtype(expr.value, env)
+        return None
+    if isinstance(expr, ast.Subscript):
+        # Indexing/slicing an array yields the same dtype.
+        return infer_dtype(expr.value, env)
+    if isinstance(expr, ast.UnaryOp):
+        return infer_dtype(expr.operand, env)
+    if isinstance(expr, ast.BinOp):
+        left = infer_dtype(expr.left, env)
+        right = infer_dtype(expr.right, env)
+        result, _flag = promote(left, right)
+        return result
+    if isinstance(expr, ast.IfExp):
+        return join_dtype(
+            infer_dtype(expr.body, env), infer_dtype(expr.orelse, env)
+        )
+    if isinstance(expr, ast.Compare):
+        operand = infer_dtype(expr.left, env)
+        return BOOL if operand in ARRAY_KINDS else PYBOOL
+    if isinstance(expr, ast.Call):
+        return _infer_call(expr, env)
+    return None
+
+
+def _infer_call(call: ast.Call, env: dict[str, str]) -> str | None:
+    name = _call_name(call.func)
+    explicit = parse_dtype_expr(_dtype_kwarg(call))
+    if explicit is not None:
+        return explicit
+    if name == "astype" and isinstance(call.func, ast.Attribute) and call.args:
+        return parse_dtype_expr(call.args[0])
+    if name in ("float32", "single"):
+        return F32
+    if name in ("float64", "double"):
+        return F64
+    if name == "float":
+        return PYFLOAT
+    if name in ("int", "len"):
+        return PYINT
+    if name == "bool":
+        return PYBOOL
+    if name in ("zeros", "ones", "empty", "full", "linspace"):
+        return F64  # numpy default when no dtype= was given
+    if name == "arange":
+        if call.args:
+            arg = infer_dtype(call.args[0], env)
+            if arg == PYINT:
+                return INT
+            if arg == PYFLOAT:
+                return F64
+        return None
+    if name in ("array", "asarray", "ascontiguousarray", "copy", "ravel",
+                "reshape", "flatten", "transpose", "squeeze", "view"):
+        base = (
+            call.func.value
+            if isinstance(call.func, ast.Attribute)
+            else (call.args[0] if call.args else None)
+        )
+        return infer_dtype(base, env) if base is not None else None
+    if name in ("zeros_like", "ones_like", "empty_like", "full_like"):
+        return infer_dtype(call.args[0], env) if call.args else None
+    if name in _FLOAT_PRESERVING_CALLS:
+        base = (
+            call.func.value
+            if isinstance(call.func, ast.Attribute) and not _looks_like_module(call.func.value)
+            else (call.args[0] if call.args else None)
+        )
+        if base is None:
+            return None
+        operand = infer_dtype(base, env)
+        if operand in (F32, F64):
+            if len(call.args) >= 2 and isinstance(call.func, ast.Attribute):
+                # np.dot(a, b) / np.maximum(a, b): promote both sides.
+                second = infer_dtype(call.args[1], env)
+                result, _ = promote(operand, second)
+                return result
+            return operand
+        return None
+    return None
+
+
+def _looks_like_module(node: ast.expr) -> bool:
+    """Heuristic: ``np.sum(x)`` — the attribute base is a module alias."""
+    return isinstance(node, ast.Name) and node.id in ("np", "numpy")

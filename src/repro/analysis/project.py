@@ -19,12 +19,15 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.analysis.config import LintConfig, default_config
 from repro.analysis.core import parse_pragmas
 
-__all__ = ["SourceFile", "ImportEdge", "Project", "LintError"]
+__all__ = ["SourceFile", "ImportEdge", "Project", "LintError", "SourceLoader"]
+
+# (path, module=..., rel=...) -> SourceFile; see Project.load(loader=...).
+SourceLoader = Callable[..., "SourceFile"]
 
 
 class LintError(Exception):
@@ -144,12 +147,16 @@ class Project:
         src_root: Path,
         repo_root: Path | None = None,
         config: LintConfig | None = None,
+        loader: "SourceLoader | None" = None,
     ) -> "Project":
         """Collect ``*.py`` under ``paths``; module names hang off ``src_root``.
 
         ``repo_root`` (default: parent of ``src_root``) anchors the
         repo-relative paths used in reports and baseline entries.
+        ``loader`` swaps the per-file parser — the incremental pass
+        injects a content-hash cache this way.
         """
+        load_one = loader if loader is not None else SourceFile.from_path
         src_root = src_root.resolve()
         repo_root = (repo_root or src_root.parent).resolve()
         seen: set[Path] = set()
@@ -170,7 +177,7 @@ class Project:
                     if src_root in path.parents
                     else path.stem
                 )
-                files.append(SourceFile.from_path(path, module=module, rel=rel))
+                files.append(load_one(path, module=module, rel=rel))
         return cls(files, repo_root=repo_root, config=config)
 
     def __len__(self) -> int:

@@ -12,7 +12,7 @@ import json
 
 from repro.analysis.core import LintResult, rule_catalogue
 
-__all__ = ["render_text", "render_json", "render_catalogue"]
+__all__ = ["render_text", "render_json", "render_sarif", "render_catalogue"]
 
 
 def render_text(result: LintResult, verbose: bool = False) -> str:
@@ -81,13 +81,70 @@ def render_json(result: LintResult) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 report (``repro lint --format sarif``).
+
+    Minimal but valid: the tool driver carries the full rule
+    catalogue, each result points at its rule by id and index, and
+    locations use repo-relative URIs — enough for code-scanning UIs
+    to ingest and deduplicate findings.
+    """
+    catalogue = rule_catalogue()
+    rule_index = {rule_id: i for i, (rule_id, _summary) in enumerate(catalogue)}
+    run = {
+        "tool": {
+            "driver": {
+                "name": "reprolint",
+                "informationUri": "https://example.invalid/reprolint",
+                "rules": [
+                    {
+                        "id": rule_id,
+                        "shortDescription": {"text": summary},
+                        "defaultConfiguration": {"level": "error"},
+                    }
+                    for rule_id, summary in catalogue
+                ],
+            }
+        },
+        "results": [
+            {
+                "ruleId": v.rule,
+                "ruleIndex": rule_index[v.rule],
+                "level": "error",
+                "message": {"text": v.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": v.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": v.line,
+                                "snippet": {"text": v.snippet},
+                            },
+                        }
+                    }
+                ],
+            }
+            for v in result.violations
+        ],
+    }
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [run],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
 def render_catalogue() -> str:
     """The rule catalogue (``repro lint --rules``)."""
     lines = ["reprolint rule catalogue", ""]
     family = None
     for rule_id, summary in rule_catalogue():
-        if rule_id[:2] != family:
-            family = rule_id[:2]
+        if rule_id[:-2] != family:
+            family = rule_id[:-2]
             lines.append(f"{family}xx:")
         lines.append(f"  {rule_id}  {summary}")
     return "\n".join(lines)

@@ -1,6 +1,6 @@
 """Rule families — importing this package populates the registry.
 
-Eight families ship with the repo:
+Eleven families ship with the repo:
 
 * :mod:`repro.analysis.rules.determinism` — R1xx: no legacy global
   RNG or wall-clock reads outside the kernel's seeded streams;
@@ -19,14 +19,30 @@ Eight families ship with the repo:
   construction or full-population sweeps in engines/strategies);
 * :mod:`repro.analysis.rules.transport` — R8xx: raw sockets and
   process spawning stay inside ``repro.transport``.
+
+The flow-sensitive families run on the CFG/dataflow engine
+(:mod:`repro.analysis.cfg`, :mod:`repro.analysis.dataflow`):
+
+* :mod:`repro.analysis.rules.rngflow` — R9xx: RNG-stream discipline
+  (no shared stream storage, no draws under a rebound key, one
+  consumer per stream);
+* :mod:`repro.analysis.rules.dtypeflow` — R10xx: dtype/promotion
+  hygiene on hot paths (no silent float32→float64, no dtype=object
+  escapes, no int×float ufunc copies);
+* :mod:`repro.analysis.rules.lifecycle` — R11xx: resources release
+  exactly once on every path, exception edges included, and
+  destructive takes from shared state commit before raising.
 """
 
 from repro.analysis.rules import (
     api,
     determinism,
+    dtypeflow,
     hotpath,
     layering,
+    lifecycle,
     population,
+    rngflow,
     taxonomy,
     transport,
     wirebytes,
@@ -35,9 +51,12 @@ from repro.analysis.rules import (
 __all__ = [
     "api",
     "determinism",
+    "dtypeflow",
     "hotpath",
     "layering",
+    "lifecycle",
     "population",
+    "rngflow",
     "taxonomy",
     "transport",
     "wirebytes",

@@ -1,0 +1,276 @@
+"""R10: dtype/promotion hygiene on benchmark-pinned hot paths.
+
+R4 bans the *syntactic* shapes that allocate (``np.zeros`` without a
+dtype, ``astype`` copies); R10 propagates abstract dtypes through
+assignments and arithmetic (:mod:`repro.analysis.domains`) and flags
+the *semantic* regressions the bench suite would only catch as a slow
+drift:
+
+* **R1001** — a float32 operand meets a float64 operand in arithmetic:
+  the result silently widens and doubles the hot buffer.
+* **R1002** — a ``dtype=object`` array reaches arithmetic, a return,
+  or a call argument: every element op becomes a Python-level dispatch.
+* **R1003** — an int array meets a float array in a ufunc: numpy
+  upcasts the int side into a fresh float64 copy on every call.
+
+In-place forms (``a += b``, ``a[idx] = b``) cast into the existing
+buffer without promotion and are deliberately not flagged.  Instance
+attributes assigned a decidable dtype anywhere in the class seed the
+environment as ``self.X`` pseudo-variables (conflicting assignments
+make them unknown).  Scope: :attr:`LintConfig.hotpath_modules` only —
+elsewhere clarity wins, same policy as R4.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import FileRule, Violation, register_rule
+from repro.analysis.dataflow import DataflowAnalysis, bound_names, solve
+from repro.analysis.domains import (
+    F32,
+    F64,
+    MIXED,
+    OBJ,
+    PROMOTES,
+    infer_dtype,
+    join_dtype,
+    promote,
+)
+from repro.analysis.project import Project, SourceFile
+from repro.analysis.rules.flowbase import flow_cache, function_flows
+
+__all__ = ["R1001FloatPromotion", "R1002ObjectEscape", "R1003MixedIntFloat"]
+
+
+def _class_attr_seeds(tree: ast.Module) -> dict[int, dict[str, str]]:
+    """Per-function seed env of ``self.X`` dtypes, from class scans.
+
+    Maps ``id(func_node)`` → env.  An attribute assigned a decidable
+    dtype consistently across the class contributes a seed; any
+    conflict or undecidable assignment drops it.
+    """
+    seeds: dict[int, dict[str, str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        attrs: dict[str, str | None] = {}
+        methods = [
+            n
+            for n in node.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for method in methods:
+            for stmt in ast.walk(method):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        inferred = infer_dtype(stmt.value, {})
+                        key = target.attr
+                        if key in attrs:
+                            attrs[key] = join_dtype(attrs[key], inferred)
+                        else:
+                            attrs[key] = inferred
+        env = {
+            f"self.{name}": dtype for name, dtype in attrs.items() if dtype is not None
+        }
+        for method in methods:
+            seeds[id(method)] = env
+    return seeds
+
+
+class _DtypeFlow(DataflowAnalysis):
+    """var (or ``self.X``) → known abstract dtype."""
+
+    def __init__(self, seed: dict[str, str]):
+        self.seed = seed
+
+    def bottom(self) -> dict:
+        return {}
+
+    def initial(self, cfg) -> dict:
+        return dict(self.seed)
+
+    def join(self, a: dict, b: dict) -> dict:
+        return {k: v for k, v in a.items() if b.get(k) == v}
+
+    def transfer(self, node, state: dict) -> dict:
+        stmt = node.stmt
+        assert stmt is not None
+        if isinstance(stmt, ast.Assign):
+            new = dict(state)
+            inferred = infer_dtype(stmt.value, state)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if inferred is not None:
+                        new[target.id] = inferred
+                    else:
+                        new.pop(target.id, None)
+                elif (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    key = f"self.{target.attr}"
+                    if inferred is not None:
+                        new[key] = inferred
+                    else:
+                        new.pop(key, None)
+                # Subscript stores cast in place: dtype unchanged.
+            return new
+        if isinstance(stmt, ast.AugAssign):
+            return state  # in-place: left operand's dtype wins
+        killed = bound_names(stmt)
+        if killed:
+            new = dict(state)
+            for name in killed:
+                new.pop(name, None)
+            return new
+        return state
+
+
+def _describe(expr: ast.expr) -> str:
+    """Short operand description for messages (name or node type)."""
+    if isinstance(expr, ast.Name):
+        return f"'{expr.id}'"
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return f"'self.{expr.attr}'"
+    return "expression"
+
+
+def _scan_stmt(stmt: ast.stmt, env: dict[str, str], findings: list) -> None:
+    """Flag promotions/object escapes in one statement's expressions."""
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return  # nested scopes get their own CFG and env
+    if isinstance(stmt, ast.AugAssign):
+        return  # in-place target cast, no promotion
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.BinOp):
+            left = infer_dtype(node.left, env)
+            right = infer_dtype(node.right, env)
+            if OBJ in (left, right):
+                side = node.left if left == OBJ else node.right
+                findings.append(
+                    (
+                        "R1002",
+                        node.lineno,
+                        f"arithmetic on dtype=object operand {_describe(side)}: "
+                        "every element op dispatches through Python objects",
+                    )
+                )
+                continue
+            _result, flag = promote(left, right)
+            if flag == PROMOTES:
+                f32_side = node.left if left == F32 else node.right
+                f64_side = node.right if f32_side is node.left else node.left
+                findings.append(
+                    (
+                        "R1001",
+                        node.lineno,
+                        f"float32 operand {_describe(f32_side)} meets float64 "
+                        f"operand {_describe(f64_side)}: result silently "
+                        "promotes to float64 (fresh wide buffer)",
+                    )
+                )
+            elif flag == MIXED:
+                findings.append(
+                    (
+                        "R1003",
+                        node.lineno,
+                        f"int array {_describe(node.left if left == 'int' else node.right)} "
+                        "meets float array in a ufunc: numpy upcasts the int "
+                        "side into a fresh float64 copy per call",
+                    )
+                )
+        elif isinstance(node, ast.Return) and node.value is not None:
+            if infer_dtype(node.value, env) == OBJ:
+                findings.append(
+                    (
+                        "R1002",
+                        node.lineno,
+                        "dtype=object array escapes via return; convert to a "
+                        "numeric dtype at the boundary",
+                    )
+                )
+        elif isinstance(node, ast.Call):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name) and env.get(arg.id) == OBJ:
+                    findings.append(
+                        (
+                            "R1002",
+                            node.lineno,
+                            f"dtype=object array '{arg.id}' escapes as a call "
+                            "argument; convert to a numeric dtype first",
+                        )
+                    )
+
+
+def _analyse(source: SourceFile, project: Project) -> list[tuple[str, int, str]]:
+    cache = flow_cache(project)
+    key = ("r10", source.rel)
+    if key in cache:
+        return cache[key]
+    findings: list[tuple[str, int, str]] = []
+    if source.module not in project.config.hotpath_modules:
+        cache[key] = findings
+        return findings
+
+    seeds = _class_attr_seeds(source.tree)
+    for flow in function_flows(source, project):
+        analysis = _DtypeFlow(seeds.get(id(flow.func), {}))
+        result = solve(flow.cfg, analysis)
+        for node in flow.cfg.stmt_nodes():
+            env = result.at(node.idx)
+            if env is None:
+                continue  # unreachable
+            _scan_stmt(node.stmt, env, findings)
+
+    findings.sort(key=lambda f: (f[1], f[0]))
+    cache[key] = findings
+    return findings
+
+
+class _R10Base(FileRule):
+    def check_file(self, source: SourceFile, project: Project):
+        for rule_id, line, message in _analyse(source, project):
+            if rule_id == self.id:
+                yield Violation(
+                    rule=self.id,
+                    path=source.rel,
+                    line=line,
+                    message=message,
+                    snippet=source.snippet(line),
+                )
+
+
+@register_rule
+class R1001FloatPromotion(_R10Base):
+    """R1001: hot-path arithmetic silently widens float32 to float64."""
+
+    id = "R1001"
+    summary = "no silent float32→float64 promotion in hot-path arithmetic"
+
+
+@register_rule
+class R1002ObjectEscape(_R10Base):
+    """R1002: a dtype=object array reaches hot-path arithmetic or calls."""
+
+    id = "R1002"
+    summary = "no dtype=object arrays reaching hot-path arithmetic or APIs"
+
+
+@register_rule
+class R1003MixedIntFloat(_R10Base):
+    """R1003: int-array and float-array meet in a copy-inducing ufunc."""
+
+    id = "R1003"
+    summary = "no copy-inducing int-array × float-array ufunc operands"

@@ -1,0 +1,84 @@
+"""Shared machinery for the flow-sensitive rule families (R9–R11).
+
+CFG construction is the expensive part of a flow pass, and three rule
+families want the same graphs, so they are memoised per
+:class:`~repro.analysis.project.Project` under a ``flow_cache``
+attribute created on demand (the Project class itself stays unaware).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import (
+    DataflowResult,
+    ReachingDefinitions,
+    param_names,
+    solve,
+)
+from repro.analysis.project import Project, SourceFile
+
+__all__ = [
+    "FuncFlow",
+    "dotted_name",
+    "flow_cache",
+    "function_flows",
+]
+
+
+
+
+class FuncFlow:
+    """One function's flow artefacts: AST, CFG, reaching definitions."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef, cfg: CFG):
+        self.func = func
+        self.cfg = cfg
+        self._reaching: DataflowResult | None = None
+
+    @property
+    def reaching(self) -> DataflowResult:
+        """Reaching-definitions fixpoint, computed on first use."""
+        if self._reaching is None:
+            analysis = ReachingDefinitions(param_names(self.func))
+            self._reaching = solve(self.cfg, analysis)
+        return self._reaching
+
+
+def flow_cache(project: Project) -> dict:
+    """The project's memo dict for flow artefacts (created lazily)."""
+    cache = getattr(project, "flow_cache_", None)
+    if cache is None:
+        cache = {}
+        project.flow_cache_ = cache
+    return cache
+
+
+def function_flows(source: SourceFile, project: Project) -> list[FuncFlow]:
+    """CFGs (+ lazy reaching-defs) for every function in ``source``."""
+    cache = flow_cache(project)
+    key = ("cfgs", source.module, source.rel)
+    flows = cache.get(key)
+    if flows is None:
+        flows = [
+            FuncFlow(node, build_cfg(node))
+            for node in ast.walk(source.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        cache[key] = flows
+    return flows
+
+
+def dotted_name(expr: ast.expr) -> str:
+    """``a.b.c`` for a pure name/attribute chain, else ``""``."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""

@@ -1,0 +1,319 @@
+"""R9: RNG-stream discipline (flow-sensitive).
+
+The kernel hands out *named* generator streams — ``kernel.stream(key,
+cid)`` — and bit-reproducibility holds only while a stream stays with
+the key it was created under.  R101 can ban ``np.random.*`` syntactically,
+but the dangerous regressions are flow shaped:
+
+* **R901** — a stream value stored into an attribute or container:
+  shared state now aliases a per-call stream, and two call sites will
+  interleave draws non-deterministically.
+* **R902** — a stream drawn from (or passed on) after one of the key
+  variables it was created with was rebound: the draws no longer
+  belong to the client/purpose the key named.
+* **R903** — a stream both drawn from locally *and* escaping (passed
+  to a callee, returned, yielded, or handed to two callees): two
+  consumers now share one generator's sequence.  Pure forwarders —
+  ``return kernel.stream("retry", cid)`` with zero local draws — stay
+  clean; that is the sanctioned way to hand a stream onward.
+
+Taint starts at calls of the configured stream methods
+(:attr:`LintConfig.stream_methods`) and propagates through name
+copies; reaching definitions supply the key-rebinding signal.  The
+kernel module itself (:attr:`LintConfig.stream_factory_modules`) is
+exempt — it owns the per-key cache these rules protect.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import FileRule, Violation, register_rule
+from repro.analysis.dataflow import (
+    DataflowAnalysis,
+    bound_names,
+    join_union_maps,
+    solve,
+)
+from repro.analysis.project import Project, SourceFile
+from repro.analysis.rules.flowbase import FuncFlow, flow_cache, function_flows
+
+__all__ = ["R901StreamShared", "R902KeyRebound", "R903DrawAndEscape"]
+
+
+def _is_source_call(expr: ast.expr, methods: frozenset[str]) -> bool:
+    """``kernel.stream(...)`` / ``self._kernel.client_rng(...)``."""
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in methods
+    )
+
+
+def _call_key_names(call: ast.Call) -> set[str]:
+    """Simple variable names appearing in the stream call's arguments."""
+    names: set[str] = set()
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        for node in ast.walk(arg):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                names.add(node.id)
+    return names
+
+
+def _source_sites(
+    flow: FuncFlow, methods: frozenset[str]
+) -> dict[int, tuple[list[str], dict[str, frozenset]]]:
+    """CFG nodes assigning a fresh stream to local name(s).
+
+    Maps node idx → (bound names, snapshot of each key variable's
+    reaching definitions at the call).
+    """
+    sites: dict[int, tuple[list[str], dict[str, frozenset]]] = {}
+    for node in flow.cfg.stmt_nodes():
+        stmt = node.stmt
+        if not isinstance(stmt, ast.Assign) or not _is_source_call(stmt.value, methods):
+            continue
+        targets = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+        if not targets:
+            continue  # attribute targets are R901's business, not taint's
+        rd_in = flow.reaching.at(node.idx, {})
+        snapshot = {
+            name: rd_in.get(name, frozenset())
+            for name in _call_key_names(stmt.value)
+        }
+        sites[node.idx] = (targets, snapshot)
+    return sites
+
+
+class _StreamTaint(DataflowAnalysis):
+    """var → set of stream-site node indices that may flow into it."""
+
+    def __init__(self, sites: dict[int, tuple[list[str], dict[str, frozenset]]]):
+        self.sites = sites
+
+    def bottom(self) -> dict:
+        return {}
+
+    def join(self, a: dict, b: dict) -> dict:
+        return join_union_maps(a, b)
+
+    def transfer(self, node, state: dict) -> dict:
+        stmt = node.stmt
+        assert stmt is not None
+        if node.idx in self.sites:
+            new = dict(state)
+            for name in self.sites[node.idx][0]:
+                new[name] = frozenset({node.idx})
+            return new
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Name):
+            source_taint = state.get(stmt.value.id)
+            targets = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+            if targets:
+                new = dict(state)
+                for name in targets:
+                    if source_taint:
+                        new[name] = source_taint
+                    else:
+                        new.pop(name, None)
+                return new
+        killed = bound_names(stmt)
+        if killed:
+            new = dict(state)
+            for name in killed:
+                new.pop(name, None)
+            return new
+        return state
+
+
+def _stream_uses(stmt: ast.stmt, tainted: frozenset[str]):
+    """(draws, escapes) of tainted names inside one statement.
+
+    A draw is a method call on the stream (``rng.normal()``); an
+    escape hands the stream object onward (call argument, return,
+    yield).  Draw bases are excluded from escape collection so
+    ``f(rng.normal())`` escapes the *draw result*, not the stream.
+    """
+    draws: list[tuple[str, int]] = []
+    escapes: list[tuple[str, int]] = []
+    draw_bases: set[int] = set()
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in tainted
+            ):
+                draws.append((func.value.id, node.lineno))
+                draw_bases.add(id(func.value))
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for name in ast.walk(arg):
+                    if (
+                        isinstance(name, ast.Name)
+                        and name.id in tainted
+                        and isinstance(name.ctx, ast.Load)
+                        and id(name) not in draw_bases
+                    ):
+                        escapes.append((name.id, name.lineno))
+        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            value = node.value
+            if value is not None:
+                for name in ast.walk(value):
+                    if (
+                        isinstance(name, ast.Name)
+                        and name.id in tainted
+                        and id(name) not in draw_bases
+                    ):
+                        escapes.append((name.id, name.lineno))
+    return draws, escapes
+
+
+def _analyse(source: SourceFile, project: Project) -> list[tuple[str, int, str]]:
+    """All R9 findings for one file: (rule id, line, message)."""
+    cache = flow_cache(project)
+    key = ("r9", source.rel)
+    if key in cache:
+        return cache[key]
+    config = project.config
+    findings: list[tuple[str, int, str]] = []
+    if source.module in config.stream_factory_modules:
+        cache[key] = findings
+        return findings
+
+    for flow in function_flows(source, project):
+        sites = _source_sites(flow, config.stream_methods)
+        # R901 needs no taint for the direct form.
+        for node in flow.cfg.stmt_nodes():
+            stmt = node.stmt
+            if isinstance(stmt, ast.Assign) and _is_source_call(
+                stmt.value, config.stream_methods
+            ):
+                for target in stmt.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        findings.append(
+                            (
+                                "R901",
+                                stmt.lineno,
+                                "RNG stream stored into shared state; "
+                                "re-request it from the kernel by key instead",
+                            )
+                        )
+        if not sites:
+            continue
+
+        taint = solve(flow.cfg, _StreamTaint(sites))
+        token_keys = {idx: snapshot for idx, (_t, snapshot) in sites.items()}
+        per_token: dict[int, tuple[set[int], set[int]]] = {}
+        reported_r902: set[tuple[int, str, int]] = set()
+
+        for node in flow.cfg.stmt_nodes():
+            state = taint.at(node.idx)
+            if not state:
+                continue
+            tainted = frozenset(n for n, toks in state.items() if toks)
+            if not tainted:
+                continue
+            stmt = node.stmt
+            # R901, indirect form: a tainted name stored into shared state.
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Name):
+                if stmt.value.id in tainted and any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in stmt.targets
+                ):
+                    findings.append(
+                        (
+                            "R901",
+                            stmt.lineno,
+                            f"RNG stream '{stmt.value.id}' stored into shared "
+                            "state; re-request it from the kernel by key instead",
+                        )
+                    )
+            draws, escapes = _stream_uses(stmt, tainted)
+            rd_here = flow.reaching.at(node.idx, {})
+            for name, line in draws + escapes:
+                for token in state.get(name, ()):
+                    snapshot = token_keys.get(token, {})
+                    for var, defs in snapshot.items():
+                        if var == name:
+                            continue  # the stream variable itself
+                        if rd_here.get(var, frozenset()) != defs:
+                            mark = (token, var, line)
+                            if mark not in reported_r902:
+                                reported_r902.add(mark)
+                                findings.append(
+                                    (
+                                        "R902",
+                                        line,
+                                        f"RNG stream '{name}' used after key "
+                                        f"variable '{var}' was rebound; the "
+                                        "draws no longer belong to the key "
+                                        "it was created under",
+                                    )
+                                )
+                    bucket = per_token.setdefault(token, (set(), set()))
+                    if (name, line) in draws:
+                        bucket[0].add(line)
+            for name, line in escapes:
+                for token in state.get(name, ()):
+                    per_token.setdefault(token, (set(), set()))[1].add(line)
+
+        for token, (draw_lines, escape_lines) in sorted(per_token.items()):
+            if escape_lines and (draw_lines or len(escape_lines) >= 2):
+                line = min(escape_lines)
+                what = (
+                    "drawn from locally and also passed onward"
+                    if draw_lines
+                    else "passed to multiple call sites"
+                )
+                findings.append(
+                    (
+                        "R903",
+                        line,
+                        f"RNG stream is {what}; two consumers would share "
+                        "one generator sequence — pass the key and let each "
+                        "call site request its own stream",
+                    )
+                )
+
+    findings.sort(key=lambda f: (f[1], f[0]))
+    cache[key] = findings
+    return findings
+
+
+class _R9Base(FileRule):
+    def check_file(self, source: SourceFile, project: Project):
+        for rule_id, line, message in _analyse(source, project):
+            if rule_id == self.id:
+                yield Violation(
+                    rule=self.id,
+                    path=source.rel,
+                    line=line,
+                    message=message,
+                    snippet=source.snippet(line),
+                )
+
+
+@register_rule
+class R901StreamShared(_R9Base):
+    """R901: an RNG stream is stored into a shared attribute or container."""
+
+    id = "R901"
+    summary = "RNG streams must not be stored into shared attributes/containers"
+
+
+@register_rule
+class R902KeyRebound(_R9Base):
+    """R902: an RNG stream is drawn from after its key variable was rebound."""
+
+    id = "R902"
+    summary = "RNG streams must not be used after their key variable is rebound"
+
+
+@register_rule
+class R903DrawAndEscape(_R9Base):
+    """R903: an RNG stream is both drawn from locally and handed away."""
+
+    id = "R903"
+    summary = "an RNG stream has one consumer: draw locally or forward, not both"

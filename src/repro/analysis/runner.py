@@ -34,8 +34,14 @@ def lint_project(
     project: Project,
     select: list[str] | None = None,
     baseline_entries: list[dict] | None = None,
+    only_paths: set[str] | None = None,
 ) -> LintResult:
-    """Run the (selected) rules over an already-loaded project."""
+    """Run the (selected) rules over an already-loaded project.
+
+    ``only_paths`` restricts *reported* findings to those repo-relative
+    paths (incremental ``--diff`` mode); project rules still see the
+    whole project, so cross-file invariants hold globally.
+    """
     config = project.config
     raw: list[Violation] = []
     rules_run: list[str] = []
@@ -45,7 +51,11 @@ def lint_project(
             raw.extend(rule.check_project(project))
         else:
             for source in project.files:
+                if only_paths is not None and source.rel not in only_paths:
+                    continue
                 raw.extend(rule.check_file(source, project))
+    if only_paths is not None:
+        raw = [v for v in raw if v.path in only_paths]
 
     # Pragmas silence in-code; order them out before baseline matching
     # so a pragma'd line never consumes a baseline entry.
@@ -70,12 +80,17 @@ def lint_project(
         "violations_by_rule": _count_by_rule(fresh),
         "config_package": config.package,
     }
+    files_checked = (
+        len(project)
+        if only_paths is None
+        else sum(1 for f in project.files if f.rel in only_paths)
+    )
     return LintResult(
         violations=fresh,
         baselined=baselined,
         pragma_suppressed=pragma_suppressed,
         stale_baseline=stale,
-        files_checked=len(project),
+        files_checked=files_checked,
         rules_run=rules_run,
         metrics=metrics,
     )

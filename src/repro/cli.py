@@ -157,6 +157,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="files/directories to lint (default: the repro package)",
     )
     lint.add_argument("--json", action="store_true", help="machine-readable report")
+    lint.add_argument(
+        "--format", default=None, choices=("text", "json", "sarif"),
+        help="report format (--json is an alias for --format json)",
+    )
+    lint.add_argument(
+        "--diff", default=None, metavar="GIT_REF",
+        help="incremental: lint only files changed since GIT_REF plus "
+        "their in-package importers",
+    )
     lint.add_argument("--rules", action="store_true", help="print the rule catalogue")
     lint.add_argument(
         "--select", default=None,
@@ -542,8 +551,10 @@ def _cmd_lint(args) -> int:
         default_lint_paths,
         default_src_root,
         exit_code,
+        lint_diff,
         render_catalogue,
         render_json,
+        render_sarif,
         render_text,
         run_lint,
         save_baseline,
@@ -561,10 +572,18 @@ def _cmd_lint(args) -> int:
         )
     select = args.select.split(",") if args.select else None
     try:
-        result = run_lint(
-            paths, src_root=default_src_root(), select=select, baseline_path=baseline
-        )
-    except Exception as exc:  # unreadable input / broken baseline
+        if args.diff:
+            result = lint_diff(
+                args.diff, paths=paths, select=select, baseline_path=baseline
+            )
+        else:
+            result = run_lint(
+                paths,
+                src_root=default_src_root(),
+                select=select,
+                baseline_path=baseline,
+            )
+    except Exception as exc:  # unreadable input / broken baseline / bad ref
         print(f"lint error: {exc}", file=sys.stderr)
         return EXIT_ERROR
     if args.update_baseline:
@@ -572,7 +591,13 @@ def _cmd_lint(args) -> int:
         save_baseline(target, result.violations)
         print(f"baseline updated: {target} ({len(result.violations)} entries)")
         return EXIT_CLEAN
-    print(render_json(result) if args.json else render_text(result, args.verbose))
+    fmt = args.format or ("json" if args.json else "text")
+    if fmt == "json":
+        print(render_json(result))
+    elif fmt == "sarif":
+        print(render_sarif(result))
+    else:
+        print(render_text(result, args.verbose))
     return exit_code(result)
 
 

@@ -249,9 +249,13 @@ class ClientPopulation:
         if state is not None:
             return state
         if cid in self._spilled:
-            self._spilled.discard(cid)
+            # Read and decode *before* dropping the spill marker: a
+            # failed read must leave the blob claimable, or the client
+            # silently restarts from a fresh trajectory.
             blob = self._spill_path(cid).read_bytes()
-            return pickle.loads(unseal(blob))
+            state = pickle.loads(unseal(blob))
+            self._spilled.discard(cid)
+            return state
         return None
 
     def _spill_path(self, cid: int) -> Path:

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.transport.sockets import dial, open_listener
+from repro.transport.sockets import close_quietly, dial, open_listener
 
 __all__ = ["ChaosConfig", "ChaosProxy"]
 
@@ -168,20 +168,26 @@ class ChaosProxy:
                 except OSError:
                     pass
                 continue
-            pipe = _Pipe(client, upstream)
-            self._pipes.append(pipe)
-            conn = self._conn_index
-            self._conn_index += 1
-            for direction, src, dst in (
-                (_UPLINK, client, upstream),
-                (_DOWNLINK, upstream, client),
-            ):
-                threading.Thread(
-                    target=self._pump,
-                    args=(pipe, direction, src, dst, conn),
-                    name=f"repro-chaos-{direction}-{conn}",
-                    daemon=True,
-                ).start()
+            # The handoff itself can fail (thread limits, shutdown
+            # races); never leak the accepted pair when it does.
+            try:
+                pipe = _Pipe(client, upstream)
+                self._pipes.append(pipe)
+                conn = self._conn_index
+                self._conn_index += 1
+                for direction, src, dst in (
+                    (_UPLINK, client, upstream),
+                    (_DOWNLINK, upstream, client),
+                ):
+                    threading.Thread(
+                        target=self._pump,
+                        args=(pipe, direction, src, dst, conn),
+                        name=f"repro-chaos-{direction}-{conn}",
+                        daemon=True,
+                    ).start()
+            except Exception:
+                close_quietly(client, upstream)
+                continue
 
     def _pump(
         self,

@@ -71,6 +71,7 @@ __all__ = [
     "parse_address",
     "open_listener",
     "dial",
+    "close_quietly",
     "send_message",
     "recv_message",
     "SocketTransport",
@@ -101,15 +102,19 @@ def open_listener(address: str, backlog: int = 16) -> tuple[socket.socket, str]:
     """
     family, target = parse_address(address)
     sock = socket.socket(family, socket.SOCK_STREAM)
-    if family == socket.AF_INET:
-        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-    sock.bind(target)
-    sock.listen(backlog)
-    if family == socket.AF_INET:
-        host, port = sock.getsockname()[:2]
-        resolved = f"{host}:{port}"
-    else:
-        resolved = f"unix:{target}"
+    try:
+        if family == socket.AF_INET:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(target)
+        sock.listen(backlog)
+        if family == socket.AF_INET:
+            host, port = sock.getsockname()[:2]
+            resolved = f"{host}:{port}"
+        else:
+            resolved = f"unix:{target}"
+    except OSError:
+        close_quietly(sock)
+        raise
     return sock, resolved
 
 
@@ -117,14 +122,14 @@ def dial(address: str, timeout_s: float) -> socket.socket:
     """Connect to a transport address with a bounded handshake budget."""
     family, target = parse_address(address)
     sock = socket.socket(family, socket.SOCK_STREAM)
-    sock.settimeout(timeout_s)
     try:
+        sock.settimeout(timeout_s)
         sock.connect(target)
+        if family == socket.AF_INET:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     except OSError:
-        sock.close()
+        close_quietly(sock)
         raise
-    if family == socket.AF_INET:
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     return sock
 
 
@@ -189,7 +194,7 @@ class _WorkerLink:
             self.epoch += 1
             self._replies.clear()
         if old is not None:
-            _close_quietly(old)
+            close_quietly(old)
         self.attached.set()
 
     def poison(self) -> None:
@@ -199,7 +204,7 @@ class _WorkerLink:
             self._replies.clear()
         self.attached.clear()
         if sock is not None:
-            _close_quietly(sock)
+            close_quietly(sock)
 
     def require_sock(self) -> socket.socket:
         sock = self.sock
@@ -230,11 +235,13 @@ class _WorkerLink:
             self._replies[got] = msg
 
 
-def _close_quietly(sock: socket.socket) -> None:
-    try:
-        sock.close()
-    except OSError:
-        pass
+def close_quietly(*socks: socket.socket) -> None:
+    """Close socket(s), swallowing the OSError of an already-dead fd."""
+    for sock in socks:
+        try:
+            sock.close()
+        except OSError:
+            pass
 
 
 class _PendingTrain:
@@ -328,7 +335,7 @@ class SocketTransport:
             except (OSError, TransportError, FrameError):
                 pass
             link.poison()
-        _close_quietly(self._listener)
+        close_quietly(self._listener)
 
     def __enter__(self) -> "SocketTransport":
         return self
@@ -583,7 +590,7 @@ class SocketTransport:
             try:
                 self._handshake(sock)
             except (OSError, FrameError, TransportError):
-                _close_quietly(sock)
+                close_quietly(sock)
 
     def _handshake(self, sock: socket.socket) -> None:
         if isinstance(sock, socket.socket) and sock.family == socket.AF_INET:

@@ -46,7 +46,7 @@ from repro.transport.messages import (
     vector_from_frame_bytes,
     vector_to_frame_bytes,
 )
-from repro.transport.sockets import dial, recv_message, send_message
+from repro.transport.sockets import close_quietly, dial, recv_message, send_message
 from repro.compression.base import CompressedGradient
 from repro.wire.frame import MAX_PAYLOAD_NBYTES, Frame, FrameError
 
@@ -111,26 +111,36 @@ class Worker:
 
     def _connect(self, resume: bool) -> None:
         sock = dial(self.address, self.connect_timeout_s)
-        hello: dict[str, Any] = {"op": "hello"}
-        if resume:
-            hello["wid"] = self.wid
-        elif self.index is not None:
-            hello["index"] = self.index
-        send_message(sock, hello)
-        welcome = recv_message(sock, self.connect_timeout_s, self.max_payload_nbytes)
-        op = welcome.get("op")
-        if not resume:
-            if op != "welcome":
-                raise TransportError(f"expected welcome, got {op!r}")
-            self.wid = int(welcome["wid"])
-            self.own = tuple(welcome["own"])
-            self._heartbeat_interval_s = float(
-                welcome.get("heartbeat_interval_s", 1.0)
+        # Everything between the dial and the handoff to self._sock
+        # can fail (chaos proxies corrupt handshakes on purpose);
+        # without the close here every failed handshake leaks one fd —
+        # a slow worker-killer under reconnect storms.
+        try:
+            hello: dict[str, Any] = {"op": "hello"}
+            if resume:
+                hello["wid"] = self.wid
+            elif self.index is not None:
+                hello["index"] = self.index
+            send_message(sock, hello)
+            welcome = recv_message(
+                sock, self.connect_timeout_s, self.max_payload_nbytes
             )
-            self._build(WorkerSetup.from_bytes(welcome["setup"]))
-        elif op != "welcome_back":
-            raise TransportError(f"expected welcome_back, got {op!r}")
-        sock.settimeout(None)
+            op = welcome.get("op")
+            if not resume:
+                if op != "welcome":
+                    raise TransportError(f"expected welcome, got {op!r}")
+                self.wid = int(welcome["wid"])
+                self.own = tuple(welcome["own"])
+                self._heartbeat_interval_s = float(
+                    welcome.get("heartbeat_interval_s", 1.0)
+                )
+                self._build(WorkerSetup.from_bytes(welcome["setup"]))
+            elif op != "welcome_back":
+                raise TransportError(f"expected welcome_back, got {op!r}")
+            sock.settimeout(None)
+        except Exception:
+            close_quietly(sock)
+            raise
         self._sock = sock
         self._connected.set()
 

@@ -1,0 +1,9 @@
+"""Fixture: dtype-consistent hot-path arithmetic (clean for R1001)."""
+
+import numpy as np
+
+
+def blend(n):
+    lhs = np.zeros(n, dtype=np.float32)
+    rhs = np.ones(n, dtype=np.float32)
+    return (lhs + rhs) * 0.5

@@ -1,0 +1,9 @@
+"""Fixture: silent float32→float64 widening in a hot path (R1001)."""
+
+import numpy as np
+
+
+def blend(n):
+    lhs = np.zeros(n, dtype=np.float32)
+    rhs = np.ones(n)
+    return lhs + rhs

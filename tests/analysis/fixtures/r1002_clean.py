@@ -1,0 +1,8 @@
+"""Fixture: ragged input normalised to a numeric dtype first (clean)."""
+
+import numpy as np
+
+
+def packed_mean(rows, reducer):
+    buf = np.asarray(rows, dtype=np.float32)
+    return reducer(buf)

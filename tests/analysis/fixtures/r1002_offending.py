@@ -1,0 +1,8 @@
+"""Fixture: dtype=object array escapes into a hot-path call (R1002)."""
+
+import numpy as np
+
+
+def ragged_mean(rows, reducer):
+    buf = np.array(rows, dtype=object)
+    return reducer(buf)

@@ -1,0 +1,9 @@
+"""Fixture: counts cast once before mixing with floats (clean for R1003)."""
+
+import numpy as np
+
+
+def scale():
+    counts = np.arange(64).astype(np.float32)
+    weights = np.ones(64, dtype=np.float32)
+    return counts * weights

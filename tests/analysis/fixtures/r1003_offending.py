@@ -1,0 +1,9 @@
+"""Fixture: int-array × float-array ufunc copies in a hot path (R1003)."""
+
+import numpy as np
+
+
+def scale():
+    counts = np.arange(64)
+    weights = np.ones(64, dtype=np.float32)
+    return counts * weights

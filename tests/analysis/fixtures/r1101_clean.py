@@ -1,0 +1,9 @@
+"""Fixture: resource closed on every path, exceptions included (clean)."""
+
+
+def copy_prefix(path, sink):
+    handle = open(path, "rb")
+    try:
+        sink.write(handle.read(16))
+    finally:
+        handle.close()

@@ -1,0 +1,7 @@
+"""Fixture: resource leaks on the exception path (R1101)."""
+
+
+def copy_prefix(path, sink):
+    handle = open(path, "rb")
+    sink.write(handle.read(16))
+    handle.close()

@@ -1,0 +1,9 @@
+"""Fixture: one close, nothing touches the handle afterwards (clean)."""
+
+
+def drain(path, sink):
+    handle = open(path, "rb")
+    try:
+        sink.write(handle.read(4))
+    finally:
+        handle.close()

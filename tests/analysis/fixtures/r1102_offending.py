@@ -1,0 +1,13 @@
+"""Fixture: re-release and use after a definite close (R1102)."""
+
+
+def double_close(path):
+    handle = open(path, "rb")
+    handle.close()
+    handle.close()
+
+
+def use_after_close(path, sink):
+    handle = open(path, "rb")
+    handle.close()
+    sink.write(handle.read(4))

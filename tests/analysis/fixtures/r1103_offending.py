@@ -1,0 +1,8 @@
+"""Fixture: destructive take lost to an exception before commit (R1103)."""
+
+
+class SpillPool:
+    def take(self, cid, decode):
+        blob = self._blobs[cid]
+        del self._blobs[cid]
+        return decode(blob)

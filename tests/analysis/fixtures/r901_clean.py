@@ -1,0 +1,6 @@
+"""Fixture: RNG stream drawn locally, never stored (clean for R901)."""
+
+
+def local_noise(kernel, cid):
+    rng = kernel.stream(cid)
+    return rng.normal(size=4)

@@ -1,0 +1,10 @@
+"""Fixture: RNG streams stored into shared state (R901)."""
+
+
+class Trainer:
+    def __init__(self, kernel, cid):
+        self.rng = kernel.stream(cid)
+
+    def cache(self, kernel, cid, table):
+        rng = kernel.stream(cid)
+        table[cid] = rng

@@ -1,0 +1,9 @@
+"""Fixture: a fresh stream per client id (clean for R902)."""
+
+
+def resume(kernel, cid, next_cid):
+    rng = kernel.stream(cid)
+    first = rng.normal(size=2)
+    cid = next_cid
+    rng = kernel.stream(cid)
+    return first + rng.normal(size=2)

@@ -1,0 +1,8 @@
+"""Fixture: one stream reused across two client ids (R902)."""
+
+
+def resume(kernel, cid, next_cid):
+    rng = kernel.stream(cid)
+    first = rng.normal(size=2)
+    cid = next_cid
+    return first + rng.normal(size=2)

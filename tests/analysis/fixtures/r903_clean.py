@@ -1,0 +1,6 @@
+"""Fixture: a stream forwarded untouched to one consumer (clean for R903)."""
+
+
+def delegate(kernel, cid, worker):
+    rng = kernel.stream(cid)
+    return worker.run(rng)

@@ -1,0 +1,8 @@
+"""Fixture: one stream both drawn locally and handed away (R903)."""
+
+
+def split_duty(kernel, cid, worker):
+    rng = kernel.stream(cid)
+    warmup = rng.normal(size=2)
+    worker.run(rng)
+    return warmup

@@ -119,15 +119,18 @@ class TestBaseline:
 
 class TestRegistry:
     def test_all_families_registered(self):
-        families = {rule_id[:2] for rule_id in RULE_REGISTRY}
-        assert families == {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}
-        assert len(RULE_REGISTRY) == 22
+        families = {rule_id[:-2] for rule_id in RULE_REGISTRY}
+        assert families == {
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11"
+        }
+        assert len(RULE_REGISTRY) == 31
 
     def test_select_by_family_and_id(self):
         assert {r.id for r in iter_rules(["R2"])} == {"R201", "R202", "R203"}
+        assert {r.id for r in iter_rules(["R10"])} == {"R1001", "R1002", "R1003"}
         assert [r.id for r in iter_rules(["R403"])] == ["R403"]
         with pytest.raises(ValueError):
-            list(iter_rules(["R9"]))
+            list(iter_rules(["R99"]))
 
     def test_rules_carry_summaries(self):
         for rule in iter_rules(None):

@@ -1,0 +1,180 @@
+"""Incremental mode: change discovery, importer closure, parse cache."""
+
+from __future__ import annotations
+
+import subprocess
+
+import pytest
+
+from repro.analysis import default_config
+from repro.analysis.incremental import (
+    affected_rels,
+    changed_rels,
+    lint_diff,
+    load_project_cached,
+    parse_cache_stats,
+)
+from repro.analysis.project import LintError, Project, SourceFile
+
+
+def _source(tmp_path, rel: str, module: str, text: str) -> SourceFile:
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return SourceFile.from_path(path, module=module, rel=rel)
+
+
+class TestAffectedRels:
+    def test_importers_ride_along(self, tmp_path):
+        base = _source(
+            tmp_path, "src/repro/base.py", "repro.base", '"""B."""\n\nX = 1\n'
+        )
+        user = _source(
+            tmp_path,
+            "src/repro/user.py",
+            "repro.user",
+            '"""U."""\n\nfrom repro.base import X\n\nY = X\n',
+        )
+        loner = _source(
+            tmp_path, "src/repro/loner.py", "repro.loner", '"""L."""\n\nZ = 3\n'
+        )
+        project = Project([base, user, loner], config=default_config())
+        affected = affected_rels(project, {"src/repro/base.py"})
+        assert affected == {"src/repro/base.py", "src/repro/user.py"}
+
+    def test_transitive_importers_ride_along(self, tmp_path):
+        a = _source(tmp_path, "src/repro/a.py", "repro.a", '"""A."""\n\nX = 1\n')
+        b = _source(
+            tmp_path,
+            "src/repro/b.py",
+            "repro.b",
+            '"""B."""\n\nfrom repro.a import X\n\nY = X\n',
+        )
+        c = _source(
+            tmp_path,
+            "src/repro/c.py",
+            "repro.c",
+            '"""C."""\n\nfrom repro.b import Y\n\nZ = Y\n',
+        )
+        project = Project([a, b, c], config=default_config())
+        affected = affected_rels(project, {"src/repro/a.py"})
+        assert affected == {
+            "src/repro/a.py",
+            "src/repro/b.py",
+            "src/repro/c.py",
+        }
+
+    def test_paths_outside_the_project_are_ignored(self, tmp_path):
+        a = _source(tmp_path, "src/repro/a.py", "repro.a", '"""A."""\n\nX = 1\n')
+        project = Project([a], config=default_config())
+        assert affected_rels(project, {"docs/linting.md"}) == set()
+
+
+def _git(repo, *argv):
+    proc = subprocess.run(
+        ["git", "-c", "user.email=t@example.invalid", "-c", "user.name=t"]
+        + list(argv),
+        cwd=repo,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.fixture()
+def git_repo(tmp_path):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text(
+        '"""Fake package."""\n\nimport random  # committed, unchanged\n\n'
+        "__all__ = []\n",
+        encoding="utf-8",
+    )
+    (pkg / "util.py").write_text(
+        '"""Util."""\n\nVALUE = 1\n\n__all__ = ["VALUE"]\n', encoding="utf-8"
+    )
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    return tmp_path
+
+
+class TestLintDiff:
+    def test_changed_rels_sees_working_tree_edits(self, git_repo):
+        assert changed_rels("HEAD", git_repo) == set()
+        (git_repo / "src" / "repro" / "util.py").write_text(
+            '"""Util."""\n\nimport random\n\nVALUE = 1\n\n__all__ = ["VALUE"]\n',
+            encoding="utf-8",
+        )
+        assert changed_rels("HEAD", git_repo) == {"src/repro/util.py"}
+
+    def test_bad_ref_raises_lint_error(self, git_repo):
+        with pytest.raises(LintError):
+            changed_rels("no-such-ref", git_repo)
+
+    def test_only_changed_files_are_reported(self, git_repo):
+        # Both modules violate R102 (stdlib random), but only util.py
+        # changed since HEAD — the committed __init__ hit must not
+        # appear in an incremental pass.
+        (git_repo / "src" / "repro" / "util.py").write_text(
+            '"""Util."""\n\nimport random\n\nVALUE = 1\n\n__all__ = ["VALUE"]\n',
+            encoding="utf-8",
+        )
+        result = lint_diff(
+            "HEAD",
+            paths=[git_repo / "src" / "repro"],
+            src_root=git_repo / "src",
+            select=["R102"],
+        )
+        assert [v.path for v in result.violations] == ["src/repro/util.py"]
+        assert result.files_checked == 1
+
+    def test_clean_diff_is_clean(self, git_repo):
+        result = lint_diff(
+            "HEAD",
+            paths=[git_repo / "src" / "repro"],
+            src_root=git_repo / "src",
+            select=["R102"],
+        )
+        assert result.violations == []
+        assert result.files_checked == 0
+
+
+class TestParseCache:
+    def _stamp(self, git_repo, tag: str) -> None:
+        # The cache keys on (rel, content hash); unique content per
+        # test keeps runs independent of whatever parsed earlier.
+        (git_repo / "src" / "repro" / "util.py").write_text(
+            f'"""Util {tag}."""\n\nVALUE = 1\n\n__all__ = ["VALUE"]\n',
+            encoding="utf-8",
+        )
+
+    def test_unchanged_files_hit_the_cache(self, git_repo, tmp_path):
+        self._stamp(git_repo, f"hit-{tmp_path.name}")
+        before = parse_cache_stats()
+        load_project_cached(
+            [git_repo / "src" / "repro"], src_root=git_repo / "src"
+        )
+        mid = parse_cache_stats()
+        assert mid["misses"] >= before["misses"] + 1
+        load_project_cached(
+            [git_repo / "src" / "repro"], src_root=git_repo / "src"
+        )
+        after = parse_cache_stats()
+        assert after["hits"] >= mid["hits"] + 2
+        assert after["misses"] == mid["misses"]
+
+    def test_edited_file_misses_the_cache(self, git_repo, tmp_path):
+        self._stamp(git_repo, f"edit-a-{tmp_path.name}")
+        load_project_cached(
+            [git_repo / "src" / "repro"], src_root=git_repo / "src"
+        )
+        self._stamp(git_repo, f"edit-b-{tmp_path.name}")
+        before = parse_cache_stats()
+        load_project_cached(
+            [git_repo / "src" / "repro"], src_root=git_repo / "src"
+        )
+        after = parse_cache_stats()
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] >= before["hits"] + 1  # __init__.py unchanged

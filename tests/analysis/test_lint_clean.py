@@ -53,3 +53,23 @@ def test_cli_lint_select_single_family(capsys):
     assert main(["lint", "--select", "R2"]) == 0
     out = capsys.readouterr().out
     assert "3 rules" in out
+
+
+def test_cli_lint_select_flow_families(capsys):
+    assert main(["lint", "--select", "R9,R10,R11"]) == 0
+    out = capsys.readouterr().out
+    assert "9 rules" in out
+    assert "lint: clean" in out
+
+
+def test_cli_lint_sarif_is_clean(capsys):
+    assert main(["lint", "--format", "sarif", "--select", "R9"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    assert payload["runs"][0]["results"] == []
+
+
+def test_cli_lint_diff_head_is_clean(capsys):
+    # Whatever the working tree touched since HEAD must still be clean.
+    assert main(["lint", "--diff", "HEAD"]) == 0
+    assert "lint: clean" in capsys.readouterr().out

@@ -306,3 +306,157 @@ class TestR8Transport:
             raw_transport_modules=frozenset({"socket"}),
         )
         assert rule_ids(result) == ["R801"]
+
+
+class TestR9RngStreams:
+    def test_stored_stream_offending(self):
+        result = lint_fixture([("r901_offending.py", "fix.sim")], select=["R9"])
+        assert rule_ids(result) == ["R901", "R901"]
+
+    def test_local_draw_clean(self):
+        result = lint_fixture([("r901_clean.py", "fix.sim")], select=["R9"])
+        assert rule_ids(result) == []
+
+    def test_key_rebinding_offending(self):
+        # The seeded-taint shape: one kernel.stream reused across two
+        # client ids.
+        result = lint_fixture([("r902_offending.py", "fix.sim")], select=["R9"])
+        assert rule_ids(result) == ["R902"]
+        assert "cid" in result.violations[0].message
+
+    def test_fresh_stream_per_key_clean(self):
+        result = lint_fixture([("r902_clean.py", "fix.sim")], select=["R9"])
+        assert rule_ids(result) == []
+
+    def test_draw_and_escape_offending(self):
+        result = lint_fixture([("r903_offending.py", "fix.sim")], select=["R9"])
+        assert rule_ids(result) == ["R903"]
+
+    def test_pure_forwarder_clean(self):
+        result = lint_fixture([("r903_clean.py", "fix.sim")], select=["R9"])
+        assert rule_ids(result) == []
+
+    def test_stream_factory_module_is_exempt(self):
+        result = lint_fixture(
+            [("r901_offending.py", "repro.sim.kernel")], select=["R9"]
+        )
+        assert rule_ids(result) == []
+
+
+class TestR10DtypeFlow:
+    def test_float_promotion_offending(self):
+        # The acceptance shape: float64 creep in a hot-path function.
+        result = lint_fixture(
+            [("r1001_offending.py", "fix.hot")],
+            select=["R10"],
+            hotpath_modules=frozenset({"fix.hot"}),
+        )
+        assert rule_ids(result) == ["R1001"]
+        assert "float64" in result.violations[0].message
+
+    def test_consistent_dtypes_clean(self):
+        result = lint_fixture(
+            [("r1001_clean.py", "fix.hot")],
+            select=["R10"],
+            hotpath_modules=frozenset({"fix.hot"}),
+        )
+        assert rule_ids(result) == []
+
+    def test_object_escape_offending(self):
+        result = lint_fixture(
+            [("r1002_offending.py", "fix.hot")],
+            select=["R10"],
+            hotpath_modules=frozenset({"fix.hot"}),
+        )
+        assert rule_ids(result) == ["R1002"]
+
+    def test_numeric_boundary_clean(self):
+        result = lint_fixture(
+            [("r1002_clean.py", "fix.hot")],
+            select=["R10"],
+            hotpath_modules=frozenset({"fix.hot"}),
+        )
+        assert rule_ids(result) == []
+
+    def test_mixed_int_float_offending(self):
+        result = lint_fixture(
+            [("r1003_offending.py", "fix.hot")],
+            select=["R10"],
+            hotpath_modules=frozenset({"fix.hot"}),
+        )
+        assert rule_ids(result) == ["R1003"]
+
+    def test_cast_before_mixing_clean(self):
+        result = lint_fixture(
+            [("r1003_clean.py", "fix.hot")],
+            select=["R10"],
+            hotpath_modules=frozenset({"fix.hot"}),
+        )
+        assert rule_ids(result) == []
+
+    def test_cold_module_is_exempt(self):
+        result = lint_fixture(
+            [("r1001_offending.py", "fix.cold")],
+            select=["R10"],
+            hotpath_modules=frozenset({"fix.hot"}),
+        )
+        assert rule_ids(result) == []
+
+
+class TestR11Lifecycle:
+    def test_leak_on_exception_path_offending(self):
+        result = lint_fixture(
+            [("r1101_offending.py", "fix.res.pool")],
+            select=["R11"],
+            lifecycle_module_prefixes=("fix.res",),
+        )
+        assert rule_ids(result) == ["R1101"]
+        assert "exception path" in result.violations[0].message
+
+    def test_try_finally_clean(self):
+        result = lint_fixture(
+            [("r1101_clean.py", "fix.res.pool")],
+            select=["R11"],
+            lifecycle_module_prefixes=("fix.res",),
+        )
+        assert rule_ids(result) == []
+
+    def test_use_after_release_offending(self):
+        result = lint_fixture(
+            [("r1102_offending.py", "fix.res.pool")],
+            select=["R11"],
+            lifecycle_module_prefixes=("fix.res",),
+        )
+        assert rule_ids(result) == ["R1102", "R1102"]
+
+    def test_single_close_clean(self):
+        result = lint_fixture(
+            [("r1102_clean.py", "fix.res.pool")],
+            select=["R11"],
+            lifecycle_module_prefixes=("fix.res",),
+        )
+        assert rule_ids(result) == []
+
+    def test_lossy_take_offending(self):
+        result = lint_fixture(
+            [("r1103_offending.py", "fix.res.pool")],
+            select=["R11"],
+            lifecycle_module_prefixes=("fix.res",),
+        )
+        assert rule_ids(result) == ["R1103"]
+
+    def test_take_after_fallible_work_clean(self):
+        result = lint_fixture(
+            [("r1103_clean.py", "fix.res.pool")],
+            select=["R11"],
+            lifecycle_module_prefixes=("fix.res",),
+        )
+        assert rule_ids(result) == []
+
+    def test_out_of_scope_module_is_exempt(self):
+        result = lint_fixture(
+            [("r1101_offending.py", "fix.other")],
+            select=["R11"],
+            lifecycle_module_prefixes=("fix.res",),
+        )
+        assert rule_ids(result) == []

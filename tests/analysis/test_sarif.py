@@ -1,0 +1,63 @@
+"""SARIF reporter: schema shape and violation round-trip."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import RULE_REGISTRY, render_sarif
+from tests.analysis.helpers import lint_fixture
+
+
+def _sarif_of(result) -> dict:
+    payload = json.loads(render_sarif(result))
+    assert payload["version"] == "2.1.0"
+    (run,) = payload["runs"]
+    return run
+
+
+class TestSarif:
+    def test_driver_carries_full_rule_catalogue(self):
+        result = lint_fixture([("r5_clean.py", "fix.ok")], select=["R5"])
+        run = _sarif_of(result)
+        ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert ids == sorted(RULE_REGISTRY)
+        assert all(
+            rule["shortDescription"]["text"]
+            for rule in run["tool"]["driver"]["rules"]
+        )
+
+    def test_violations_round_trip(self):
+        result = lint_fixture(
+            [("r4_offending.py", "fix.hot")],
+            select=["R4"],
+            hotpath_modules=frozenset({"fix.hot"}),
+        )
+        assert result.violations  # the fixture must actually offend
+        run = _sarif_of(result)
+        got = [
+            (
+                r["ruleId"],
+                r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],
+                r["locations"][0]["physicalLocation"]["region"]["startLine"],
+                r["message"]["text"],
+            )
+            for r in run["results"]
+        ]
+        want = [(v.rule, v.path, v.line, v.message) for v in result.violations]
+        assert got == want
+
+    def test_rule_index_points_at_the_rule(self):
+        result = lint_fixture(
+            [("r4_offending.py", "fix.hot")],
+            select=["R4"],
+            hotpath_modules=frozenset({"fix.hot"}),
+        )
+        run = _sarif_of(result)
+        rules = run["tool"]["driver"]["rules"]
+        for sarif_result in run["results"]:
+            assert rules[sarif_result["ruleIndex"]]["id"] == sarif_result["ruleId"]
+
+    def test_clean_result_has_no_results(self):
+        result = lint_fixture([("r5_clean.py", "fix.ok")], select=["R5"])
+        run = _sarif_of(result)
+        assert run["results"] == []
