@@ -35,14 +35,14 @@ def test_dgc_compress_speed(benchmark, ratio):
 
 
 def test_qsgd_compress_speed(benchmark):
-    comp = QSGDCompressor(PAPER_DIM, num_levels=16)
+    comp = QSGDCompressor(PAPER_DIM, num_levels=16, rng=np.random.default_rng(0))
     grad = _grad()
     payload = benchmark(lambda: comp.compress(grad))
     assert payload.num_bytes < dense_bytes(PAPER_DIM)
 
 
 def test_terngrad_compress_speed(benchmark):
-    comp = TernGradCompressor(PAPER_DIM)
+    comp = TernGradCompressor(PAPER_DIM, rng=np.random.default_rng(0))
     grad = _grad()
     payload = benchmark(lambda: comp.compress(grad))
     assert payload.num_bytes < dense_bytes(PAPER_DIM)
@@ -64,9 +64,9 @@ def test_payload_size_table(benchmark, report_artifact):
                     f"{payload.compression_ratio:.1f}x",
                 ]
             )
-        qsgd = QSGDCompressor(PAPER_DIM, num_levels=16).compress(grad)
+        qsgd = QSGDCompressor(PAPER_DIM, num_levels=16, rng=np.random.default_rng(0)).compress(grad)
         rows.append(["QSGD 16-level", format_bytes(qsgd.num_bytes), f"{qsgd.compression_ratio:.1f}x"])
-        tern = TernGradCompressor(PAPER_DIM).compress(grad)
+        tern = TernGradCompressor(PAPER_DIM, rng=np.random.default_rng(0)).compress(grad)
         rows.append(["TernGrad", format_bytes(tern.num_bytes), f"{tern.compression_ratio:.1f}x"])
         return rows
 

@@ -32,6 +32,12 @@ Sections
     frames and DGC-sparse upload frames at the MNIST-CNN and VGG-mini
     dims, plus the framing share of a training round (header pack +
     CRC32 + payload copy), asserted under 3%.
+``subspace``
+    Parameter-subspace primitives at the MNIST-CNN dim: masked
+    gather/scatter of a 40%-coverage ``ParamSubspace`` plus a full
+    masked-frame round trip (QSGD inner codec) — the Adaptive
+    Federated Dropout upload path.  The masked trip is asserted
+    cheaper than framing the dense vector.
 ``batched_train``
     One 10-client fused training round through the batched multi-client
     kernel (``repro.fl.batched.train_clients_batched``) on an
@@ -408,6 +414,79 @@ def bench_wire(iters: int) -> dict:
     return stats
 
 
+def bench_subspace(iters: int) -> dict:
+    """Masked gather/scatter plus the masked-frame upload round trip.
+
+    The timed step is what one AFD upload costs beyond training: gather
+    the covered delta coordinates, quantise them (QSGD at the covered
+    dim), encode the masked frame, then server-side ``from_bytes``
+    (CRC) + decode + scatter back into a dense buffer.  ``meta``
+    compares the masked wire bytes against a dense float32 frame at the
+    same dim — the uplink saving the strategy exists for.
+    """
+    from repro.compression.base import CompressedGradient
+    from repro.compression.qsgd import QSGDCompressor
+    from repro.nn.subspace import ParamLayoutEntry, ParamSubspace
+    from repro.wire import Frame, decode_frame, encode_frame, encode_model_frame
+
+    dim = 431_080
+    keep = 0.4
+    rng = np.random.default_rng(0)
+    # A realistic multi-span layout (conv/fc weights + small biases).
+    sizes = (800, 32, 51_200, 64, 368_640, 10, 10_240, 94)
+    layout, offset = [], 0
+    for i, size in enumerate(sizes):
+        layout.append(ParamLayoutEntry(f"p{i}", offset, size))
+        offset += size
+    assert offset == dim
+    sub = ParamSubspace.sample(layout, keep, rng)
+    delta = rng.normal(size=dim)
+    dense_out = np.zeros(dim, dtype=np.float64)
+    comp = QSGDCompressor(sub.size, num_levels=16, rng=np.random.default_rng(1))
+    indices_u32 = sub.indices.astype(np.uint32)
+
+    def trip() -> bytes:
+        values = sub.gather(delta)
+        payload = comp.compress(values)
+        frame = encode_frame(
+            "masked",
+            dim,
+            {
+                "indices": indices_u32,
+                "inner_method": "qsgd",
+                "inner_data": payload.data,
+            },
+            model_version=1,
+        )
+        buf = frame.to_bytes()
+        _, decoded = decode_frame(Frame.from_bytes(buf))
+        inner = CompressedGradient(
+            method="qsgd",
+            dim=sub.size,
+            num_bytes=len(buf),
+            data=decoded["inner_data"],
+        )
+        sub.scatter(comp.decompress(inner), dense_out)
+        return buf
+
+    masked_buf = trip()
+    stats = _time_section(trip, iters)
+
+    dense_bytes = len(encode_model_frame(delta, 1).to_bytes())
+    assert len(masked_buf) < dense_bytes, (
+        "masked QSGD upload must undercut a dense float32 frame"
+    )
+    stats["meta"] = {
+        "d": dim,
+        "keep_frac": keep,
+        "covered": sub.size,
+        "masked_frame_bytes": len(masked_buf),
+        "dense_frame_bytes": dense_bytes,
+        "wire_saving": 1.0 - len(masked_buf) / dense_bytes,
+    }
+    return stats
+
+
 def bench_batched_train(iters: int) -> dict:
     """Fused 10-client round vs the serial loop it replaces.
 
@@ -701,6 +780,7 @@ SECTIONS = {
     "engine_loop": (bench_engine_loop, 8),
     "resilience": (bench_resilience, 10),
     "wire": (bench_wire, 20),
+    "subspace": (bench_subspace, 20),
     "batched_train": (bench_batched_train, 8),
     "population": (bench_population, 3),
     "lint": (bench_lint, 5),

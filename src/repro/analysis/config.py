@@ -104,6 +104,7 @@ ALLOWED_DEPS: Mapping[str, frozenset[str]] = {
 HOTPATH_MODULES: frozenset[str] = frozenset(
     {
         "repro.nn.sequential",
+        "repro.nn.subspace",
         "repro.nn.optim",
         "repro.nn.conv_utils",
         "repro.nn.layers",
@@ -151,7 +152,12 @@ class LintConfig:
     # R4
     hotpath_modules: frozenset[str] = HOTPATH_MODULES
     # R5: packages whose *public* callables must be fully annotated.
-    strict_annotation_prefixes: tuple[str, ...] = ("repro.sim", "repro.fl.config")
+    strict_annotation_prefixes: tuple[str, ...] = (
+        "repro.sim",
+        "repro.fl.config",
+        "repro.nn.subspace",
+        "repro.experiments.sweep",
+    )
     # R6: the only modules that may call the analytic byte-size
     # formulas directly (the wire layer owns them; compression.base
     # re-exports for backwards compatibility).

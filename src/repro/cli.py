@@ -13,6 +13,8 @@ Examples::
         --method adafl --rounds 20 --out run.json
     python -m repro quickrun --engine async --method fedbuff --trace run.jsonl
     python -m repro trace run.jsonl
+    python -m repro sweep --strategies fedavg afd adagq \
+        --networks constrained --rounds 20 --out sweep.json
 """
 
 from __future__ import annotations
@@ -141,6 +143,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     wire = sub.add_parser("wire", help="wire-frame stats from a recorded JSONL trace")
     wire.add_argument("path", help="trace file written by --trace / JsonlSink")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="strategy × network × fault grid with a comparison artifact",
+    )
+    sweep.add_argument(
+        "--strategies", nargs="+", default=None,
+        help="strategy names to sweep (see repro.experiments.sweep registries)",
+    )
+    sweep.add_argument("--networks", nargs="+", default=None, help="network profile names")
+    sweep.add_argument("--faults", nargs="+", default=None, help="fault plan names")
+    sweep.add_argument("--dataset", default="mnist", choices=("mnist", "cifar10", "cifar100"))
+    sweep.add_argument("--model", default="mnist_cnn")
+    sweep.add_argument(
+        "--distribution", default="iid",
+        choices=("iid", "shard", "dirichlet", "label_skew", "quantity_skew"),
+    )
+    sweep.add_argument("--reference", default="fedavg", help="baseline strategy per cell")
+    sweep.add_argument("--rounds", type=int, default=None, help="override the scale's rounds")
+    sweep.add_argument(
+        "--max-sim-time-s", type=float, default=None,
+        help="override the scale's simulated-time budget",
+    )
+    sweep.add_argument("--eval-every", type=int, default=None)
+    sweep.add_argument("--out", default=None, help="write the JSON comparison artifact here")
 
     chaos = sub.add_parser("chaos", help="fault-matrix smoke study + resilience report")
     chaos.add_argument("--engine", default="sync", choices=("sync", "async"))
@@ -427,6 +454,36 @@ def _cmd_worker(args) -> int:
     return worker.run()
 
 
+def _cmd_sweep(args) -> str:
+    from repro.experiments.sweep import SweepConfig, render_sweep, run_sweep
+
+    kwargs: dict = {
+        "scale": args.scale,
+        "dataset": args.dataset,
+        "model": args.model,
+        "distribution": args.distribution,
+        "seed": args.seed,
+        "reference": args.reference,
+        "rounds": args.rounds,
+        "max_sim_time_s": args.max_sim_time_s,
+        "eval_every": args.eval_every,
+    }
+    if args.strategies:
+        kwargs["strategies"] = tuple(args.strategies)
+    if args.networks:
+        kwargs["networks"] = tuple(args.networks)
+    if args.faults:
+        kwargs["faults"] = tuple(args.faults)
+    config = SweepConfig(**kwargs)
+    result = run_sweep(config, progress=print)
+    if args.out:
+        result.save(args.out)
+    out = render_sweep(result)
+    if args.out:
+        out += f"\nartifact written : {args.out}"
+    return out
+
+
 def _cmd_chaos(args, scale) -> str:
     from repro.experiments.chaos import format_chaos_report, run_chaos_study
 
@@ -645,6 +702,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_trace(args))
     elif args.command == "wire":
         print(_cmd_wire(args))
+    elif args.command == "sweep":
+        print(_cmd_sweep(args))
     elif args.command == "chaos":
         print(_cmd_chaos(args, scale))
     elif args.command == "resume":

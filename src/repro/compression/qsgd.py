@@ -28,15 +28,37 @@ class QSGDCompressor(Compressor):
         if num_levels < 1:
             raise ValueError("num_levels must be >= 1")
         self.num_levels = num_levels
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        # Stochastic rounding needs an explicit generator: engine-side
+        # callers pass a named kernel stream so two identical runs stay
+        # bit-identical.  A silent default_rng() here would decouple a
+        # client's rounding noise from the run's seed.
+        if rng is None:
+            raise ValueError(
+                "QSGDCompressor requires an explicit rng; derive it from "
+                "kernel.stream(...) in engine code"
+            )
+        self._rng = rng
 
     @property
     def bits_per_element(self) -> float:
         """Sign bit plus level bits (no entropy coding)."""
         return 1.0 + math.ceil(math.log2(self.num_levels + 1))
 
-    def compress(self, grad: np.ndarray) -> CompressedGradient:
+    def compress(
+        self, grad: np.ndarray, num_levels: int | None = None
+    ) -> CompressedGradient:
+        """Quantise ``grad``; ``num_levels`` overrides the default per call.
+
+        The per-call override is what link-quality-driven bit-width
+        policies (AdaGQ) use: one compressor per client, with the level
+        count varied round by round.  The effective count travels in
+        the payload, so :meth:`decompress` never consults compressor
+        state.
+        """
         grad = self._check_grad(grad)
+        effective_levels = self.num_levels if num_levels is None else int(num_levels)
+        if effective_levels < 1:
+            raise ValueError("num_levels must be >= 1")
         # The norm travels as a float32 scale on the wire; rounding it
         # *before* quantising keeps frame round-trips bit-exact.
         norm = float(np.float32(np.linalg.norm(grad)))
@@ -44,19 +66,19 @@ class QSGDCompressor(Compressor):
             levels = np.zeros(self.dim, dtype=np.int32)
             signs = np.ones(self.dim, dtype=np.int8)
         else:
-            scaled = np.abs(grad) / norm * self.num_levels
+            scaled = np.abs(grad) / norm * effective_levels
             floor = np.floor(scaled)
             prob = scaled - floor
             levels = (floor + (self._rng.random(self.dim) < prob)).astype(np.int32)
             # float32 norm rounding can nudge the dominant coordinate a
             # hair past 1.0 of the norm; its level stays representable.
-            np.minimum(levels, self.num_levels, out=levels)
+            np.minimum(levels, effective_levels, out=levels)
             signs = np.where(grad < 0, -1, 1).astype(np.int8)
         data = {
             "norm": norm,
             "levels": levels,
             "signs": signs,
-            "num_levels": self.num_levels,
+            "num_levels": effective_levels,
         }
         return CompressedGradient(
             method=self.name,
@@ -71,6 +93,10 @@ class QSGDCompressor(Compressor):
         norm = payload.data["norm"]
         if norm == 0.0:
             return np.zeros(payload.dim, dtype=np.float64)
+        # The payload carries its own level count (set per call by
+        # adaptive-bit-width policies); the constructor default is only
+        # a fallback for legacy payload dicts.
+        num_levels = int(payload.data.get("num_levels", self.num_levels))
         levels = payload.data["levels"].astype(np.float64)
         signs = payload.data["signs"].astype(np.float64)
-        return signs * levels * (norm / self.num_levels)
+        return signs * levels * (norm / num_levels)

@@ -22,7 +22,15 @@ class TernGradCompressor(Compressor):
 
     def __init__(self, dim: int, rng: np.random.Generator | None = None):
         super().__init__(dim)
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        # Same contract as QSGD: stochastic rounding never invents its
+        # own seed — callers pass a kernel stream (or an explicit
+        # generator in tests/benchmarks).
+        if rng is None:
+            raise ValueError(
+                "TernGradCompressor requires an explicit rng; derive it "
+                "from kernel.stream(...) in engine code"
+            )
+        self._rng = rng
 
     def compress(self, grad: np.ndarray) -> CompressedGradient:
         grad = self._check_grad(grad)

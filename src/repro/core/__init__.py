@@ -24,13 +24,21 @@ from repro.core.utility import (
     UtilityScorer,
     cosine_similarity,
     euclidean_similarity,
+    gradient_importance,
     l2_similarity,
+)
+from repro.core.zoo import (
+    AdaGQConfig,
+    AdaGQQuantization,
+    AdaptiveFederatedDropout,
+    AFDConfig,
 )
 
 __all__ = [
     "cosine_similarity",
     "l2_similarity",
     "euclidean_similarity",
+    "gradient_importance",
     "SIMILARITY_METRICS",
     "UtilityScorer",
     "SelectionResult",
@@ -50,4 +58,8 @@ __all__ = [
     "AdaFLSync",
     "AdaFLAsync",
     "SCORE_REPORT_BYTES",
+    "AFDConfig",
+    "AdaptiveFederatedDropout",
+    "AdaGQConfig",
+    "AdaGQQuantization",
 ]

@@ -41,6 +41,16 @@ from repro.experiments.sensitivity import (
     SensitivityPoint,
     run_network_sensitivity,
 )
+from repro.experiments.sweep import (
+    FAULT_PLANS,
+    NETWORK_PROFILES,
+    STRATEGY_FACTORIES,
+    SweepConfig,
+    SweepResult,
+    SweepRow,
+    render_sweep,
+    run_sweep,
+)
 from repro.experiments.tables import TableRow, render_table, run_table1, run_table2
 
 __all__ = [
@@ -88,6 +98,14 @@ __all__ = [
     "run_network_sensitivity",
     "ablation_variants",
     "run_ablation",
+    "SweepConfig",
+    "SweepRow",
+    "SweepResult",
+    "STRATEGY_FACTORIES",
+    "NETWORK_PROFILES",
+    "FAULT_PLANS",
+    "run_sweep",
+    "render_sweep",
     "format_table",
     "format_series",
     "format_bytes",

@@ -26,7 +26,14 @@ from repro.fl.persist import (
 from repro.fl.population import ClientPopulation, PopulationStats, RetentionPolicy
 from repro.fl.server import Server
 from repro.fl.snapshot import load_snapshot, save_snapshot
-from repro.fl.strategy import AsyncStrategy, RoundContext, SyncStrategy, weighted_average
+from repro.fl.strategy import (
+    AsyncStrategy,
+    RoundContext,
+    SyncStrategy,
+    UploadPacket,
+    masked_weighted_average,
+    weighted_average,
+)
 from repro.fl.sync_engine import SyncEngine
 from repro.fl.validation import UpdateValidator, ValidationConfig, trimmed_mean
 
@@ -51,7 +58,9 @@ __all__ = [
     "SyncStrategy",
     "AsyncStrategy",
     "RoundContext",
+    "UploadPacket",
     "weighted_average",
+    "masked_weighted_average",
     "FedAvg",
     "FedAvgM",
     "FedProx",

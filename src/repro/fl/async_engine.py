@@ -561,6 +561,9 @@ class AsyncEngine:
         frame_bytes = packet.frame.to_bytes()
         nbytes = packet.nbytes
         up_extra = {"codec": packet.frame_codec, "frame_len": packet.wire_nbytes}
+        if packet.subspace is not None:
+            # Record the covered coordinates for subspace-aware folds.
+            update.extras["subspace"] = packet.subspace
 
         # -- uplink (policy-driven retries; default is one attempt) --
         attempt = 1

@@ -25,6 +25,7 @@ from repro.fl.config import LocalTrainingConfig
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.optim import SGD
 from repro.nn.sequential import Sequential
+from repro.nn.subspace import ParamSubspace
 
 __all__ = ["ClientUpdate", "Client"]
 
@@ -168,6 +169,7 @@ class Client:
         config: LocalTrainingConfig,
         round_index: int = 0,
         server_control: np.ndarray | None = None,
+        subspace: ParamSubspace | None = None,
     ) -> ClientUpdate:
         """Run local SGD from ``global_params`` and return the delta.
 
@@ -175,6 +177,13 @@ class Client:
         ``g - c_i + c``; the updated client control variate and its
         change are returned in ``extras`` ("control_delta").
         ``config.prox_mu > 0`` activates the FedProx proximal term.
+
+        ``subspace`` restricts training to a sub-model (Adaptive
+        Federated Dropout): gradients outside the covered coordinates
+        are zeroed before every optimiser step, and the returned delta
+        is guaranteed zero off the subspace — even against indirect
+        movement like weight decay — so the server can trust the
+        packet's mask.
         """
         model = self._model
         model.set_flat_params(global_params)
@@ -212,6 +221,17 @@ class Client:
         flat_params = model.get_flat_params()
         flat_grads = model.get_flat_grads()
 
+        # Sub-model training: coordinates off the subspace are frozen
+        # by zeroing their gradient each step (scalar fill, no
+        # allocation).  A full subspace is the legacy path, bit for bit.
+        frozen: np.ndarray | None = None
+        if subspace is not None and not subspace.is_full:
+            if subspace.dim != flat_params.size:
+                raise ValueError(
+                    f"subspace dim {subspace.dim} != model dim {flat_params.size}"
+                )
+            frozen = subspace.complement().indices
+
         losses: list[float] = []
         steps = 0
         samples_seen = 0
@@ -231,6 +251,8 @@ class Client:
                     flat_grads += config.prox_mu * (flat_params - global_params)
                 if use_scaffold:
                     flat_grads += scaffold_correction
+                if frozen is not None:
+                    flat_grads[frozen] = 0.0
 
                 optimizer.step()
                 losses.append(loss)
@@ -239,6 +261,10 @@ class Client:
 
         local_params = flat_params
         delta = local_params - global_params
+        if frozen is not None:
+            # Hard guarantee: zero off-subspace, whatever the optimiser
+            # did there indirectly (weight decay moves frozen params).
+            delta[frozen] = 0.0
         self.last_delta = delta
 
         extras: dict[str, Any] = {}

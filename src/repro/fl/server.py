@@ -41,6 +41,15 @@ class Server:
     def dim(self) -> int:
         return self.params.size
 
+    def param_layout(self) -> list:
+        """Per-parameter ``(name, offset, size)`` spans of the flat vector.
+
+        Delegates to the architecture replica, so strategies can build
+        layer-stratified :class:`~repro.nn.subspace.ParamSubspace`
+        masks without touching any client's private model.
+        """
+        return self._model.param_layout()
+
     def apply_delta(self, delta: np.ndarray) -> None:
         """Advance the global model by an aggregated delta.
 

@@ -20,11 +20,13 @@ from repro.compression.base import CompressedGradient
 from repro.fl.client import Client, ClientUpdate
 from repro.fl.config import LocalTrainingConfig
 from repro.fl.server import Server
-from repro.wire.codecs import codec_for_id, encode_model_frame
+from repro.nn.subspace import ParamSubspace
+from repro.wire.codecs import codec_for_id, encode_frame, encode_model_frame
 from repro.wire.frame import Frame
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.conditions import NetworkConditions
+    from repro.sim.kernel import SimKernel
     from repro.sim.trace import EventTrace
 
 __all__ = [
@@ -33,6 +35,7 @@ __all__ = [
     "AsyncStrategy",
     "UploadPacket",
     "weighted_average",
+    "masked_weighted_average",
 ]
 
 
@@ -51,11 +54,18 @@ class UploadPacket:
 
     Unpacks as ``delta, nbytes = packet`` for callers written against
     the historical tuple interface.
+
+    ``subspace`` records which coordinates the delta actually covers
+    (Adaptive Federated Dropout sub-model updates); ``None`` means the
+    legacy full-width contract.  Engines copy it into
+    ``update.extras["subspace"]`` so masked aggregation can
+    renormalise weights per coordinate.
     """
 
     delta: np.ndarray
     frame: Frame
     extra_bytes: int = 0
+    subspace: ParamSubspace | None = None
 
     @property
     def nbytes(self) -> int:
@@ -89,22 +99,46 @@ def _dense_upload(update: ClientUpdate, model_version: int) -> UploadPacket:
 
 
 class _ModelFrameCache:
-    """Per-strategy memo of the current model broadcast frame.
+    """Per-strategy memo of current model broadcast frames.
 
-    Encoding the model is O(d); the frame changes only when the server
+    Encoding the model is O(d); a frame changes only when the server
     version does, so one encode serves every downlink of that version.
+    Frames are keyed by ``(subspace token)`` within a version — a
+    partial subspace yields a masked frame carrying only the covered
+    coordinates (Adaptive Federated Dropout's sub-model downlink),
+    while ``None`` or a full subspace yields the legacy dense frame.
+    The cache drops everything when the version moves on, so stale
+    sub-model frames never accumulate.
     """
 
     def __init__(self) -> None:
-        self._cached: tuple[int, Frame] | None = None
+        self._version: int | None = None
+        self._frames: dict[tuple[int, int, int] | None, Frame] = {}
 
-    def get(self, server: Server) -> Frame:
-        if self._cached is None or self._cached[0] != server.version:
-            self._cached = (
-                server.version,
-                encode_model_frame(server.params, server.version),
-            )
-        return self._cached[1]
+    def get(self, server: Server, subspace: ParamSubspace | None = None) -> Frame:
+        if self._version != server.version:
+            self._version = server.version
+            self._frames.clear()
+        if subspace is not None and subspace.is_full:
+            subspace = None
+        key = None if subspace is None else subspace.token
+        frame = self._frames.get(key)
+        if frame is None:
+            if subspace is None:
+                frame = encode_model_frame(server.params, server.version)
+            else:
+                frame = encode_frame(
+                    "masked",
+                    server.dim,
+                    {
+                        "indices": subspace.indices.astype(np.uint32),
+                        "inner_method": "none",
+                        "inner_data": {"values": subspace.gather(server.params)},
+                    },
+                    model_version=server.version,
+                )
+            self._frames[key] = frame
+        return frame
 
 
 @dataclass
@@ -118,6 +152,10 @@ class RoundContext:
     network: "NetworkConditions | None" = None
     local_config: LocalTrainingConfig | None = None
     trace: "EventTrace | None" = None  # the engine's telemetry bus
+    # The engine's simulation kernel: strategies that derive per-round
+    # randomness (subspace masks, stochastic bit-widths) draw from its
+    # named streams so two identical runs stay bit-identical.
+    kernel: "SimKernel | None" = None
 
 
 def weighted_average(updates: list[ClientUpdate]) -> np.ndarray:
@@ -131,6 +169,41 @@ def weighted_average(updates: list[ClientUpdate]) -> np.ndarray:
     for u in updates:
         acc += (u.num_samples / total) * u.delta
     return acc
+
+
+def masked_weighted_average(updates: list[ClientUpdate]) -> np.ndarray:
+    """Sample-count-weighted average honouring per-update subspaces.
+
+    Each update contributes only on the coordinates its
+    ``extras["subspace"]`` covers (``None`` or a full subspace means
+    the whole vector), and weights are renormalised *per coordinate*
+    over the covering clients — the standard Federated Dropout rule.
+    Coordinates no delivered update covers get a zero delta, i.e. the
+    server keeps its current value there.
+    """
+    if not updates:
+        raise ValueError("cannot average zero updates")
+    if all(u.num_samples <= 0 for u in updates):
+        raise ValueError("updates carry no samples")
+    dim = updates[0].delta.size
+    acc = np.zeros(dim, dtype=np.float64)
+    weight = np.zeros(dim, dtype=np.float64)
+    for u in updates:
+        w = float(u.num_samples)
+        if w <= 0:
+            continue
+        subspace = u.extras.get("subspace")
+        if subspace is None or subspace.is_full:
+            acc += w * u.delta
+            weight += w
+        else:
+            idx = subspace.indices
+            acc[idx] += w * u.delta[idx]
+            weight[idx] += w
+    covered = weight > 0
+    out = np.zeros(dim, dtype=np.float64)
+    np.divide(acc, weight, out=out, where=covered)
+    return out
 
 
 class SyncStrategy:
@@ -188,12 +261,20 @@ class SyncStrategy:
         del client
         return _dense_upload(update, context.server.version)
 
-    def encode_model(self, server: Server) -> Frame:
-        """The model broadcast frame (cached per server version)."""
+    def encode_model(
+        self, server: Server, subspace: ParamSubspace | None = None
+    ) -> Frame:
+        """The model broadcast frame (cached per version and subspace).
+
+        ``subspace=None`` (or a full subspace) is the legacy dense
+        broadcast; a partial subspace yields a masked frame carrying
+        only the covered coordinates — the sub-model downlink of
+        Adaptive Federated Dropout.
+        """
         cache = getattr(self, "_model_frames", None)
         if cache is None:
             cache = self._model_frames = _ModelFrameCache()
-        return cache.get(server)
+        return cache.get(server, subspace)
 
     def downlink_bytes(self, server: Server) -> int:
         """Bytes of the model broadcast each participant downloads."""
@@ -237,12 +318,14 @@ class AsyncStrategy:
         del client, sim_time_s
         return _dense_upload(update, update.extras.get("base_version", 0))
 
-    def encode_model(self, server: Server) -> Frame:
-        """The model broadcast frame (cached per server version)."""
+    def encode_model(
+        self, server: Server, subspace: ParamSubspace | None = None
+    ) -> Frame:
+        """The model broadcast frame (cached per version and subspace)."""
         cache = getattr(self, "_model_frames", None)
         if cache is None:
             cache = self._model_frames = _ModelFrameCache()
-        return cache.get(server)
+        return cache.get(server, subspace)
 
     def downlink_bytes(self, server: Server) -> int:
         return self.encode_model(server).payload_nbytes

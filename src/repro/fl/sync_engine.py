@@ -344,6 +344,7 @@ class SyncEngine:
             network=self.network,
             local_config=local_cfg,
             trace=self._trace,
+            kernel=self._kernel,
         )
         available = self._available_ids(round_index, t0, crash)
         if self._remote:
@@ -602,6 +603,10 @@ class SyncEngine:
                 self._trace.emit(DROPPED, t0 + total_s, cid, reason=frame_reason)
                 continue
             update.delta = delta  # server sees the decompressed delta
+            if packet.subspace is not None:
+                # Masked aggregation needs to know which coordinates the
+                # delta actually covers (sub-model uploads).
+                update.extras["subspace"] = packet.subspace
             delivered.append(update)
             if stale_dup:
                 # The transport delivered the same upload twice; the

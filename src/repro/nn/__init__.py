@@ -40,6 +40,7 @@ from repro.nn.models import (
 )
 from repro.nn.optim import SGD, Adam, AdamVector, Optimizer
 from repro.nn.sequential import Sequential
+from repro.nn.subspace import ParamLayoutEntry, ParamSubspace
 
 __all__ = [
     "Layer",
@@ -62,6 +63,8 @@ __all__ = [
     "WarmupLR",
     "clip_grad_norm",
     "Sequential",
+    "ParamLayoutEntry",
+    "ParamSubspace",
     "SoftmaxCrossEntropy",
     "MSELoss",
     "softmax",

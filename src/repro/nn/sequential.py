@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.layers import Layer, Parameter
+from repro.nn.subspace import ParamLayoutEntry, ParamSubspace
 
 __all__ = ["Sequential"]
 
@@ -188,6 +189,56 @@ class Sequential:
             )
         if vector is not self._grad_buf:
             self._grad_buf[...] = vector
+
+    # ------------------------------------------------------------------
+    # Parameter subspaces
+    # ------------------------------------------------------------------
+    def param_layout(self) -> list[ParamLayoutEntry]:
+        """Per-parameter ``(name, offset, size)`` spans of the flat buffer.
+
+        The order matches the backing-buffer layout built at
+        construction, so :meth:`ParamSubspace.sample` can stratify a
+        mask over layers without re-deriving offsets.
+        """
+        layout: list[ParamLayoutEntry] = []
+        offset = 0
+        for p in self._params:
+            layout.append(ParamLayoutEntry(p.name, offset, p.size))
+            offset += p.size
+        return layout
+
+    def full_subspace(self) -> ParamSubspace:
+        """The identity subspace over this model's flat buffer."""
+        return ParamSubspace.full(self.num_params)
+
+    def get_flat_params_subspace(self, subspace: ParamSubspace) -> np.ndarray:
+        """The covered coordinates of the parameter buffer.
+
+        A full subspace returns the live backing buffer itself (the
+        legacy :meth:`get_flat_params` contract, O(1)); a partial one
+        returns a fresh gathered array.
+        """
+        if subspace.dim != self.num_params:
+            raise ValueError(
+                f"subspace dim {subspace.dim} != model dim {self.num_params}"
+            )
+        return subspace.gather(self._param_buf)
+
+    def set_flat_params_subspace(
+        self, subspace: ParamSubspace, values: np.ndarray
+    ) -> None:
+        """Write subspace values into the parameter buffer in place.
+
+        Uncovered coordinates keep their current values — the
+        sub-model semantics of Adaptive Federated Dropout, where the
+        server's weights survive outside the client's mask.
+        """
+        if subspace.dim != self.num_params:
+            raise ValueError(
+                f"subspace dim {subspace.dim} != model dim {self.num_params}"
+            )
+        values = np.asarray(values, dtype=np.float64)
+        subspace.scatter(values, self._param_buf)
 
     # ------------------------------------------------------------------
     # Cost accounting

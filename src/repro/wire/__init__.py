@@ -33,6 +33,7 @@ from repro.wire.frame import (
 )
 from repro.wire.codecs import (
     Codec,
+    MaskedCodec,
     codec_for_id,
     codec_for_method,
     decode_frame,
@@ -43,7 +44,10 @@ from repro.wire.codecs import (
 from repro.wire.sizes import (
     FLOAT_BYTES,
     INDEX_BYTES,
+    MASKED_HEADER_BYTES,
     dense_bytes,
+    masked_index_bytes,
+    masked_payload_bytes,
     quantized_bytes,
     sparse_bytes,
     sparse_payload_bytes,
@@ -63,6 +67,7 @@ __all__ = [
     "seal",
     "unseal",
     "Codec",
+    "MaskedCodec",
     "codec_for_id",
     "codec_for_method",
     "decode_frame",
@@ -71,7 +76,10 @@ __all__ = [
     "predicted_payload_nbytes",
     "FLOAT_BYTES",
     "INDEX_BYTES",
+    "MASKED_HEADER_BYTES",
     "dense_bytes",
+    "masked_index_bytes",
+    "masked_payload_bytes",
     "quantized_bytes",
     "sparse_bytes",
     "sparse_payload_bytes",

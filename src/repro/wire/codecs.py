@@ -20,7 +20,11 @@ id  method     payload
 4   qsgd       float32 norm + sign/level bit-packing
 5   terngrad   float32 scale + 2-bit ternary stream
 6   dense64    dense float64 (checkpoint fidelity)
+8   masked     subspace index block + nested inner payload
 ==  =========  ============================================
+
+(id 7 is reserved for :data:`repro.wire.frame.BLOB_CODEC_ID` sealed
+envelopes, which bypass the registry.)
 
 Decoders are zero-copy where numpy allows: ``np.frombuffer`` views
 into the payload for index/value/dense arrays (read-only, which every
@@ -31,6 +35,7 @@ header ``flags`` byte; QSGD records its level count there.
 from __future__ import annotations
 
 import math
+import struct
 from typing import Any
 
 import numpy as np
@@ -38,7 +43,10 @@ import numpy as np
 from repro.wire.frame import Frame, FrameError
 from repro.wire.sizes import (
     FLOAT_BYTES,
+    MASKED_HEADER_BYTES,
     dense_bytes,
+    masked_index_bytes,
+    masked_payload_bytes,
     quantized_bytes,
     sparse_bytes,
     sparse_payload_bytes,
@@ -51,6 +59,7 @@ __all__ = [
     "SparseCodec",
     "QSGDCodec",
     "TernGradCodec",
+    "MaskedCodec",
     "codec_for_id",
     "codec_for_method",
     "encode_frame",
@@ -63,6 +72,13 @@ __all__ = [
 _SPARSE_COO = 0
 _SPARSE_BITMAP = 1
 _SPARSE_DENSE = 2
+
+# Masked index-block selectors carried in the frame flags byte.
+_MASKED_COO = 0
+_MASKED_BITMAP = 1
+
+# Masked inner header: inner codec id (u8), inner flags (u8), nsel (u32).
+_MASKED_HEADER = struct.Struct("<BBI")
 
 
 class Codec:
@@ -310,6 +326,99 @@ class TernGradCodec(Codec):
         return {"scale": scale, "ternary": (codes.astype(np.int8) - 1)}
 
 
+class MaskedCodec(Codec):
+    """Subspace-masked payload: an index block plus a nested payload.
+
+    Carries a gradient restricted to ``nsel`` of the model's ``dim``
+    coordinates (Adaptive Federated Dropout sub-model updates).  The
+    payload is a 6-byte inner header — inner codec id, inner flags,
+    selected count — followed by the cheaper of a COO uint32 index
+    block and a full-width membership bitmap (COO on ties, selector in
+    the frame flags byte), then the *inner* codec's payload encoded at
+    dimensionality ``nsel``.  Any registered codec except ``masked``
+    itself can nest, so masked QSGD (AdaGQ over a sub-model) costs the
+    index block plus the quantised sub-vector and nothing more.
+    """
+
+    codec_id = 8
+    method = "masked"
+
+    @staticmethod
+    def _inner(data: dict[str, Any]) -> tuple[Codec, dict[str, Any]]:
+        inner = codec_for_method(str(data["inner_method"]))
+        if inner.codec_id == MaskedCodec.codec_id:
+            raise FrameError("masked payloads cannot nest another masked payload")
+        return inner, data["inner_data"]
+
+    def payload_nbytes(self, dim: int, data: dict[str, Any]) -> int:
+        inner, inner_data = self._inner(data)
+        nsel = int(np.asarray(data["indices"]).size)
+        return masked_payload_bytes(dim, nsel, inner.payload_nbytes(nsel, inner_data))
+
+    def flags(self, dim: int, data: dict[str, Any]) -> int:
+        nsel = int(np.asarray(data["indices"]).size)
+        coo = 4 * nsel
+        bitmap = math.ceil(dim / 8.0)
+        return _MASKED_COO if coo <= bitmap else _MASKED_BITMAP
+
+    def encode(self, dim: int, data: dict[str, Any]) -> bytes:
+        inner, inner_data = self._inner(data)
+        indices = np.ascontiguousarray(data["indices"], dtype=np.uint32)
+        if indices.size and int(indices.max()) >= dim:
+            raise FrameError("masked index out of range for dim")
+        if indices.size > 1 and np.any(np.diff(indices.astype(np.int64)) <= 0):
+            raise FrameError("masked indices must be strictly increasing")
+        nsel = int(indices.size)
+        header = _MASKED_HEADER.pack(
+            inner.codec_id, inner.flags(nsel, inner_data), nsel
+        )
+        if self.flags(dim, data) == _MASKED_COO:
+            index_block = indices.tobytes()
+        else:
+            membership = np.zeros(dim, dtype=np.uint8)
+            membership[indices.astype(np.intp)] = 1
+            index_block = np.packbits(membership).tobytes()
+        return header + index_block + inner.encode(nsel, inner_data)
+
+    def decode(self, dim: int, payload: bytes, flags: int) -> dict[str, Any]:
+        if len(payload) < MASKED_HEADER_BYTES:
+            raise FrameError("masked payload shorter than its inner header")
+        inner_id, inner_flags, nsel = _MASKED_HEADER.unpack(
+            payload[:MASKED_HEADER_BYTES]
+        )
+        if nsel > dim:
+            raise FrameError(f"masked payload selects {nsel} of only {dim} coords")
+        inner = codec_for_id(inner_id)
+        if inner.codec_id == MaskedCodec.codec_id:
+            raise FrameError("masked payloads cannot nest another masked payload")
+        index_nbytes = masked_index_bytes(dim, nsel)
+        if len(payload) < MASKED_HEADER_BYTES + index_nbytes:
+            raise FrameError("masked payload shorter than its index block")
+        block = payload[MASKED_HEADER_BYTES : MASKED_HEADER_BYTES + index_nbytes]
+        if flags == _MASKED_COO:
+            if index_nbytes != 4 * nsel:
+                raise FrameError("masked COO selector does not match cheapest block")
+            indices = _view(block, np.dtype("<u4"))
+        elif flags == _MASKED_BITMAP:
+            if index_nbytes != math.ceil(dim / 8.0):
+                raise FrameError("masked bitmap selector does not match cheapest block")
+            mask = np.unpackbits(_view(block, np.uint8), count=dim)
+            indices = np.flatnonzero(mask).astype(np.uint32)
+            if indices.size != nsel:
+                raise FrameError("masked bitmap population does not match nsel")
+        else:
+            raise FrameError(f"unknown masked index selector {flags}")
+        if nsel and int(indices.max()) >= dim:
+            raise FrameError("masked index out of range for dim")
+        inner_payload = payload[MASKED_HEADER_BYTES + index_nbytes :]
+        inner_data = inner.decode(nsel, inner_payload, inner_flags)
+        return {
+            "indices": indices,
+            "inner_method": inner.method,
+            "inner_data": inner_data,
+        }
+
+
 def _pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
     """Pack ``bits``-wide codes into a byte stream, MSB-first per code."""
     shifts = np.arange(bits - 1, -1, -1, dtype=np.uint32)
@@ -334,6 +443,7 @@ _CODECS: tuple[Codec, ...] = (
     QSGDCodec(),
     TernGradCodec(),
     DenseFloat64Codec(),
+    MaskedCodec(),
 )
 
 _BY_ID: dict[int, Codec] = {c.codec_id: c for c in _CODECS}

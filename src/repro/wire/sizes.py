@@ -24,14 +24,21 @@ import math
 __all__ = [
     "FLOAT_BYTES",
     "INDEX_BYTES",
+    "MASKED_HEADER_BYTES",
     "dense_bytes",
     "sparse_bytes",
     "sparse_payload_bytes",
     "quantized_bytes",
+    "masked_index_bytes",
+    "masked_payload_bytes",
 ]
 
 FLOAT_BYTES = 4  # gradients travel as float32 on the wire
 INDEX_BYTES = 4  # uint32 coordinate indices
+
+# Masked payload inner header: inner codec id (u8), inner flags (u8),
+# selected coordinate count (u32).
+MASKED_HEADER_BYTES = 6
 
 
 def dense_bytes(dim: int) -> int:
@@ -70,3 +77,33 @@ def quantized_bytes(dim: int, bits: float, num_scales: int = 1) -> int:
     if dim < 0 or bits <= 0 or num_scales < 0:
         raise ValueError("invalid quantisation size parameters")
     return math.ceil(dim * bits / 8.0) + FLOAT_BYTES * num_scales
+
+
+def masked_index_bytes(dim: int, nsel: int) -> int:
+    """Wire size of a masked payload's index block.
+
+    A sender picks the cheaper of COO (4-byte uint32 per selected
+    coordinate) and a membership bitmap (one bit per coordinate of the
+    full vector), COO on ties — ``MaskedCodec`` implements the same
+    first-minimum choice, so the prediction is always the encode
+    length.
+    """
+    if dim < 0 or nsel < 0 or nsel > dim:
+        raise ValueError("need 0 <= nsel <= dim")
+    return min(INDEX_BYTES * nsel, math.ceil(dim / 8.0))
+
+
+def masked_payload_bytes(dim: int, nsel: int, inner_payload_nbytes: int) -> int:
+    """Wire size of a subspace-masked payload.
+
+    Layout: a 6-byte inner header (inner codec id, inner flags,
+    selected count), the cheapest index block, then the inner codec's
+    payload encoded at dimensionality ``nsel``.
+    """
+    if inner_payload_nbytes < 0:
+        raise ValueError("inner payload size must be non-negative")
+    return (
+        MASKED_HEADER_BYTES
+        + masked_index_bytes(dim, nsel)
+        + inner_payload_nbytes
+    )

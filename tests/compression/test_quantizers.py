@@ -36,8 +36,8 @@ class TestQSGD:
         assert payload.compression_ratio > 5.0
 
     def test_bits_per_element(self):
-        assert QSGDCompressor(10, num_levels=1).bits_per_element == 2.0
-        assert QSGDCompressor(10, num_levels=15).bits_per_element == 5.0
+        assert QSGDCompressor(10, num_levels=1, rng=np.random.default_rng(0)).bits_per_element == 2.0
+        assert QSGDCompressor(10, num_levels=15, rng=np.random.default_rng(0)).bits_per_element == 5.0
 
     def test_error_bounded_by_norm_over_levels(self, rng):
         grad = rng.normal(size=100)
@@ -48,7 +48,7 @@ class TestQSGD:
 
     def test_bad_levels(self):
         with pytest.raises(ValueError):
-            QSGDCompressor(10, num_levels=0)
+            QSGDCompressor(10, num_levels=0, rng=np.random.default_rng(0))
 
 
 class TestTernGrad:

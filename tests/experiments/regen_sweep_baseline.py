@@ -1,0 +1,27 @@
+"""Regenerate the committed strategy-sweep artifact.
+
+Usage::
+
+    PYTHONPATH=src python -m tests.experiments.regen_sweep_baseline
+
+Reruns the exact configuration ``test_sweep.py`` pins
+(:data:`~tests.experiments.test_sweep.BASELINE_CONFIG`) and overwrites
+``data/sweep_baseline.json``.  Only do this after an *intentional*
+trajectory change — the artifact is the evidence behind the
+constrained-network resilience claim, not a cache.
+"""
+
+from repro.experiments.sweep import render_sweep, run_sweep
+
+from tests.experiments.test_sweep import BASELINE_CONFIG, BASELINE_PATH
+
+
+def main() -> None:
+    result = run_sweep(BASELINE_CONFIG, progress=print)
+    result.save(BASELINE_PATH)
+    print(render_sweep(result))
+    print(f"wrote {BASELINE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,183 @@
+"""Parameter-subspace laws: gather/scatter round trips, canonical form,
+full-subspace equivalence with the legacy dense path, and stratified
+sampling determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.models import build_mlp
+from repro.nn.subspace import ParamLayoutEntry, ParamSubspace
+
+
+def _layout(*sizes):
+    entries, offset = [], 0
+    for i, size in enumerate(sizes):
+        entries.append(ParamLayoutEntry(f"p{i}", offset, size))
+        offset += size
+    return entries
+
+
+class TestConstruction:
+    def test_canonicalises_unsorted_duplicates(self):
+        sub = ParamSubspace.from_indices(10, [7, 3, 3, 0, 7])
+        assert sub.indices.tolist() == [0, 3, 7]
+        assert sub.size == 3
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ParamSubspace.from_indices(5, [0, 5])
+        with pytest.raises(ValueError):
+            ParamSubspace.from_indices(5, [-1])
+
+    def test_from_mask_round_trips(self):
+        mask = np.array([True, False, True, True, False])
+        sub = ParamSubspace.from_mask(mask)
+        assert sub.dim == 5
+        assert np.array_equal(sub.mask(), mask)
+
+    def test_from_mask_requires_bool(self):
+        with pytest.raises(ValueError):
+            ParamSubspace.from_mask(np.array([1, 0, 1]))
+
+    def test_equality_and_token(self):
+        a = ParamSubspace.from_indices(10, [4, 1, 9])
+        b = ParamSubspace.from_indices(10, [1, 4, 9])
+        c = ParamSubspace.from_indices(10, [1, 4])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.token == b.token
+        assert a != c
+
+    def test_complement_partitions(self):
+        sub = ParamSubspace.from_indices(8, [0, 2, 5])
+        comp = sub.complement()
+        merged = np.sort(np.concatenate([sub.indices, comp.indices]))
+        assert np.array_equal(merged, np.arange(8))
+
+    def test_indices_read_only(self):
+        sub = ParamSubspace.from_indices(6, [1, 3])
+        with pytest.raises(ValueError):
+            sub.indices[0] = 5
+
+
+class TestGatherScatter:
+    def test_round_trip(self, rng):
+        v = rng.normal(size=20)
+        sub = ParamSubspace.from_indices(20, [2, 5, 11, 19])
+        out = np.zeros(20)
+        sub.scatter(sub.gather(v), out)
+        assert np.array_equal(out[sub.indices], v[sub.indices])
+        assert np.all(out[sub.complement().indices] == 0.0)
+
+    def test_full_gather_aliases(self, rng):
+        v = rng.normal(size=12)
+        full = ParamSubspace.full(12)
+        assert full.is_full
+        assert full.gather(v) is v  # zero-copy: legacy dense contract
+        assert full.restrict(v) is v
+
+    def test_disjoint_scatters_commute(self, rng):
+        a = ParamSubspace.from_indices(16, [0, 3, 7])
+        b = a.complement()
+        va, vb = rng.normal(size=a.size), rng.normal(size=b.size)
+        ab = np.zeros(16)
+        a.scatter(va, ab)
+        b.scatter(vb, ab)
+        ba = np.zeros(16)
+        b.scatter(vb, ba)
+        a.scatter(va, ba)
+        assert np.array_equal(ab, ba)
+
+    def test_expand_restrict(self, rng):
+        v = rng.normal(size=10)
+        sub = ParamSubspace.from_indices(10, [1, 4, 8])
+        dense = sub.restrict(v)
+        assert np.array_equal(dense[sub.indices], v[sub.indices])
+        assert np.all(dense[sub.complement().indices] == 0.0)
+        assert np.array_equal(sub.expand(sub.gather(v)), dense)
+
+    def test_shape_validation(self, rng):
+        sub = ParamSubspace.from_indices(10, [1, 4])
+        with pytest.raises(ValueError):
+            sub.gather(np.zeros(9))
+        with pytest.raises(ValueError):
+            sub.scatter(np.zeros(3), np.zeros(10))
+        with pytest.raises(ValueError):
+            sub.scatter(np.zeros(2), np.zeros(11))
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 500), dim=st.integers(1, 64))
+    def test_property_restrict_idempotent(self, seed, dim):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, dim + 1))
+        sub = ParamSubspace.from_indices(
+            dim, rng.choice(dim, size=k, replace=False)
+        )
+        v = rng.normal(size=dim)
+        once = sub.restrict(v)
+        assert np.array_equal(sub.restrict(once), once)
+
+
+class TestSample:
+    def test_every_span_covered(self):
+        layout = _layout(100, 1, 50)
+        rng = np.random.default_rng(0)
+        sub = ParamSubspace.sample(layout, 0.05, rng)
+        for entry in layout:
+            span = (sub.indices >= entry.offset) & (
+                sub.indices < entry.offset + entry.size
+            )
+            assert span.sum() >= 1, f"span {entry.name} left uncovered"
+
+    def test_keep_fraction_proportional(self):
+        layout = _layout(1000, 1000)
+        sub = ParamSubspace.sample(layout, 0.3, np.random.default_rng(1))
+        assert sub.size == 2 * int(np.ceil(0.3 * 1000))
+
+    def test_full_fraction_short_circuits(self):
+        layout = _layout(10, 5)
+        sub = ParamSubspace.sample(layout, 1.0, np.random.default_rng(2))
+        assert sub.is_full
+
+    def test_deterministic_per_stream(self):
+        layout = _layout(64, 32, 8)
+        a = ParamSubspace.sample(layout, 0.4, np.random.default_rng(7))
+        b = ParamSubspace.sample(layout, 0.4, np.random.default_rng(7))
+        assert a == b
+
+    def test_invalid_fraction(self):
+        layout = _layout(4)
+        with pytest.raises(ValueError):
+            ParamSubspace.sample(layout, 0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            ParamSubspace.sample(layout, 1.5, np.random.default_rng(0))
+
+
+class TestSequentialIntegration:
+    def test_layout_tiles_the_flat_buffer(self):
+        model = build_mlp((12,), 3, hidden=(8,), seed=0)
+        layout = model.param_layout()
+        offset = 0
+        for entry in layout:
+            assert entry.offset == offset
+            offset += entry.size
+        assert offset == model.num_params
+
+    def test_subspace_get_set_matches_dense(self, rng):
+        model = build_mlp((12,), 3, hidden=(8,), seed=0)
+        dim = model.num_params
+        full = model.full_subspace()
+        assert np.array_equal(
+            model.get_flat_params_subspace(full), model.get_flat_params()
+        )
+        sub = ParamSubspace.sample(model.param_layout(), 0.5, rng)
+        before = model.get_flat_params().copy()
+        new_vals = rng.normal(size=sub.size)
+        model.set_flat_params_subspace(sub, new_vals)
+        after = model.get_flat_params()
+        assert np.array_equal(after[sub.indices], new_vals)
+        off = sub.complement().indices
+        assert np.array_equal(after[off], before[off])
+        assert dim == after.size
